@@ -1,0 +1,622 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) and prints paper-vs-measured rows. Run everything:
+
+     dune exec bench/main.exe
+
+   or a single experiment:
+
+     dune exec bench/main.exe -- fig4 fig8
+
+   Available targets: table1 survey fig3 fig4 fig5 fig6 fig7 fig8 fig9
+   toctou ablate-proactive ablate-entry ablate-isolation bechamel all
+   quick (= all with reduced sizes/windows). *)
+
+module Table = Ufork_util.Table
+module Stats = Ufork_util.Stats
+module Units = Ufork_util.Units
+module Strategy = Ufork_core.Strategy
+module E = Ufork_workload.Experiments
+module Keyspace = Ufork_workload.Keyspace
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let note fmt = Printf.printf fmt
+
+let f1 v = Table.fmt_f ~dec:1 v
+let f2 v = Table.fmt_f ~dec:2 v
+
+(* Reduced problem sizes for `quick`. *)
+let quick = ref false
+
+let redis_sizes () =
+  if !quick then [ ("100 KB", 1, 100 * 1024); ("10 MB", 100, 100 * 1024) ]
+  else Keyspace.db_sizes_of_paper
+
+let window_s () = if !quick then 0.25 else 1.0
+let spawn_iters () = if !quick then 200 else 1000
+let context1_iters () = if !quick then 20_000 else 100_000
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: design-space comparison of SASOS fork systems.             *)
+
+let table1 () =
+  section "Table 1: SASOS fork systems (qualitative)";
+  Table.print
+    ~header:[ "System"; "SAS"; "Isolation"; "SC"; "IPCs"; "Seg"; "f+e only" ]
+    [
+      [ "Angel"; "Yes"; "Yes"; "Yes"; "Fast"; "Yes"; "No" ];
+      [ "Mungi"; "Yes"; "Yes"; "Yes"; "Fast"; "Yes"; "No" ];
+      [ "Nephele"; "No"; "Yes"; "No"; "Med"; "No"; "No" ];
+      [ "KylinX"; "No"; "Yes"; "No"; "Med"; "No"; "No" ];
+      [ "Graphene"; "No"; "Yes"; "No"; "Med"; "No"; "No" ];
+      [ "Graphene SGX"; "No"; "Yes"; "No"; "Slow"; "No"; "No" ];
+      [ "Iso-Unik"; "No"; "Yes"; "Yes"; "Med"; "No"; "No" ];
+      [ "OSv"; "Yes"; "No"; "Yes"; "Fast"; "No"; "Yes" ];
+      [ "Junction"; "Yes"; "No"; "No"; "Med"; "No"; "Yes" ];
+      [ "uFork (this work)"; "Yes"; "Yes"; "Yes"; "Fast"; "No"; "No" ];
+    ]
+
+(* §2.1 survey numbers. *)
+let survey () =
+  section "Survey (§2.1): fork usage in popular software";
+  Table.print
+    ~header:[ "Population"; "Sample"; "Using fork" ]
+    [
+      [ "Most popular C repositories on GitHub"; "50"; "46%" ];
+      [ "Most popular Debian packages (popcon)"; "50"; "50%" ];
+    ];
+  note "Usage patterns: U1 fork+exec, U2 concurrency, U3 privilege\n";
+  note "separation, U4 copy-on-write, U5 startup time, U6 daemonize.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1 and Fig. 2: the design figures, reproduced as live page-state
+   walkthroughs on a real forked pair.                                  *)
+
+module Fig12 = struct
+  module Addr = Ufork_mem.Addr
+  module Pte = Ufork_mem.Pte
+  module Page_table = Ufork_mem.Page_table
+  module Uproc = Ufork_sas.Uproc
+  module Kernel = Ufork_sas.Kernel
+  module Api = Ufork_sas.Api
+  module Image = Ufork_sas.Image
+  module Os = Ufork_core.Os
+  module Meter = Ufork_sim.Meter
+
+  let page_state (pte : Pte.t) =
+    match pte.Pte.share with
+    | Pte.Private -> if pte.Pte.write then "private rw" else "private r-x"
+    | Pte.Cow_shared -> "shared CoW (copy on write)"
+    | Pte.Copa_shared -> "shared CoPA (copy on write/ptr-load)"
+    | Pte.Coa_shared -> "shared CoA (copy on any access)"
+    | Pte.Shm_shared -> "shm (deliberately shared)"
+
+  (* Render a region as runs of identical page states. *)
+  let region_runs (u : Uproc.t) base bytes =
+    let vpn0 = Addr.vpn_of_addr base in
+    let count = Addr.bytes_to_pages bytes in
+    let states =
+      List.init count (fun i ->
+          match Page_table.lookup u.Uproc.pt ~vpn:(vpn0 + i) with
+          | None -> "unmapped (demand)"
+          | Some pte -> page_state pte)
+    in
+    let rec runs acc current n = function
+      | [] -> List.rev ((current, n) :: acc)
+      | s :: rest ->
+          if s = current then runs acc current (n + 1) rest
+          else runs ((current, n) :: acc) s 1 rest
+    in
+    match states with [] -> [] | s :: rest -> runs [] s 1 rest
+
+  let print_uproc label (u : Uproc.t) =
+    note "%s  (area [%#x, +%d MB), pid %d)\n" label u.Uproc.area_base
+      (u.Uproc.area_bytes / 1_048_576 |> max 1)
+      u.Uproc.pid;
+    let r = u.Uproc.regions in
+    List.iter
+      (fun (name, base, bytes) ->
+        let runs = region_runs u base bytes in
+        let runs_s =
+          String.concat ", "
+            (List.map (fun (s, n) -> Printf.sprintf "%d page(s) %s" n s) runs)
+        in
+        note "  %-6s @%#x: %s\n" name base runs_s)
+      [
+        ("GOT", r.Uproc.got_base, r.Uproc.got_bytes);
+        ("code", r.Uproc.code_base, r.Uproc.code_bytes);
+        ("data", r.Uproc.data_base, r.Uproc.data_bytes);
+        ("stack", r.Uproc.stack_base, r.Uproc.stack_bytes);
+        ("meta", r.Uproc.meta_base, r.Uproc.meta_bytes);
+        ("heap", r.Uproc.heap_base, r.Uproc.heap_bytes);
+      ]
+
+  (* A small forked pair with a capability-bearing heap, frozen at
+     interesting moments. [scenario] drives the child/parent accesses. *)
+  let run () =
+    let os = Os.boot () in
+    let kernel = Os.kernel os in
+    let meter = Kernel.meter kernel in
+    let child_pid = ref 0 in
+    let _ =
+      Os.start os
+        ~image:
+          (Image.make ~code_bytes:(16 * 1024) ~data_bytes:(8 * 1024)
+             ~stack_bytes:(16 * 1024) ~heap_bytes:(64 * 1024) "fig")
+        (fun api ->
+          (* Build state: raw data page + pointer-bearing page. *)
+          let data = api.Api.malloc 4096 in
+          api.Api.write_bytes data ~off:0 (Bytes.make 64 'd');
+          let ptrs = api.Api.malloc 4096 in
+          api.Api.store_cap ptrs ~off:0 data;
+          api.Api.got_set 0 ptrs;
+          api.Api.got_set 1 data;
+          let rfd, wfd = api.Api.pipe () in
+          let pid =
+            api.Api.fork (fun capi ->
+                (* Step (1): freeze right after fork. *)
+                ignore (capi.Api.read rfd 1);
+                (* (B) the child loads a pointer -> that page is copied
+                   and the pointer relocated. *)
+                let ptrs' = capi.Api.got_get 0 in
+                let data' = capi.Api.load_cap ptrs' ~off:0 in
+                ignore (capi.Api.read_bytes data' ~off:0 ~len:8);
+                ignore (capi.Api.read rfd 1);
+                (* (A) the child writes a page. *)
+                capi.Api.write_bytes data' ~off:0 (Bytes.make 8 'c');
+                ignore (capi.Api.read rfd 1);
+                capi.Api.exit 0)
+          in
+          child_pid := pid;
+          let child () = Option.get (Kernel.find_uproc kernel pid) in
+          let self () =
+            Option.get (Kernel.find_uproc kernel (api.Api.getpid ()))
+          in
+          note "\n-- (1) right after fork: child mapped onto parent pages --\n";
+          print_uproc "PARENT" (self ());
+          print_uproc "CHILD " (child ());
+          let copies () =
+            Meter.get meter "page_copy_child" + Meter.get meter "claim_in_place"
+          in
+          let c0 = copies () and r0 = Meter.get meter "caps_relocated" in
+          ignore (api.Api.write wfd (Bytes.of_string "g"));
+          api.Api.sleep 200_000L;
+          note
+            "\n-- (2) after the child loads a pointer (event B of Fig. 2): \
+             %d page copied, %d capability relocated --\n"
+            (copies () - c0)
+            (Meter.get meter "caps_relocated" - r0);
+          print_uproc "CHILD " (child ());
+          let c1 = copies () in
+          ignore (api.Api.write wfd (Bytes.of_string "g"));
+          api.Api.sleep 200_000L;
+          note "\n-- (3) after the child writes (event A): %d more copy --\n"
+            (copies () - c1);
+          (* (C) the parent writes a still-shared page: its own copy. *)
+          let cow0 = Meter.get meter "page_copy_cow"
+                     + Meter.get meter "cow_claim_in_place" in
+          let mine = api.Api.got_get 1 in
+          api.Api.write_bytes mine ~off:32 (Bytes.make 8 'p');
+          note "-- (4) the parent writes a shared page (event C): %d \
+                parent-side CoW resolution --\n"
+            (Meter.get meter "page_copy_cow"
+            + Meter.get meter "cow_claim_in_place" - cow0);
+          ignore (api.Api.write wfd (Bytes.of_string "g"));
+          ignore (api.Api.wait ()))
+    in
+    Os.run os
+end
+
+let fig1_fig2 () =
+  section "Fig. 1 + Fig. 2: memory layout of uFork and CoPA in operation";
+  Fig12.run ();
+  note
+    "\nFig. 1's (1)/(2): the child starts mapped onto the parent's pages\n\
+     and pages with absolute references are copied+relocated on access.\n\
+     Fig. 2's events: (A) child write, (B) child pointer load, (C) parent\n\
+     write each trigger exactly one copy; GOT and allocator metadata were\n\
+     copied proactively at fork.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Redis figures.                                                      *)
+
+let redis_rows = ref ([] : E.redis_row list)
+
+let redis_systems =
+  [
+    E.Ufork Strategy.Copa;
+    E.Ufork Strategy.Coa;
+    E.Ufork Strategy.Full_copy;
+    E.Ufork_toctou Strategy.Copa;
+    E.Cheribsd;
+    E.Linux_ref;
+  ]
+
+let ensure_redis () =
+  if !redis_rows = [] then
+    redis_rows := E.redis_sweep ~systems:redis_systems ~sizes:(redis_sizes ()) ()
+
+let rows_for sys =
+  List.filter (fun (r : E.redis_row) -> r.E.system = sys) !redis_rows
+
+let fig3 () =
+  ensure_redis ();
+  section "Fig. 3: Redis DB overall save times (ms)";
+  let labels = List.map (fun (l, _, _) -> l) (redis_sizes ()) in
+  let row sys =
+    E.system_label sys
+    :: List.map
+         (fun l ->
+           match
+             List.find_opt (fun (r : E.redis_row) -> r.E.db_label = l)
+               (rows_for sys)
+           with
+           | Some r -> f1 r.E.save_ms
+           | None -> "-")
+         labels
+  in
+  Table.print
+    ~header:("System (save ms)" :: labels)
+    [ row (E.Ufork Strategy.Copa); row (E.Ufork_toctou Strategy.Copa);
+      row E.Cheribsd ];
+  note
+    "Paper: uFork 1.9x faster than CheriBSD at 100 KB (1.8 vs 3.4 ms),\n\
+     1.4x at 100 MB (109 vs 158 ms). All dumps verified: %b\n"
+    (List.for_all (fun (r : E.redis_row) -> r.E.dump_ok) !redis_rows)
+
+let fig4 () =
+  ensure_redis ();
+  section "Fig. 4: Redis fork latency (us)";
+  let labels = List.map (fun (l, _, _) -> l) (redis_sizes ()) in
+  let row sys =
+    E.system_label sys
+    :: List.map
+         (fun l ->
+           match
+             List.find_opt (fun (r : E.redis_row) -> r.E.db_label = l)
+               (rows_for sys)
+           with
+           | Some r -> f1 r.E.fork_us
+           | None -> "-")
+         labels
+  in
+  Table.print
+    ~header:("System (fork us)" :: labels)
+    [
+      row (E.Ufork Strategy.Copa);
+      row (E.Ufork Strategy.Coa);
+      row (E.Ufork Strategy.Full_copy);
+      row (E.Ufork_toctou Strategy.Copa);
+      row E.Cheribsd;
+    ];
+  (match
+     ( List.find_opt (fun (r : E.redis_row) -> r.E.db_label = "100 MB")
+         (rows_for (E.Ufork Strategy.Copa)),
+       List.find_opt (fun (r : E.redis_row) -> r.E.db_label = "100 MB")
+         (rows_for (E.Ufork Strategy.Full_copy)),
+       List.find_opt (fun (r : E.redis_row) -> r.E.db_label = "100 MB")
+         (rows_for E.Cheribsd) )
+   with
+  | Some copa, Some full, Some bsd ->
+      note
+        "Measured at 100 MB: CheriBSD/CoPA = %sx (paper 5-10x); \
+         full/CoPA = %sx (paper up to 89x)\n"
+        (f1 (bsd.E.fork_us /. copa.E.fork_us))
+        (f1 (full.E.fork_us /. copa.E.fork_us))
+  | _ -> ());
+  note "Paper: CoPA 260 us, CoA 283 us, full copy 23.2 ms at 100 MB;\n\
+        TOCTTOU cost 2.6%% at 100 MB.\n"
+
+let fig5 () =
+  ensure_redis ();
+  section "Fig. 5: Redis forked-process memory (MB)";
+  let labels = List.map (fun (l, _, _) -> l) (redis_sizes ()) in
+  let row sys =
+    E.system_label sys
+    :: List.map
+         (fun l ->
+           match
+             List.find_opt (fun (r : E.redis_row) -> r.E.db_label = l)
+               (rows_for sys)
+           with
+           | Some r -> f2 r.E.child_mb
+           | None -> "-")
+         labels
+  in
+  Table.print
+    ~header:("System (child MB)" :: labels)
+    [
+      row (E.Ufork Strategy.Copa);
+      row (E.Ufork Strategy.Coa);
+      row (E.Ufork Strategy.Full_copy);
+      row E.Cheribsd;
+      row E.Linux_ref;
+    ];
+  note
+    "Paper at 100 MB: CoPA 6, CoA 101, full 144, CheriBSD 56, Linux 7 MB.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Fig. 6: FaaS function throughput (functions/s)";
+  let systems =
+    [ E.Ufork Strategy.Copa; E.Ufork_toctou Strategy.Copa; E.Cheribsd ]
+  in
+  let cores = [ 1; 2; 3 ] in
+  let results =
+    List.map
+      (fun sys ->
+        ( sys,
+          List.map
+            (fun c ->
+              (E.faas_run sys ~worker_cores:c ~window_s:(window_s ()) ())
+                .E.throughput_per_s)
+            cores ))
+      systems
+  in
+  Table.print
+    ~header:
+      ("System (fn/s)" :: List.map (fun c -> Printf.sprintf "%d cores" c) cores)
+    (List.map
+       (fun (sys, thr) -> E.system_label sys :: List.map (fun v -> f1 v) thr)
+       results);
+  (match (List.assoc_opt (E.Ufork Strategy.Copa) results,
+          List.assoc_opt E.Cheribsd results) with
+  | Some u, Some b ->
+      let u3 = List.nth u 2 and b3 = List.nth b 2 in
+      note "Measured uFork advantage at 3 cores: +%s%% (paper: +24%%)\n"
+        (f1 ((u3 /. b3 -. 1.) *. 100.))
+  | _ -> ())
+
+let fig7 () =
+  section "Fig. 7: Nginx throughput (requests/s)";
+  let w = window_s () in
+  let ufork_rows =
+    List.map
+      (fun workers ->
+        let r =
+          E.nginx_run (E.Ufork Strategy.Copa) ~cores:1 ~workers ~window_s:w ()
+        in
+        [ Printf.sprintf "uFork 1 core, %d worker(s)" workers;
+          f1 r.E.requests_per_s ])
+      [ 1; 2; 3 ]
+  in
+  let toctou =
+    let r =
+      E.nginx_run (E.Ufork_toctou Strategy.Copa) ~cores:1 ~workers:3
+        ~window_s:w ()
+    in
+    [ "uFork+TOCTTOU 1 core, 3 workers"; f1 r.E.requests_per_s ]
+  in
+  let bsd1 = E.nginx_run E.Cheribsd ~cores:1 ~workers:3 ~window_s:w () in
+  let bsd3 = E.nginx_run E.Cheribsd ~cores:3 ~workers:3 ~window_s:w () in
+  Table.print
+    ~header:[ "Configuration"; "req/s" ]
+    (ufork_rows
+    @ [ toctou;
+        [ "CheriBSD 1 core, 3 workers"; f1 bsd1.E.requests_per_s ];
+        [ "CheriBSD 3 cores, 3 workers"; f1 bsd3.E.requests_per_s ];
+      ]);
+  note
+    "Paper: +15.6%% for uFork 1->3 workers on one core; uFork +9%% over\n\
+     single-core CheriBSD; CheriBSD wins across multiple cores;\n\
+     TOCTTOU costs 6.5%%.\n"
+
+let fig8 () =
+  section "Fig. 8: hello-world fork latency and per-process memory";
+  let rows = E.fig8 () in
+  Table.print
+    ~header:[ "System"; "fork latency"; "paper"; "child mem (MB)"; "paper" ]
+    (List.map
+       (fun (r : E.hello_row) ->
+         let paper_lat, paper_mem =
+           match r.E.system with
+           | E.Ufork _ -> ("54 us", "0.13")
+           | E.Cheribsd -> ("197 us", "0.29")
+           | E.Nephele -> ("10.7 ms", "1.6")
+           | E.Ufork_toctou _ | E.Linux_ref -> ("-", "-")
+         in
+         let lat =
+           if r.E.fork_latency_us > 1000. then
+             f2 (r.E.fork_latency_us /. 1000.) ^ " ms"
+           else f1 r.E.fork_latency_us ^ " us"
+         in
+         [ E.system_label r.E.system; lat; paper_lat;
+           f2 r.E.child_memory_mb; paper_mem ])
+       rows)
+
+(* Not a paper figure: Unixbench Pipe, since fast pipes are exactly the
+   IPC benefit the paper claims for single address spaces. *)
+let pipe_rate system =
+  let module Image = Ufork_sas.Image in
+  let module Api = Ufork_sas.Api in
+  let module Os = Ufork_core.Os in
+  let module Mono = Ufork_baselines.Monolithic in
+  let module Unixbench = Ufork_apps.Unixbench in
+  let iterations = if !quick then 2_000 else 20_000 in
+  let out = ref 0. in
+  let main api = out := Unixbench.pipe_throughput api ~iterations in
+  (match system with
+  | `Ufork ->
+      let os = Os.boot () in
+      ignore (Os.start os ~image:Image.hello main);
+      Os.run os
+  | `Cheribsd ->
+      let os = Mono.boot () in
+      ignore (Mono.start os ~image:Image.hello main);
+      Mono.run os);
+  !out
+
+let fig9 () =
+  section "Fig. 9: Unixbench Spawn and Context1";
+  let rows = E.fig9 ~spawn_iters:(spawn_iters ()) ~context1_iters:(context1_iters ()) () in
+  let scale_s = 1000. /. float_of_int (spawn_iters ()) in
+  let scale_c = 100_000. /. float_of_int (context1_iters ()) in
+  Table.print
+    ~header:
+      [ "System"; "Spawn 1000 (ms)"; "paper"; "Context1 100k (ms)"; "paper" ]
+    (List.map
+       (fun (r : E.unixbench_row) ->
+         let paper_s, paper_c =
+           match r.E.system with
+           | E.Ufork _ -> ("56", "245")
+           | E.Cheribsd -> ("198", "419")
+           | E.Ufork_toctou _ | E.Nephele | E.Linux_ref -> ("-", "-")
+         in
+         [ E.system_label r.E.system;
+           f1 (r.E.spawn_ms *. scale_s); paper_s;
+           f1 (r.E.context1_ms *. scale_c); paper_c ])
+       rows);
+  note
+    "Extra (not in the paper) Unixbench Pipe: uFork %s kloops/s, \
+     CheriBSD %s kloops/s\n"
+    (f1 (pipe_rate `Ufork /. 1000.))
+    (f1 (pipe_rate `Cheribsd /. 1000.))
+
+let toctou () =
+  ensure_redis ();
+  section "TOCTTOU protection cost (§5.1)";
+  let pick sys label =
+    List.find_opt (fun (r : E.redis_row) -> r.E.db_label = label)
+      (rows_for sys)
+  in
+  let biggest = List.hd (List.rev (redis_sizes ())) in
+  let label, _, _ = biggest in
+  (match (pick (E.Ufork Strategy.Copa) label, pick (E.Ufork_toctou Strategy.Copa) label) with
+  | Some base, Some prot ->
+      note "Redis fork latency at %s: +%s%% (paper: 2.6%% at 100 MB)\n" label
+        (f1 ((prot.E.fork_us /. base.E.fork_us -. 1.) *. 100.))
+  | _ -> ());
+  let u = E.faas_run (E.Ufork Strategy.Copa) ~worker_cores:3 ~window_s:(window_s ()) () in
+  let p = E.faas_run (E.Ufork_toctou Strategy.Copa) ~worker_cores:3 ~window_s:(window_s ()) () in
+  note "FaaS throughput delta: %s%% (paper: negligible)\n"
+    (f1 ((1. -. (p.E.throughput_per_s /. u.E.throughput_per_s)) *. 100.));
+  let nu = E.nginx_run (E.Ufork Strategy.Copa) ~cores:1 ~workers:3 ~window_s:(window_s ()) () in
+  let np = E.nginx_run (E.Ufork_toctou Strategy.Copa) ~cores:1 ~workers:3 ~window_s:(window_s ()) () in
+  note "Nginx throughput cost: %s%% (paper: 6.5%%)\n"
+    (f1 ((1. -. (np.E.requests_per_s /. nu.E.requests_per_s)) *. 100.))
+
+let ablations () =
+  section "Ablation: proactive GOT/metadata copy at fork";
+  List.iter
+    (fun (r : E.ablation_row) ->
+      note "%-44s %10s %s\n" r.E.label (f1 r.E.value) r.E.unit_)
+    (E.ablate_proactive ());
+  section "Ablation: sealed-capability vs trap syscall entry (uFork)";
+  List.iter
+    (fun (r : E.ablation_row) ->
+      note "%-44s %10s %s\n" r.E.label (f2 r.E.value) r.E.unit_)
+    (E.ablate_syscall_entry ());
+  section "Ablation: isolation levels (Redis 10 MB save)";
+  List.iter
+    (fun (r : E.ablation_row) ->
+      note "%-44s %10s %s\n" r.E.label (f1 r.E.value) r.E.unit_)
+    (E.ablate_isolation ());
+  section "Fragmentation (§6): virtual-arena growth under fork churn";
+  List.iter
+    (fun (r : E.fragmentation_row) ->
+      note "%-16s %4d forks: arena high-water %8s MB, live %8s MB\n"
+        r.E.scenario r.E.churn (f2 r.E.arena_mb) (f2 r.E.live_mb))
+    (E.ablate_fragmentation ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: host-side cost of the simulator itself —
+   one Test.make per figure workload, so simulator regressions show up. *)
+
+let bechamel () =
+  section "Bechamel: host-time microbenchmarks of the simulator";
+  let open Bechamel in
+  let open Toolkit in
+  let hello sys = Staged.stage (fun () -> ignore (E.hello_run sys)) in
+  let redis_small sys =
+    Staged.stage (fun () ->
+        ignore
+          (E.redis_run sys ~entries:1 ~value_len:(100 * 1024)
+             ~db_label:"100 KB"))
+  in
+  let tests =
+    [
+      Test.make ~name:"fig8/ufork-hello-fork" (hello (E.Ufork Strategy.Copa));
+      Test.make ~name:"fig8/cheribsd-hello-fork" (hello E.Cheribsd);
+      Test.make ~name:"fig8/nephele-hello-fork" (hello E.Nephele);
+      Test.make ~name:"fig3-5/ufork-redis-100k" (redis_small (E.Ufork Strategy.Copa));
+      Test.make ~name:"fig3-5/cheribsd-redis-100k" (redis_small E.Cheribsd);
+      Test.make ~name:"fig9/context1-1k"
+        (Staged.stage (fun () ->
+             ignore (E.fig9 ~spawn_iters:10 ~context1_iters:1000 ())));
+      Test.make ~name:"fig6/faas-50ms-window"
+        (Staged.stage (fun () ->
+             ignore
+               (E.faas_run (E.Ufork Strategy.Copa) ~worker_cores:1
+                  ~window_s:0.05 ())));
+      Test.make ~name:"fig7/nginx-50ms-window"
+        (Staged.stage (fun () ->
+             ignore
+               (E.nginx_run (E.Ufork Strategy.Copa) ~cores:1 ~workers:1
+                  ~window_s:0.05 ())));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let instance = Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ est ] ->
+              note "%-32s %12s ns/run\n" name (Table.fmt_f ~dec:0 est)
+          | Some _ | None -> note "%-32s (no estimate)\n" name)
+        analysis)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  survey ();
+  fig1_fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  toctou ();
+  ablations ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] then [ "all" ] else args in
+  if List.mem "quick" args then quick := true;
+  let run = function
+    | "table1" -> table1 ()
+    | "survey" -> survey ()
+    | "fig1" | "fig2" | "fig1-2" -> fig1_fig2 ()
+    | "fig3" -> fig3 ()
+    | "fig4" -> fig4 ()
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "fig7" -> fig7 ()
+    | "fig8" -> fig8 ()
+    | "fig9" -> fig9 ()
+    | "toctou" -> toctou ()
+    | "ablate-proactive" | "ablate-entry" | "ablate-isolation" | "ablations" ->
+        ablations ()
+    | "bechamel" -> bechamel ()
+    | "all" -> all ()
+    | "quick" -> ()
+    | other ->
+        Printf.eprintf "unknown bench target %S\n" other;
+        exit 2
+  in
+  List.iter run args;
+  if List.mem "all" args && not !quick then bechamel ()

@@ -1,0 +1,131 @@
+module Api = Ufork_sas.Api
+
+(* Record framing:
+   'S' | klen u32 | vlen u32 | key | value      set
+   'D' | klen u32 | key                         delete *)
+
+type t = { api : Api.t; fd : int }
+
+let open_log api ~path =
+  let fd = api.Api.open_ path `Append in
+  { api; fd }
+
+let u32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  b
+
+let log_set t ~key ~value =
+  let buf = Buffer.create (16 + String.length key + Bytes.length value) in
+  Buffer.add_char buf 'S';
+  Buffer.add_bytes buf (u32 (String.length key));
+  Buffer.add_bytes buf (u32 (Bytes.length value));
+  Buffer.add_string buf key;
+  Buffer.add_bytes buf value;
+  t.api.Api.compute (Int64.of_int (Buffer.length buf / 4));
+  ignore (t.api.Api.write t.fd (Buffer.to_bytes buf))
+
+let log_delete t ~key =
+  let buf = Buffer.create (8 + String.length key) in
+  Buffer.add_char buf 'D';
+  Buffer.add_bytes buf (u32 (String.length key));
+  Buffer.add_string buf key;
+  ignore (t.api.Api.write t.fd (Buffer.to_bytes buf))
+
+let close t = t.api.Api.close t.fd
+
+(* Pull the whole log through read(2) in chunks, then walk records. *)
+let replay (api : Api.t) store ~path =
+  let fd = api.Api.open_ path `Read in
+  let contents = Buffer.create 4096 in
+  let rec slurp () =
+    let b = api.Api.read fd (64 * 1024) in
+    if Bytes.length b > 0 then begin
+      Buffer.add_bytes contents b;
+      slurp ()
+    end
+  in
+  slurp ();
+  api.Api.close fd;
+  let s = Buffer.contents contents in
+  let len = String.length s in
+  let get_u32 off =
+    Char.code s.[off]
+    lor (Char.code s.[off + 1] lsl 8)
+    lor (Char.code s.[off + 2] lsl 16)
+    lor (Char.code s.[off + 3] lsl 24)
+  in
+  let applied = ref 0 in
+  let clean = ref true in
+  let pos = ref 0 in
+  let running = ref true in
+  while !running && !pos < len do
+    begin
+      let truncated () =
+      (* A crash mid-append leaves a partial trailing record: drop it. *)
+      clean := false;
+      running := false
+    in
+    match s.[!pos] with
+    | 'S' ->
+        if !pos + 9 > len then truncated ()
+        else begin
+          let klen = get_u32 (!pos + 1) and vlen = get_u32 (!pos + 5) in
+          if !pos + 9 + klen + vlen > len then truncated ()
+          else begin
+            let key = String.sub s (!pos + 9) klen in
+            let value = Bytes.of_string (String.sub s (!pos + 9 + klen) vlen) in
+            Kvstore.set store ~key ~value;
+            incr applied;
+            pos := !pos + 9 + klen + vlen
+          end
+        end
+    | 'D' ->
+        if !pos + 5 > len then truncated ()
+        else begin
+          let klen = get_u32 (!pos + 1) in
+          if !pos + 5 + klen > len then truncated ()
+          else begin
+            ignore (Kvstore.delete store ~key:(String.sub s (!pos + 5) klen));
+            incr applied;
+            pos := !pos + 5 + klen
+          end
+        end
+      | _ ->
+          clean := false;
+          running := false
+    end
+  done;
+  (!applied, !clean)
+
+type rewrite_result = {
+  fork_latency_cycles : int64;
+  total_cycles : int64;
+  child_pid : int;
+}
+
+let bgrewrite (api : Api.t) _store ~path =
+  let t0 = api.Api.now () in
+  let child_pid =
+    api.Api.fork (fun capi ->
+        (* The child sees the fork-instant store (CoW/CoPA snapshot). *)
+        let store' = Kvstore.open_ capi in
+        let tmp = path ^ ".rw" in
+        let log = open_log capi ~path:tmp in
+        Kvstore.iter store' (fun ~key ~value_len:_ ~read_value ->
+            log_set log ~key ~value:(read_value ()));
+        close log;
+        capi.Api.rename ~src:tmp ~dst:path;
+        capi.Api.exit 0)
+  in
+  let fork_latency_cycles = Int64.sub (api.Api.now ()) t0 in
+  let rec wait_for () =
+    let pid, _ = api.Api.wait () in
+    if pid <> child_pid then wait_for ()
+  in
+  wait_for ();
+  {
+    fork_latency_cycles;
+    total_cycles = Int64.sub (api.Api.now ()) t0;
+    child_pid;
+  }

@@ -1,0 +1,35 @@
+(** Append-only-file persistence for {!Kvstore} — Redis's other fork-based
+    persistence mechanism (BGREWRITEAOF, pattern U4 like BGSAVE).
+
+    Mutations are logged as they happen; when the log grows stale it is
+    compacted by {b forking} a child that writes a fresh log from its
+    copy-on-write snapshot of the store while the parent keeps serving and
+    appending. Like Redis, replay tolerates a truncated final record
+    (crash mid-append). *)
+
+type t
+(** An open log (owns a file descriptor). *)
+
+val open_log : Ufork_sas.Api.t -> path:string -> t
+(** Create or append to the log at [path]. *)
+
+val log_set : t -> key:string -> value:bytes -> unit
+val log_delete : t -> key:string -> unit
+val close : t -> unit
+
+val replay : Ufork_sas.Api.t -> Kvstore.t -> path:string -> int * bool
+(** Apply the log to the store. Returns (records applied, clean); [clean]
+    is false when a truncated trailing record was discarded. Raises
+    [Ufork_sas.Api.Sys_error] if the file does not exist. *)
+
+type rewrite_result = {
+  fork_latency_cycles : int64;
+  total_cycles : int64;
+  child_pid : int;
+}
+
+val bgrewrite : Ufork_sas.Api.t -> Kvstore.t -> path:string -> rewrite_result
+(** Fork a child that writes a compacted log (one set per live entry,
+    fork-instant snapshot) to [path ^ ".rw"] and renames it over [path];
+    waits for it, as the benchmark harness does. The parent may keep
+    mutating the store meanwhile. *)

@@ -1,0 +1,16 @@
+module Api = Ufork_sas.Api
+
+type fork_sample = { latency_cycles : int64; child_pid : int }
+
+let fork_once (api : Api.t) =
+  let t0 = api.Api.now () in
+  let child_pid = api.Api.fork (fun capi -> capi.Api.exit 0) in
+  { latency_cycles = Int64.sub (api.Api.now ()) t0; child_pid }
+
+let reap (api : Api.t) = ignore (api.Api.wait ())
+
+let main (api : Api.t) =
+  (* The "hello world" write. *)
+  ignore (api.Api.write 1 (Bytes.of_string "hello, world\n"));
+  let _sample = fork_once api in
+  reap api

@@ -1,0 +1,334 @@
+module Api = Ufork_sas.Api
+module Capability = Ufork_cheri.Capability
+
+type instr =
+  | Push of float
+  | Load of int
+  | Store of int
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Sqrt
+  | Sin
+  | Cos
+  | Dup
+  | Pop
+  | Load_idx
+  | Store_idx
+  | Jnz of int
+  | Jmp of int
+  | Halt
+
+type program = instr array
+
+exception Runtime_error of string
+
+let cycles_per_instr = 25L
+
+(* local 0: accumulator; local 1: loop counter. Loop body:
+   acc <- acc + sqrt(i) * sin(i) + cos(acc); i <- i - 1; loop while i > 0. *)
+let float_operation ~n =
+  if n <= 0 then invalid_arg "float_operation";
+  [|
+    (* 0 *) Push 0.0;
+    (* 1 *) Store 0;
+    (* 2 *) Push (float_of_int n);
+    (* 3 *) Store 1;
+    (* loop head = 4 *)
+    (* 4 *) Load 1;
+    (* 5 *) Sqrt;
+    (* 6 *) Load 1;
+    (* 7 *) Sin;
+    (* 8 *) Mul;
+    (* 9 *) Load 0;
+    (* 10 *) Cos;
+    (* 11 *) Add;
+    (* 12 *) Load 0;
+    (* 13 *) Add;
+    (* 14 *) Store 0;
+    (* 15 *) Load 1;
+    (* 16 *) Push 1.0;
+    (* 17 *) Sub;
+    (* 18 *) Dup;
+    (* 19 *) Store 1;
+    (* 20 *) Jnz 4;
+    (* 21 *) Load 0;
+    (* 22 *) Halt;
+  |]
+
+(* Deterministic input values for the array kernels (verified against a
+   direct OCaml evaluation in the tests). *)
+let matmul_a ~n i j = (float_of_int ((i * n) + j) *. 0.01) +. 0.5
+let matmul_b ~n i j = (float_of_int ((j * n) + i) *. 0.02) -. 0.25
+
+let matmul_locals ~n = 16 + (3 * n * n)
+
+(* Straight-line code (compile-time loop unrolling, as a template JIT
+   would emit): matrices A/B/C live in the locals array. *)
+let matmul ~n =
+  if n <= 0 then invalid_arg "matmul";
+  let base_a = 16 and base_b = 16 + (n * n) and base_c = 16 + (2 * n * n) in
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      emit (Push (matmul_a ~n i j));
+      emit (Push (float_of_int (base_a + (i * n) + j)));
+      emit Store_idx;
+      emit (Push (matmul_b ~n i j));
+      emit (Push (float_of_int (base_b + (i * n) + j)));
+      emit Store_idx
+    done
+  done;
+  emit (Push 0.0) (* checksum *);
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      emit (Push 0.0) (* acc *);
+      for k = 0 to n - 1 do
+        emit (Push (float_of_int (base_a + (i * n) + k)));
+        emit Load_idx;
+        emit (Push (float_of_int (base_b + (k * n) + j)));
+        emit Load_idx;
+        emit Mul;
+        emit Add
+      done;
+      emit Dup;
+      emit (Push (float_of_int (base_c + (i * n) + j)));
+      emit Store_idx;
+      emit Add (* checksum += acc *)
+    done
+  done;
+  emit Halt;
+  Array.of_list (List.rev !code)
+
+let linpack_x i = (float_of_int i *. 0.003) +. 1.0
+let linpack_y i = (float_of_int i *. 0.007) -. 0.5
+let linpack_locals ~n = 16 + (2 * n)
+
+let linpack ~n =
+  if n <= 0 then invalid_arg "linpack";
+  let base_x = 16 and base_y = 16 + n in
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  for i = 0 to n - 1 do
+    emit (Push (linpack_x i));
+    emit (Push (float_of_int (base_x + i)));
+    emit Store_idx;
+    emit (Push (linpack_y i));
+    emit (Push (float_of_int (base_y + i)));
+    emit Store_idx
+  done;
+  (* n daxpy sweeps: y <- y + a_rep * x. *)
+  for rep = 1 to n do
+    let a = 0.5 +. (float_of_int rep *. 0.1) in
+    for i = 0 to n - 1 do
+      emit (Push (float_of_int (base_y + i)));
+      emit Load_idx;
+      emit (Push a);
+      emit (Push (float_of_int (base_x + i)));
+      emit Load_idx;
+      emit Mul;
+      emit Add;
+      emit (Push (float_of_int (base_y + i)));
+      emit Store_idx
+    done
+  done;
+  (* checksum = sum y *)
+  emit (Push 0.0);
+  for i = 0 to n - 1 do
+    emit (Push (float_of_int (base_y + i)));
+    emit Load_idx;
+    emit Add
+  done;
+  emit Halt;
+  Array.of_list (List.rev !code)
+
+let charge_batch = 256
+
+let run (api : Api.t) ?(locals = 16) program =
+  let stack = ref [] in
+  let slots = Array.make locals 0.0 in
+  let executed = ref 0 in
+  let flush () =
+    if !executed > 0 then begin
+      api.Api.compute (Int64.mul cycles_per_instr (Int64.of_int !executed));
+      executed := 0
+    end
+  in
+  let pop () =
+    match !stack with
+    | [] -> raise (Runtime_error "stack underflow")
+    | x :: rest ->
+        stack := rest;
+        x
+  in
+  let push v = stack := v :: !stack in
+  let slot i =
+    if i < 0 || i >= locals then raise (Runtime_error "bad local") else i
+  in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= Array.length program then
+      raise (Runtime_error "pc out of range");
+    incr executed;
+    if !executed >= charge_batch then flush ();
+    (match program.(!pc) with
+    | Push v ->
+        push v;
+        incr pc
+    | Load i ->
+        push slots.(slot i);
+        incr pc
+    | Store i ->
+        slots.(slot i) <- pop ();
+        incr pc
+    | Add ->
+        let b = pop () and a = pop () in
+        push (a +. b);
+        incr pc
+    | Sub ->
+        let b = pop () and a = pop () in
+        push (a -. b);
+        incr pc
+    | Mul ->
+        let b = pop () and a = pop () in
+        push (a *. b);
+        incr pc
+    | Div ->
+        let b = pop () and a = pop () in
+        if b = 0.0 then raise (Runtime_error "division by zero");
+        push (a /. b);
+        incr pc
+    | Sqrt ->
+        push (sqrt (Float.abs (pop ())));
+        incr pc
+    | Sin ->
+        push (sin (pop ()));
+        incr pc
+    | Cos ->
+        push (cos (pop ()));
+        incr pc
+    | Dup ->
+        let v = pop () in
+        push v;
+        push v;
+        incr pc
+    | Pop ->
+        ignore (pop ());
+        incr pc
+    | Load_idx ->
+        let i = slot (int_of_float (pop ())) in
+        push slots.(i);
+        incr pc
+    | Store_idx ->
+        let i = slot (int_of_float (pop ())) in
+        slots.(i) <- pop ();
+        incr pc
+    | Jnz target ->
+        let v = pop () in
+        if v <> 0.0 then pc := target else incr pc
+    | Jmp target -> pc := target
+    | Halt -> running := false);
+    ()
+  done;
+  flush ();
+  match !stack with [] -> 0.0 | top :: _ -> top
+
+let max_local program =
+  Array.fold_left
+    (fun acc i ->
+      match i with Load j | Store j -> max acc (j + 1) | _ -> acc)
+    64 program
+
+let executed_count program =
+  (* Execute symbolically by counting: for the shapes we generate (single
+     back-edge loops), a direct interpretation with a no-cost API would do;
+     instead derive from the loop structure. For arbitrary programs, run
+     once and count. *)
+  let count = ref 0 in
+  let stack = ref [] in
+  (* Big enough for any locals the program names plus indexed access up to
+     the same bound; indexed programs are straight-line, so this matches
+     run's defaults when callers pass the documented locals count. *)
+  let slots = Array.make (max 4096 (max_local program)) 0.0 in
+  let pop () =
+    match !stack with
+    | [] -> raise (Runtime_error "stack underflow")
+    | x :: r ->
+        stack := r;
+        x
+  in
+  let push v = stack := v :: !stack in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    incr count;
+    (match program.(!pc) with
+    | Push v -> push v; incr pc
+    | Load i -> push slots.(i); incr pc
+    | Store i -> slots.(i) <- pop (); incr pc
+    | Add -> let b = pop () and a = pop () in push (a +. b); incr pc
+    | Sub -> let b = pop () and a = pop () in push (a -. b); incr pc
+    | Mul -> let b = pop () and a = pop () in push (a *. b); incr pc
+    | Div -> let b = pop () and a = pop () in push (a /. b); incr pc
+    | Sqrt -> push (sqrt (Float.abs (pop ()))); incr pc
+    | Sin -> push (sin (pop ())); incr pc
+    | Cos -> push (cos (pop ())); incr pc
+    | Dup -> let v = pop () in push v; push v; incr pc
+    | Pop -> ignore (pop ()); incr pc
+    | Load_idx ->
+        let i = int_of_float (pop ()) in
+        push slots.(i);
+        incr pc
+    | Store_idx ->
+        let i = int_of_float (pop ()) in
+        slots.(i) <- pop ();
+        incr pc
+    | Jnz t -> if pop () <> 0.0 then pc := t else incr pc
+    | Jmp t -> pc := t
+    | Halt -> running := false)
+  done;
+  !count
+
+let estimated_cycles program =
+  Int64.mul cycles_per_instr (Int64.of_int (executed_count program))
+
+(* Zygote runtime state: a module table whose granule i points to module
+   object i; each module object points to a constants block. All capability
+   links, so fork relocation is exercised on every hop. *)
+let zygote_got_slot = 1
+
+let zygote_init (api : Api.t) ~modules =
+  if modules <= 0 then invalid_arg "zygote_init";
+  let table = api.Api.malloc ((modules + 1) * 16) in
+  api.Api.write_u64 table ~off:0 (Int64.of_int modules);
+  for i = 1 to modules do
+    let m = api.Api.malloc 256 in
+    api.Api.write_u64 m ~off:0 (Int64.of_int i);
+    let consts = api.Api.malloc 512 in
+    api.Api.write_bytes consts ~off:0
+      (Bytes.make 512 (Char.chr (i land 0xff)));
+    api.Api.store_cap m ~off:16 consts;
+    api.Api.store_cap table ~off:(i * 16) m;
+    (* Import machinery: parsing + compiling the module. *)
+    api.Api.compute 120_000L
+  done;
+  api.Api.got_set zygote_got_slot table
+
+let zygote_check (api : Api.t) =
+  let table = api.Api.got_get zygote_got_slot in
+  let n = Int64.to_int (api.Api.read_u64 table ~off:0) in
+  for i = 1 to n do
+    let m = api.Api.load_cap table ~off:(i * 16) in
+    let id = Int64.to_int (api.Api.read_u64 m ~off:0) in
+    if id <> i then failwith "zygote_check: corrupted module table";
+    let consts = api.Api.load_cap m ~off:16 in
+    let b = api.Api.read_bytes consts ~off:0 ~len:1 in
+    if Char.code (Bytes.get b 0) <> i land 0xff then
+      failwith "zygote_check: corrupted constants"
+  done;
+  n
+
+let _ = Capability.tag

@@ -1,0 +1,148 @@
+module Api = Ufork_sas.Api
+
+let magic = "USDB0001"
+
+(* Fixed bookkeeping a BGSAVE performs besides moving bytes: dict-scan
+   setup, status logging, temp-file naming. Identical on every OS (it is
+   application compute). *)
+let bgsave_fixed_compute = 500_000L
+
+(* Serialization work per payload byte (format conversion + checksum). *)
+let serialize_cost len = Int64.of_int (len + (len / 2) + (len / 20))
+
+let chunk = 64 * 1024
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let save_to (api : Api.t) store ~path =
+  let tmp = path ^ ".tmp" in
+  let fd = api.Api.open_ tmp `Create in
+  let written = ref 0 in
+  let checksum = ref 0 in
+  let pending = Buffer.create (2 * chunk) in
+  let flush_pending ~all () =
+    while Buffer.length pending >= chunk || (all && Buffer.length pending > 0)
+    do
+      let n = min chunk (Buffer.length pending) in
+      let b = Bytes.of_string (Buffer.sub pending 0 n) in
+      let rest = Buffer.sub pending n (Buffer.length pending - n) in
+      Buffer.clear pending;
+      Buffer.add_string pending rest;
+      written := !written + api.Api.write fd b
+    done
+  in
+  let emit s =
+    String.iter (fun c -> checksum := (!checksum + Char.code c) land 0xffffffff) s;
+    Buffer.add_string pending s;
+    api.Api.compute (serialize_cost (String.length s));
+    flush_pending ~all:false ()
+  in
+  api.Api.compute bgsave_fixed_compute;
+  (* The rio output buffer: real Redis allocates it per save; on CheriBSD
+     this first allocation in the forked child is what re-dirties the
+     allocator arena (Fig. 5). *)
+  let iobuf = api.Api.malloc chunk in
+  Buffer.add_string pending magic;
+  written := !written; (* magic is not checksummed *)
+  let entries = ref 0 in
+  Kvstore.iter store (fun ~key ~value_len:_ ~read_value ->
+      incr entries;
+      let value = read_value () in
+      let hdr = Buffer.create 16 in
+      put_u32 hdr (String.length key);
+      put_u32 hdr (Bytes.length value);
+      emit (Buffer.contents hdr);
+      emit key;
+      emit (Bytes.to_string value));
+  let footer = Buffer.create 16 in
+  put_u32 footer 0xffffffff;
+  put_u32 footer !entries;
+  put_u32 footer !checksum;
+  emit (Buffer.contents footer);
+  flush_pending ~all:true ();
+  api.Api.close fd;
+  api.Api.rename ~src:tmp ~dst:path;
+  api.Api.free iobuf;
+  !written
+
+type bgsave_result = {
+  fork_latency_cycles : int64;
+  total_cycles : int64;
+  child_pid : int;
+  bytes_written : int;
+}
+
+let bgsave (api : Api.t) _store ~path =
+  let t0 = api.Api.now () in
+  let child_pid =
+    api.Api.fork (fun capi ->
+        let store' = Kvstore.open_ capi in
+        let n = save_to capi store' ~path in
+        capi.Api.exit (if n > 0 then 0 else 1))
+  in
+  let fork_latency_cycles = Int64.sub (api.Api.now ()) t0 in
+  let rec wait_for () =
+    let pid, _status = api.Api.wait () in
+    if pid = child_pid then () else wait_for ()
+  in
+  wait_for ();
+  let total_cycles = Int64.sub (api.Api.now ()) t0 in
+  let bytes_written = 0 in
+  { fork_latency_cycles; total_cycles; child_pid; bytes_written }
+
+(* Host-side parsing for verification. *)
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let verify contents =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let len = String.length contents in
+  if len < String.length magic + 12 then fail "rdb: truncated";
+  if String.sub contents 0 (String.length magic) <> magic then
+    fail "rdb: bad magic";
+  let pos = ref (String.length magic) in
+  let checksum = ref 0 in
+  let add s =
+    String.iter (fun c -> checksum := (!checksum + Char.code c) land 0xffffffff) s
+  in
+  let entries = ref [] in
+  let rec loop () =
+    if !pos + 4 > len then fail "rdb: truncated at %d" !pos;
+    let klen = get_u32 contents !pos in
+    if klen = 0xffffffff then begin
+      (* Footer: end marker, entry count, checksum of everything before. *)
+      if !pos + 12 > len then fail "rdb: truncated footer";
+      let n = get_u32 contents (!pos + 4) in
+      let sum = get_u32 contents (!pos + 8) in
+      if n <> List.length !entries then fail "rdb: entry count mismatch";
+      if sum <> !checksum then fail "rdb: bad checksum";
+      ()
+    end
+    else begin
+      if !pos + 8 > len then fail "rdb: truncated header";
+      let vlen = get_u32 contents (!pos + 4) in
+      add (String.sub contents !pos 8);
+      pos := !pos + 8;
+      if !pos + klen + vlen > len then fail "rdb: truncated entry";
+      let key = String.sub contents !pos klen in
+      add key;
+      pos := !pos + klen;
+      let value = String.sub contents !pos vlen in
+      add value;
+      pos := !pos + vlen;
+      entries := (key, Bytes.of_string value) :: !entries;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !entries
+
+let load_count contents = List.length (verify contents)

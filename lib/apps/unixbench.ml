@@ -1,0 +1,78 @@
+module Api = Ufork_sas.Api
+
+let spawn (api : Api.t) ~iterations =
+  if iterations <= 0 then invalid_arg "Unixbench.spawn";
+  let t0 = api.Api.now () in
+  for _ = 1 to iterations do
+    ignore (api.Api.fork (fun capi -> capi.Api.exit 0));
+    let _pid, status = api.Api.wait () in
+    if status <> 0 then failwith "spawn: child failed"
+  done;
+  Int64.sub (api.Api.now ()) t0
+
+type context1_result = {
+  total_cycles : int64;
+  iterations : int;
+  per_switch_cycles : float;
+}
+
+let u32_bytes v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  b
+
+let read_u32 (api : Api.t) fd =
+  let rec go acc need =
+    if need = 0 then acc
+    else
+      let b = api.Api.read fd need in
+      if Bytes.length b = 0 then failwith "context1: unexpected EOF"
+      else go (Bytes.cat acc b) (need - Bytes.length b)
+  in
+  let b = go Bytes.empty 4 in
+  Int32.to_int (Bytes.get_int32_le b 0)
+
+let context1 (api : Api.t) ~iterations =
+  if iterations <= 0 then invalid_arg "Unixbench.context1";
+  let p2c_r, p2c_w = api.Api.pipe () in
+  let c2p_r, c2p_w = api.Api.pipe () in
+  let t0 = api.Api.now () in
+  ignore
+    (api.Api.fork (fun capi ->
+         (* Child: read n, reply n+1, until the final value. *)
+         let rec loop () =
+           let n = read_u32 capi p2c_r in
+           ignore (capi.Api.write c2p_w (u32_bytes (n + 1)));
+           if n + 1 < (2 * iterations) - 1 then loop ()
+         in
+         loop ();
+         capi.Api.exit 0));
+  let check expected got =
+    if got <> expected then
+      failwith
+        (Printf.sprintf "context1: expected %d, got %d" expected got)
+  in
+  for i = 0 to iterations - 1 do
+    ignore (api.Api.write p2c_w (u32_bytes (2 * i)));
+    check ((2 * i) + 1) (read_u32 api c2p_r)
+  done;
+  let total = Int64.sub (api.Api.now ()) t0 in
+  ignore (api.Api.wait ());
+  {
+    total_cycles = total;
+    iterations;
+    per_switch_cycles = Int64.to_float total /. float_of_int iterations;
+  }
+
+let pipe_throughput (api : Api.t) ~iterations =
+  if iterations <= 0 then invalid_arg "Unixbench.pipe_throughput";
+  let rfd, wfd = api.Api.pipe () in
+  let payload = Bytes.make 512 'p' in
+  let t0 = api.Api.now () in
+  for _ = 1 to iterations do
+    ignore (api.Api.write wfd payload);
+    let b = api.Api.read rfd 512 in
+    if Bytes.length b <> 512 then failwith "pipe: short read"
+  done;
+  let dt = Int64.sub (api.Api.now ()) t0 in
+  float_of_int iterations /. Ufork_util.Units.s_of_cycles dt

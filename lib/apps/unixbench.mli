@@ -1,0 +1,29 @@
+(** Ports of the two Unixbench microbenchmarks of Fig. 9.
+
+    [spawn] (Unixbench "Spawn"): fork + exit + wait in a tight loop —
+    process-creation throughput.
+
+    [context1] (Unixbench "Context1"): two processes bounce an increasing
+    counter over a pair of pipes — context-switch + IPC cost. *)
+
+val spawn : Ufork_sas.Api.t -> iterations:int -> int64
+(** Total cycles to complete [iterations] fork/exit/wait rounds. *)
+
+type context1_result = {
+  total_cycles : int64;
+  iterations : int;
+  per_switch_cycles : float;
+      (** Cycles per full round trip (two context switches + four pipe
+          syscalls). *)
+}
+
+val context1 : Ufork_sas.Api.t -> iterations:int -> context1_result
+(** The parent forks the counter partner, then they alternate: parent
+    writes [n], child reads it, checks it, writes [n+1] back, parent
+    checks; until [iterations] is reached. Raises [Failure] if the
+    sequence is ever wrong (a real correctness check, not just timing). *)
+
+val pipe_throughput : Ufork_sas.Api.t -> iterations:int -> float
+(** Unixbench "Pipe" (not shown in the paper's Fig. 9, included for
+    completeness): a single process writes 512 bytes into a pipe and reads
+    them back per iteration. Returns loops per simulated second. *)

@@ -1,0 +1,163 @@
+module Capability = Ufork_cheri.Capability
+module Addr = Ufork_mem.Addr
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Vas = Ufork_mem.Vas
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Meter = Ufork_sim.Meter
+module Kernel = Ufork_sas.Kernel
+module Uproc = Ufork_sas.Uproc
+module Config = Ufork_sas.Config
+module Fdesc = Ufork_sas.Fdesc
+module Tinyalloc = Ufork_sas.Tinyalloc
+module Copy_engine = Ufork_core.Copy_engine
+module Fork = Ufork_core.Fork
+
+type t = { kernel : Kernel.t; engine : Engine.t }
+
+let stack_touch_vpns (u : Uproc.t) n =
+  let r = u.Uproc.regions in
+  let vpn0 = Addr.vpn_of_addr r.Uproc.stack_base in
+  let pages = Addr.bytes_to_pages r.Uproc.stack_bytes in
+  List.init (min n pages) (fun i -> vpn0 + pages - 1 - i)
+
+let do_fork k (parent : Uproc.t) child_main =
+  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let config = Kernel.config k in
+  let t0 = Engine.now (Kernel.engine k) in
+  Meter.incr meter "fork";
+  Kernel.charge k costs.Costs.fork_fixed;
+  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
+  let child =
+    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
+  in
+  child.Uproc.forked <- true;
+  (* Same virtual layout in a fresh address space: copy the vm_map, share
+     every resident frame copy-on-write, and leave the child's pmap empty
+     (read=false: each first touch takes a soft fault). *)
+  Page_table.fold parent.Uproc.pt ~init:()
+    ~f:(fun vpn (ppte : Pte.t) () ->
+      if
+        Addr.addr_of_vpn vpn >= parent.Uproc.area_base
+        && Addr.addr_of_vpn vpn < parent.Uproc.area_base + parent.Uproc.area_bytes
+      then begin
+        Meter.incr meter "pte_copy";
+        Kernel.charge k costs.Costs.pte_copy;
+        if ppte.Pte.share = Pte.Shm_shared then
+          (* MAP_SHARED segments keep pointing at the same frames. *)
+          Page_table.map_shared child.Uproc.pt ~vpn
+            (Pte.make ~read:true ~write:ppte.Pte.write ~exec:false
+               ~share:Pte.Shm_shared ppte.Pte.frame)
+        else begin
+          if ppte.Pte.write then begin
+            ppte.Pte.write <- false;
+            ppte.Pte.share <- Pte.Cow_shared
+          end;
+          Page_table.map_shared child.Uproc.pt ~vpn
+            (Pte.make ~read:false ~write:false ~exec:false
+               ~share:Pte.Cow_shared ppte.Pte.frame)
+        end
+      end);
+  child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta:0;
+  (* Parent immediately re-dirties its stack working set (CoW copies). *)
+  Kernel.touch_pages_for_write k parent
+    (stack_touch_vpns parent config.Config.parent_touch_pages);
+  Kernel.charge k costs.Costs.thread_create;
+  let child_body api =
+    Kernel.touch_pages_for_write k child
+      (stack_touch_vpns child config.Config.child_touch_pages);
+    child_main api
+  in
+  Kernel.spawn_process k child child_body;
+  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
+  Meter.set meter "gauge.last_fork_latency" (Int64.to_int dt);
+  child.Uproc.pid
+
+let handle_fault k (u : Uproc.t) ~addr ~access =
+  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let vpn = Addr.vpn_of_addr addr in
+  match Page_table.lookup u.Uproc.pt ~vpn with
+  | None -> (
+      match Uproc.region_of_addr u addr with
+      | Some ("heap" | "meta") ->
+          Meter.incr meter "demand_zero";
+          Kernel.charge k costs.Costs.page_fault;
+          Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
+            ~bytes:Addr.page_size ()
+      | Some r ->
+          raise
+            (Fork.Segfault
+               (Printf.sprintf "pid %d: %#x (%s) not mapped" u.Uproc.pid addr r))
+      | None ->
+          raise
+            (Fork.Segfault
+               (Printf.sprintf "pid %d: %#x outside process image" u.Uproc.pid
+                  addr)))
+  | Some pte -> (
+      let first_touch = not pte.Pte.read in
+      match access with
+      | Vas.Read | Vas.Cap_load | Vas.Exec ->
+          if first_touch then begin
+            (* pmap miss on a resident page: map it in, still CoW. *)
+            Meter.incr meter "soft_fault";
+            Kernel.charge k costs.Costs.soft_fault;
+            pte.Pte.read <- true;
+            if Uproc.region_of_addr u addr = Some "code" then
+              pte.Pte.exec <- true
+          end
+          else
+            raise
+              (Fork.Segfault
+                 (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
+                    Vas.pp_access access addr))
+      | Vas.Write | Vas.Cap_store -> (
+          if first_touch then begin
+            Meter.incr meter "soft_fault";
+            Kernel.charge k costs.Costs.soft_fault;
+            pte.Pte.read <- true
+          end;
+          match pte.Pte.share with
+          | Pte.Cow_shared ->
+              Meter.incr meter "cow_write_fault";
+              Kernel.charge k costs.Costs.page_fault;
+              Copy_engine.resolve_parent_cow k u ~vpn
+          | Pte.Private ->
+              if pte.Pte.write then () (* resolved by the soft fault above *)
+              else
+                raise
+                  (Fork.Segfault
+                     (Printf.sprintf "pid %d: write to read-only %#x"
+                        u.Uproc.pid addr))
+          | Pte.Shm_shared ->
+              (* Shared segments are write-through; nothing to resolve. *)
+              ()
+          | Pte.Coa_shared | Pte.Copa_shared ->
+              (* Never installed by this kernel. *)
+              assert false))
+
+let boot ?(cores = 4) ?(config = Config.cheribsd_default)
+    ?(costs = Costs.cheribsd) () =
+  let engine = Engine.create ~cores () in
+  let kernel =
+    Kernel.create ~engine ~costs ~config ~multi_address_space:true ()
+  in
+  Kernel.set_fork_hook kernel (fun parent child_main ->
+      do_fork kernel parent child_main);
+  Kernel.set_fault_hook kernel (fun u ~addr ~access ->
+      handle_fault kernel u ~addr ~access);
+  { kernel; engine }
+
+let kernel t = t.kernel
+let engine t = t.engine
+
+let start t ?affinity ~image main =
+  let u = Kernel.create_uproc t.kernel ~image () in
+  Kernel.map_initial_image t.kernel u;
+  Kernel.spawn_process t.kernel ?affinity u main;
+  u
+
+let run ?until t = Engine.run ?until t.engine
+
+let last_fork_latency t =
+  Int64.of_int (Meter.get (Kernel.meter t.kernel) "gauge.last_fork_latency")

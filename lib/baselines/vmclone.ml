@@ -1,0 +1,111 @@
+module Addr = Ufork_mem.Addr
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Vas = Ufork_mem.Vas
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Meter = Ufork_sim.Meter
+module Kernel = Ufork_sas.Kernel
+module Uproc = Ufork_sas.Uproc
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+module Fdesc = Ufork_sas.Fdesc
+module Tinyalloc = Ufork_sas.Tinyalloc
+module Fork = Ufork_core.Fork
+
+type t = { kernel : Kernel.t; engine : Engine.t }
+
+(* The Unikraft kernel linked into every VM image: ~1.2 MiB text+rodata and
+   ~0.2 MiB data, duplicated wholesale by a domain clone. *)
+let unikernel_image (img : Image.t) =
+  {
+    img with
+    Image.name = img.Image.name ^ "+unikraft";
+    code_bytes = img.Image.code_bytes + (1228 * 1024);
+    data_bytes = img.Image.data_bytes + (200 * 1024);
+  }
+
+let do_fork k (parent : Uproc.t) child_main =
+  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let t0 = Engine.now (Kernel.engine k) in
+  Meter.incr meter "fork";
+  Meter.incr meter "domain_create";
+  (* Creating the new domain dominates: hypercalls, event channels, grant
+     tables, device re-attachment. *)
+  Kernel.charge k costs.Costs.domain_create;
+  Kernel.charge k costs.Costs.fork_fixed;
+  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
+  let child =
+    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
+  in
+  child.Uproc.forked <- true;
+  (* The entire VM image — unikernel included — is copied eagerly. *)
+  Page_table.fold parent.Uproc.pt ~init:() ~f:(fun vpn (ppte : Pte.t) () ->
+      Meter.incr meter "pte_copy";
+      Kernel.charge k costs.Costs.pte_copy;
+      let fresh = Kernel.fresh_frame k child in
+      Kernel.charge k costs.Costs.page_copy;
+      let src = Ufork_mem.Phys.page ppte.Pte.frame in
+      let dst = Ufork_mem.Phys.page fresh in
+      Ufork_mem.Page.write_bytes dst ~off:0
+        (Ufork_mem.Page.read_bytes src ~off:0 ~len:Addr.page_size);
+      Ufork_mem.Page.iter_caps src (fun g cap ->
+          Ufork_mem.Page.store_cap dst ~off:(g * Addr.granule_size) cap);
+      Page_table.map child.Uproc.pt ~vpn
+        (Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write ~exec:ppte.Pte.exec
+           fresh));
+  child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta:0;
+  Kernel.charge k costs.Costs.thread_create;
+  Kernel.spawn_process k child child_main;
+  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
+  Meter.set meter "gauge.last_fork_latency" (Int64.to_int dt);
+  child.Uproc.pid
+
+let handle_fault k (u : Uproc.t) ~addr ~access =
+  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let vpn = Addr.vpn_of_addr addr in
+  match Page_table.lookup u.Uproc.pt ~vpn with
+  | None -> (
+      match Uproc.region_of_addr u addr with
+      | Some ("heap" | "meta") ->
+          Meter.incr meter "demand_zero";
+          Kernel.charge k costs.Costs.page_fault;
+          Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
+            ~bytes:Addr.page_size ()
+      | Some _ | None ->
+          raise
+            (Fork.Segfault
+               (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
+                  Vas.pp_access access addr)))
+  | Some _ ->
+      raise
+        (Fork.Segfault
+           (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
+              Vas.pp_access access addr))
+
+let boot ?(cores = 4) ?(config = Config.nephele_default)
+    ?(costs = Costs.nephele) () =
+  let engine = Engine.create ~cores () in
+  let kernel =
+    Kernel.create ~engine ~costs ~config ~multi_address_space:true ()
+  in
+  Kernel.set_fork_hook kernel (fun parent child_main ->
+      do_fork kernel parent child_main);
+  Kernel.set_fault_hook kernel (fun u ~addr ~access ->
+      handle_fault kernel u ~addr ~access);
+  { kernel; engine }
+
+let kernel t = t.kernel
+let engine t = t.engine
+
+let start t ?affinity ~image main =
+  let image = unikernel_image image in
+  let u = Kernel.create_uproc t.kernel ~image () in
+  Kernel.map_initial_image t.kernel u;
+  Kernel.spawn_process t.kernel ?affinity u main;
+  u
+
+let run ?until t = Engine.run ?until t.engine
+
+let last_fork_latency t =
+  Int64.of_int (Meter.get (Kernel.meter t.kernel) "gauge.last_fork_latency")

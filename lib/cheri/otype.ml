@@ -1,0 +1,19 @@
+type t = int
+
+let unsealed = -1
+let syscall_entry = 1
+
+let counter = ref 1
+let fresh () =
+  incr counter;
+  !counter
+
+let equal (a : t) b = a = b
+let is_sealed t = t <> unsealed
+
+let pp ppf t =
+  if t = unsealed then Format.pp_print_string ppf "unsealed"
+  else if t = syscall_entry then Format.pp_print_string ppf "syscall-entry"
+  else Format.fprintf ppf "otype:%d" t
+
+let to_int t = t

@@ -1,0 +1,44 @@
+type t = int
+
+let empty = 0
+let load = 1
+let store = 2
+let execute = 4
+let load_cap = 8
+let store_cap = 16
+let system = 32
+let seal = 64
+let unseal = 128
+let global = 256
+let mask = 511
+let all = mask
+
+let union a b = a lor b
+let intersect a b = a land b
+let remove a b = a land lnot b land mask
+let has p q = p land q = q
+let is_subset ~sub ~super = sub land super = sub
+let equal (a : t) b = a = b
+
+let user_data = load lor store lor load_cap lor store_cap lor global
+let user_code = load lor execute lor global
+
+let names =
+  [
+    (load, "ld");
+    (store, "st");
+    (execute, "x");
+    (load_cap, "ldc");
+    (store_cap, "stc");
+    (system, "sys");
+    (seal, "sl");
+    (unseal, "us");
+    (global, "g");
+  ]
+
+let pp ppf t =
+  let present = List.filter_map (fun (b, n) -> if has t b then Some n else None) names in
+  Format.fprintf ppf "[%s]" (String.concat " " present)
+
+let to_int t = t
+let of_int i = i land mask

@@ -1,0 +1,64 @@
+(** Page copying and fault resolution for μFork.
+
+    Implements the three-step copy of §4.2 ("the child page table entry is
+    changed to point to a free physical page ... the page is copied ...
+    the copied page is scanned in 16-byte increments") plus the in-place
+    claim optimization when the shared frame's refcount has already dropped
+    to one, and the demand-zero path for the lazily-materialized heap. *)
+
+module Capability = Ufork_cheri.Capability
+
+val owner_area : Ufork_sas.Kernel.t -> int -> (int * int) option
+(** Locate the (base, bytes) μprocess area containing an address, across
+    live and zombie processes. *)
+
+val resolve_child_copy :
+  Ufork_sas.Kernel.t -> Ufork_sas.Uproc.t -> vpn:int -> unit
+(** Give the child a private, relocated copy of the shared page mapped at
+    [vpn] in its area: allocate + copy + scan + relocate (or claim the
+    frame in place when it is no longer shared), then restore the region's
+    natural permissions. Charges every event. *)
+
+val resolve_parent_cow :
+  Ufork_sas.Kernel.t -> Ufork_sas.Uproc.t -> vpn:int -> unit
+(** Classic CoW write resolution for the parent side: private copy, no
+    relocation (its capabilities already target its own area). *)
+
+val share_to_child :
+  Ufork_sas.Kernel.t ->
+  parent:Ufork_sas.Uproc.t ->
+  child:Ufork_sas.Uproc.t ->
+  strategy:Strategy.t ->
+  parent_vpn:int ->
+  unit
+(** Map the child's page at [parent_vpn + delta] onto the parent's frame
+    with the strategy's permissions, and downgrade the parent's entry to
+    copy-on-write. Charges one PTE copy (+ protect). *)
+
+val copy_to_child :
+  Ufork_sas.Kernel.t ->
+  parent:Ufork_sas.Uproc.t ->
+  child:Ufork_sas.Uproc.t ->
+  parent_vpn:int ->
+  unit
+(** Eager copy + relocate of one parent page into the child (used for the
+    proactive GOT/allocator-metadata copies and by the full-copy
+    strategy). *)
+
+val share_shm_to_child :
+  Ufork_sas.Kernel.t ->
+  parent:Ufork_sas.Uproc.t ->
+  child:Ufork_sas.Uproc.t ->
+  parent_vpn:int ->
+  unit
+(** Map a deliberately shared page (§3.7) into the child at the same area
+    offset, pointing at the same frame: fork never copies shm. *)
+
+val touch_write : Ufork_sas.Kernel.t -> Ufork_sas.Uproc.t -> vpn:int -> unit
+(** Simulate a user write to a page: resolves any pending share exactly as
+    a write fault would (used to model post-fork working-set writes and
+    the monolithic allocator's arena re-dirtying). *)
+
+val natural_perms :
+  Ufork_sas.Uproc.t -> addr:int -> read:bool ref -> write:bool ref -> exec:bool ref -> unit
+(** The region's base permissions (code r-x, everything else rw-). *)

@@ -1,0 +1,227 @@
+module Capability = Ufork_cheri.Capability
+module Addr = Ufork_mem.Addr
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Vas = Ufork_mem.Vas
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Meter = Ufork_sim.Meter
+module Kernel = Ufork_sas.Kernel
+module Uproc = Ufork_sas.Uproc
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+module Fdesc = Ufork_sas.Fdesc
+module Tinyalloc = Ufork_sas.Tinyalloc
+
+exception Segfault of string
+
+let last_fork_latency k =
+  Int64.of_int (Meter.get (Kernel.meter k) "gauge.last_fork_latency")
+
+(* Approximate size of the capability register file relocated at fork
+   (§3.5 step 2: "any absolute memory references contained in registers are
+   relocated"). *)
+let register_file_caps = 31
+
+let region_vpns base bytes = (Addr.vpn_of_addr base, Addr.bytes_to_pages bytes)
+
+(* Iterate the parent's mapped pages region by region, in deterministic
+   ascending order, applying [f parent_vpn pte region]. *)
+let iter_mapped_pages (u : Uproc.t) f =
+  let r = u.Uproc.regions in
+  let regions =
+    [
+      ("got", r.Uproc.got_base, r.Uproc.got_bytes);
+      ("code", r.Uproc.code_base, r.Uproc.code_bytes);
+      ("data", r.Uproc.data_base, r.Uproc.data_bytes);
+      ("stack", r.Uproc.stack_base, r.Uproc.stack_bytes);
+      ("meta", r.Uproc.meta_base, r.Uproc.meta_bytes);
+      ("heap", r.Uproc.heap_base, r.Uproc.heap_bytes);
+    ]
+  in
+  List.iter
+    (fun (name, base, bytes) ->
+      let vpn, count = region_vpns base bytes in
+      Page_table.iter_range u.Uproc.pt ~vpn ~count (fun v pte ->
+          f v pte name))
+    regions
+
+(* The write working set a μprocess touches immediately around the fork:
+   its top-of-stack pages. *)
+let stack_touch_vpns (u : Uproc.t) n =
+  let r = u.Uproc.regions in
+  let vpn0 = Addr.vpn_of_addr r.Uproc.stack_base in
+  let pages = Addr.bytes_to_pages r.Uproc.stack_bytes in
+  List.init (min n pages) (fun i -> vpn0 + pages - 1 - i)
+
+(* Read working set for CoA's in-call parent faults: globals. *)
+let data_touch_vpns (u : Uproc.t) n =
+  let r = u.Uproc.regions in
+  let vpn0 = Addr.vpn_of_addr r.Uproc.data_base in
+  let pages = Addr.bytes_to_pages r.Uproc.data_bytes in
+  List.init (min n pages) (fun i -> vpn0 + i)
+
+let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
+  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let config = Kernel.config k in
+  let t0 = Engine.now (Kernel.engine k) in
+  Meter.incr meter "fork";
+  Kernel.charge k costs.Costs.fork_fixed;
+  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
+  let child =
+    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
+  in
+  child.Uproc.forked <- true;
+  let delta = Uproc.delta ~parent ~child in
+  let delta_pages = delta / Addr.page_size in
+  (* 1. Parent state duplication: walk the parent's mapped pages. GOT and
+     used allocator metadata are proactively copied + relocated; everything
+     else follows the strategy. *)
+  let meta_used_bytes =
+    Tinyalloc.high_water_meta_granules parent.Uproc.allocator
+    * Addr.granule_size
+  in
+  let meta_used_limit = parent.Uproc.regions.Uproc.meta_base + meta_used_bytes in
+  let pte_before = Meter.get meter "pte_copy" in
+  iter_mapped_pages parent (fun pvpn pte region ->
+      let eager =
+        proactive
+        &&
+        match region with
+        | "got" -> true
+        | "meta" -> Addr.addr_of_vpn pvpn < meta_used_limit
+        | _ -> false
+      in
+      if pte.Pte.share = Pte.Shm_shared then
+        (* Deliberate shared memory stays shared across fork (§3.7). *)
+        Copy_engine.share_shm_to_child k ~parent ~child ~parent_vpn:pvpn
+      else if eager then
+        Copy_engine.copy_to_child k ~parent ~child ~parent_vpn:pvpn
+      else
+        match strategy with
+        | Strategy.Full_copy ->
+            Copy_engine.copy_to_child k ~parent ~child ~parent_vpn:pvpn
+        | Strategy.Coa | Strategy.Copa ->
+            Copy_engine.share_to_child k ~parent ~child ~strategy
+              ~parent_vpn:pvpn);
+  (* Under the full-copy strategy the entire static heap reservation is
+     transferred, materializing even never-touched pages (§5.2: "the
+     memory transferred by a full copy is correspondingly large"). *)
+  (match strategy with
+  | Strategy.Full_copy ->
+      let r = child.Uproc.regions in
+      let vpn0 = Addr.vpn_of_addr r.Uproc.heap_base in
+      let pages = Addr.bytes_to_pages r.Uproc.heap_bytes in
+      for v = vpn0 to vpn0 + pages - 1 do
+        if not (Page_table.is_mapped child.Uproc.pt ~vpn:v) then begin
+          (* Also materialize the parent side: the static heap exists in
+             full in a statically-allocated-heap build. *)
+          let pv = v - delta_pages in
+          if not (Page_table.is_mapped parent.Uproc.pt ~vpn:pv) then
+            Kernel.map_zero_pages k parent ~base:(Addr.addr_of_vpn pv)
+              ~bytes:Addr.page_size ();
+          Copy_engine.copy_to_child k ~parent ~child ~parent_vpn:pv
+        end
+      done
+  | Strategy.Coa | Strategy.Copa -> ());
+  (* TOCTTOU hardening revalidates the duplicated mappings against the
+     (copied) fork arguments, adding per-entry work (§5.1: "The cost of
+     TOCTTOU protection is relatively minor (2.6% at 100 MB)"). *)
+  if config.Config.toctou then begin
+    let ptes = Meter.get meter "pte_copy" - pte_before in
+    Kernel.charge k (Int64.of_int (ptes / 2))
+  end;
+  (* Clone the allocator mirror — the bookkeeping twin of the metadata
+     copy above. *)
+  child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta;
+  (* 2. Post-copy phase: relocate the register file. *)
+  Meter.add meter "caps_relocated" register_file_caps;
+  Kernel.charge k
+    (Int64.mul costs.Costs.cap_relocate (Int64.of_int register_file_caps));
+  (* The parent's return path re-touches its working set at once. Writes
+     fault under every lazy strategy; under CoA even the reads of globals
+     fault, which is why CoA fork latency is slightly worse (§5.2). *)
+  List.iter
+    (fun vpn -> Copy_engine.touch_write k parent ~vpn)
+    (stack_touch_vpns parent config.Config.parent_touch_pages);
+  (match strategy with
+  | Strategy.Coa ->
+      (* CoA makes even the parent's reads fault: globals and the hot end
+         of the heap re-fault on the return path. *)
+      List.iter
+        (fun vpn -> Copy_engine.touch_write k parent ~vpn)
+        (data_touch_vpns parent (4 * config.Config.parent_touch_pages))
+  | Strategy.Copa | Strategy.Full_copy -> ());
+  Kernel.charge k costs.Costs.thread_create;
+  (* The child's capability registers are displaced copies of the
+     parent's. *)
+  let reloc cap =
+    Relocate.relocate_cap
+      ~owner_area:(Copy_engine.owner_area k)
+      ~child_base:child.Uproc.area_base ~child_bytes:child.Uproc.area_bytes
+      cap
+  in
+  let child_body api =
+    (* The child starts by writing its own stack frames. *)
+    List.iter
+      (fun vpn -> Copy_engine.touch_write k child ~vpn)
+      (stack_touch_vpns child config.Config.child_touch_pages);
+    child_main api
+  in
+  Kernel.spawn_process k ~reloc child child_body;
+  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
+  Meter.set meter "gauge.last_fork_latency" (Int64.to_int dt);
+  child.Uproc.pid
+
+(* Fault resolution: CoW/CoA/CoPA plus demand-zero heap. *)
+let handle_fault k (u : Uproc.t) ~addr ~access =
+  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let vpn = Addr.vpn_of_addr addr in
+  match Page_table.lookup u.Uproc.pt ~vpn with
+  | None -> (
+      (* Demand-zero materialization inside the heap/metadata regions. *)
+      match Uproc.region_of_addr u addr with
+      | Some ("heap" | "meta") ->
+          Meter.incr meter "demand_zero";
+          Kernel.charge k costs.Costs.page_fault;
+          Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
+            ~bytes:Addr.page_size ()
+      | Some r ->
+          raise
+            (Segfault
+               (Printf.sprintf "pid %d: %#x (%s) not mapped" u.Uproc.pid addr r))
+      | None ->
+          raise
+            (Segfault
+               (Printf.sprintf "pid %d: %#x outside μprocess area" u.Uproc.pid
+                  addr)))
+  | Some pte -> (
+      Meter.incr meter "fault";
+      Kernel.charge k costs.Costs.page_fault;
+      match (pte.Pte.share, access) with
+      | Pte.Copa_shared, (Vas.Write | Vas.Cap_store | Vas.Cap_load) ->
+          Meter.incr meter
+            (match access with
+            | Vas.Cap_load -> "copa_cap_load_fault"
+            | _ -> "copa_write_fault");
+          Copy_engine.resolve_child_copy k u ~vpn
+      | Pte.Coa_shared, _ ->
+          Meter.incr meter "coa_access_fault";
+          Copy_engine.resolve_child_copy k u ~vpn
+      | Pte.Cow_shared, (Vas.Write | Vas.Cap_store) ->
+          Meter.incr meter "cow_write_fault";
+          Copy_engine.resolve_parent_cow k u ~vpn
+      | (Pte.Private | Pte.Cow_shared | Pte.Copa_shared | Pte.Shm_shared), _
+        ->
+          raise
+            (Segfault
+               (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
+                  Vas.pp_access access addr)))
+
+let install ?(proactive = true) k ~strategy =
+  if Kernel.multi_address_space k then
+    invalid_arg "Fork.install: μFork requires a single address space";
+  Kernel.set_fork_hook k (fun parent child_main ->
+      do_fork k ~strategy ~proactive parent child_main);
+  Kernel.set_fault_hook k (fun u ~addr ~access ->
+      handle_fault k u ~addr ~access)

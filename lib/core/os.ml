@@ -1,0 +1,31 @@
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Kernel = Ufork_sas.Kernel
+module Config = Ufork_sas.Config
+
+type t = {
+  kernel : Kernel.t;
+  engine : Engine.t;
+  strategy : Strategy.t;
+}
+
+let boot ?(cores = 4) ?(config = Config.ufork_fast) ?(costs = Costs.ufork)
+    ?(strategy = Strategy.Copa) ?(proactive = true) () =
+  let engine = Engine.create ~cores () in
+  let kernel =
+    Kernel.create ~engine ~costs ~config ~multi_address_space:false ()
+  in
+  Fork.install ~proactive kernel ~strategy;
+  { kernel; engine; strategy }
+
+let kernel t = t.kernel
+let engine t = t.engine
+let strategy t = t.strategy
+
+let start t ?affinity ~image main =
+  let u = Kernel.create_uproc t.kernel ~image () in
+  Kernel.map_initial_image t.kernel u;
+  Kernel.spawn_process t.kernel ?affinity u main;
+  u
+
+let run ?until t = Engine.run ?until t.engine

@@ -1,0 +1,34 @@
+(** Capability relocation: the tag-scan rewrite of §4.2.
+
+    When μFork copies a page for a child, the copy is scanned in 16-byte
+    increments for valid capability tags. Every tagged capability whose
+    target lies outside the child's dedicated area is rebased to the
+    corresponding location inside the child's area (areas of a forked pair
+    have identical internal layout, so the rebase is a fixed displacement
+    from the capability's source area). *)
+
+type outcome = {
+  granules_scanned : int;  (** Always 256 per page. *)
+  relocated : int;  (** Tagged capabilities rewritten. *)
+}
+
+val relocate_cap :
+  owner_area:(int -> (int * int) option) ->
+  child_base:int ->
+  child_bytes:int ->
+  Ufork_cheri.Capability.t ->
+  Ufork_cheri.Capability.t
+(** [relocate_cap ~owner_area ~child_base ~child_bytes cap] returns [cap]
+    unchanged when it already targets the child area; otherwise rebases it
+    by [(child_base - source_base)], where [owner_area cursor] locates the
+    source μprocess area containing the capability's cursor. Capabilities
+    whose owner cannot be determined (e.g. dangling) get their tag cleared
+    — they must not leak a foreign authority into the child (§4.3). *)
+
+val relocate_page :
+  owner_area:(int -> (int * int) option) ->
+  child_base:int ->
+  child_bytes:int ->
+  Ufork_mem.Page.t ->
+  outcome
+(** Scan and rewrite a page in place. *)

@@ -1,0 +1,9 @@
+type t = Full_copy | Coa | Copa
+
+let to_string = function
+  | Full_copy -> "full-copy"
+  | Coa -> "CoA"
+  | Copa -> "CoPA"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let all = [ Full_copy; Coa; Copa ]

@@ -1,0 +1,56 @@
+type t = { phys : Phys.t; entries : (int, Pte.t) Hashtbl.t }
+
+let create phys = { phys; entries = Hashtbl.create 1024 }
+let phys t = t.phys
+
+let map t ~vpn pte =
+  if Hashtbl.mem t.entries vpn then
+    invalid_arg (Printf.sprintf "Page_table.map: vpn %#x already mapped" vpn);
+  Hashtbl.replace t.entries vpn pte
+
+let map_shared t ~vpn pte =
+  Phys.retain t.phys pte.Pte.frame;
+  map t ~vpn pte
+
+let unmap t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | None ->
+      invalid_arg (Printf.sprintf "Page_table.unmap: vpn %#x not mapped" vpn)
+  | Some pte ->
+      Phys.release t.phys pte.Pte.frame;
+      Hashtbl.remove t.entries vpn
+
+let unmap_range t ~vpn ~count =
+  for v = vpn to vpn + count - 1 do
+    if Hashtbl.mem t.entries v then unmap t ~vpn:v
+  done
+
+let lookup t ~vpn = Hashtbl.find_opt t.entries vpn
+let lookup_exn t ~vpn =
+  match lookup t ~vpn with Some p -> p | None -> raise Not_found
+
+let is_mapped t ~vpn = Hashtbl.mem t.entries vpn
+
+let replace_frame t ~vpn frame =
+  match Hashtbl.find_opt t.entries vpn with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Page_table.replace_frame: vpn %#x not mapped" vpn)
+  | Some pte ->
+      Phys.release t.phys pte.Pte.frame;
+      pte.Pte.frame <- frame
+
+let iter_range t ~vpn ~count f =
+  for v = vpn to vpn + count - 1 do
+    match Hashtbl.find_opt t.entries v with
+    | Some pte -> f v pte
+    | None -> ()
+  done
+
+let mapped_count t = Hashtbl.length t.entries
+
+let fold t ~init ~f =
+  (* Deterministic order keeps traces and tests stable. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] in
+  let keys = List.sort compare keys in
+  List.fold_left (fun acc k -> f k (Hashtbl.find t.entries k) acc) init keys

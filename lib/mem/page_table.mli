@@ -1,0 +1,45 @@
+(** A page table: virtual page number → {!Pte.t}.
+
+    In the single-address-space OS there is one page table for the whole
+    machine; the monolithic baseline creates one per process; the VM-clone
+    baseline one per VM. The table owns frame refcounts: mapping retains,
+    unmapping releases. *)
+
+type t
+
+val create : Phys.t -> t
+val phys : t -> Phys.t
+
+val map : t -> vpn:int -> Pte.t -> unit
+(** Install an entry. The caller must have arranged the frame's refcount
+    (a fresh [Phys.alloc] frame is ready to map once; use {!map_shared} to
+    alias an existing frame). Raises [Invalid_argument] if [vpn] is
+    already mapped. *)
+
+val map_shared : t -> vpn:int -> Pte.t -> unit
+(** Like {!map} but retains the frame first (the entry aliases a frame
+    already mapped elsewhere). *)
+
+val unmap : t -> vpn:int -> unit
+(** Remove the entry and release its frame. Raises [Invalid_argument] if
+    unmapped. *)
+
+val unmap_range : t -> vpn:int -> count:int -> unit
+(** Unmap every mapped page in [vpn, vpn+count); silently skips holes. *)
+
+val lookup : t -> vpn:int -> Pte.t option
+val lookup_exn : t -> vpn:int -> Pte.t
+(** Raises [Not_found] if unmapped. *)
+
+val is_mapped : t -> vpn:int -> bool
+
+val replace_frame : t -> vpn:int -> Phys.frame -> unit
+(** Point the entry at a new frame, releasing the old one. The new frame
+    must already carry a refcount for this mapping (e.g. fresh from
+    [Phys.alloc]). This is the page-copy commit step of CoW/CoA/CoPA. *)
+
+val iter_range : t -> vpn:int -> count:int -> (int -> Pte.t -> unit) -> unit
+(** Apply to each mapped page in the range, ascending vpn. *)
+
+val mapped_count : t -> int
+val fold : t -> init:'a -> f:(int -> Pte.t -> 'a -> 'a) -> 'a

@@ -1,0 +1,41 @@
+type frame = { fid : int; mutable refcount : int; page : Page.t }
+
+type t = {
+  limit_frames : int option;
+  mutable in_use : int;
+  mutable peak : int;
+  mutable total : int;
+  mutable next_id : int;
+}
+
+exception Out_of_memory
+
+let create ?limit_frames () =
+  { limit_frames; in_use = 0; peak = 0; total = 0; next_id = 0 }
+
+let alloc t =
+  (match t.limit_frames with
+  | Some l when t.in_use >= l -> raise Out_of_memory
+  | Some _ | None -> ());
+  t.in_use <- t.in_use + 1;
+  t.total <- t.total + 1;
+  if t.in_use > t.peak then t.peak <- t.in_use;
+  t.next_id <- t.next_id + 1;
+  { fid = t.next_id; refcount = 1; page = Page.create () }
+
+let retain _t f =
+  if f.refcount <= 0 then invalid_arg "Phys.retain: frame is free";
+  f.refcount <- f.refcount + 1
+
+let release t f =
+  if f.refcount <= 0 then invalid_arg "Phys.release: frame is free";
+  f.refcount <- f.refcount - 1;
+  if f.refcount = 0 then t.in_use <- t.in_use - 1
+
+let refcount f = f.refcount
+let page f = f.page
+let id f = f.fid
+let frames_in_use t = t.in_use
+let peak_frames t = t.peak
+let total_allocated t = t.total
+let reset_peak t = t.peak <- t.in_use

@@ -1,0 +1,40 @@
+(** Physical memory: a pool of reference-counted frames.
+
+    Frames are the unit of sharing between μprocesses (and between POSIX
+    processes on the monolithic baseline): copy-on-write and μFork's
+    CoA/CoPA all map several virtual pages to one frame and bump its
+    refcount. Accounting distinguishes total frames in use and the
+    high-water mark, which the memory-consumption figures report. *)
+
+type t
+type frame
+
+exception Out_of_memory
+
+val create : ?limit_frames:int -> unit -> t
+(** A fresh physical memory. [limit_frames] bounds the pool (default:
+    unlimited); exceeding it raises {!Out_of_memory}. *)
+
+val alloc : t -> frame
+(** A zeroed frame with refcount 1. *)
+
+val retain : t -> frame -> unit
+(** Increment the refcount (a new mapping shares the frame). *)
+
+val release : t -> frame -> unit
+(** Decrement the refcount; the frame returns to the pool at zero.
+    Raises [Invalid_argument] if already free. *)
+
+val refcount : frame -> int
+val page : frame -> Page.t
+(** The frame's backing page. *)
+
+val id : frame -> int
+(** Stable identity, for tests and tracing. *)
+
+val frames_in_use : t -> int
+val peak_frames : t -> int
+val total_allocated : t -> int
+(** Cumulative number of [alloc] calls. *)
+
+val reset_peak : t -> unit

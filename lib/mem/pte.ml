@@ -1,0 +1,29 @@
+type share = Private | Cow_shared | Coa_shared | Copa_shared | Shm_shared
+
+type t = {
+  mutable frame : Phys.frame;
+  mutable read : bool;
+  mutable write : bool;
+  mutable exec : bool;
+  mutable cap_load_fault : bool;
+  mutable share : share;
+}
+
+let make ?(read = true) ?(write = true) ?(exec = false)
+    ?(cap_load_fault = false) ?(share = Private) frame =
+  { frame; read; write; exec; cap_load_fault; share }
+
+let pp_share ppf = function
+  | Private -> Format.pp_print_string ppf "private"
+  | Cow_shared -> Format.pp_print_string ppf "cow"
+  | Coa_shared -> Format.pp_print_string ppf "coa"
+  | Copa_shared -> Format.pp_print_string ppf "copa"
+  | Shm_shared -> Format.pp_print_string ppf "shm"
+
+let pp ppf t =
+  Format.fprintf ppf "pte{frame=%d %s%s%s%s %a}" (Phys.id t.frame)
+    (if t.read then "r" else "-")
+    (if t.write then "w" else "-")
+    (if t.exec then "x" else "-")
+    (if t.cap_load_fault then "L" else "-")
+    pp_share t.share

@@ -1,0 +1,45 @@
+type cap = Ufork_cheri.Capability.t
+
+exception Sys_error of string
+
+type open_mode = [ `Read | `Write | `Create | `Append ]
+
+type t = {
+  getpid : unit -> int;
+  fork : (t -> unit) -> int;
+  exit : int -> unit;
+  wait : unit -> int * int;
+  spawn : (t -> unit) -> int;
+  kill : int -> unit;
+  reloc : cap -> cap;
+  malloc : int -> cap;
+  free : cap -> unit;
+  read_bytes : cap -> off:int -> len:int -> bytes;
+  write_bytes : cap -> off:int -> bytes -> unit;
+  read_u64 : cap -> off:int -> int64;
+  write_u64 : cap -> off:int -> int64 -> unit;
+  load_cap : cap -> off:int -> cap;
+  store_cap : cap -> off:int -> cap -> unit;
+  got_set : int -> cap -> unit;
+  got_get : int -> cap;
+  compute : int64 -> unit;
+  now : unit -> int64;
+  open_ : string -> open_mode -> int;
+  close : int -> unit;
+  read : int -> int -> bytes;
+  pread : int -> off:int -> int -> bytes;
+  write : int -> bytes -> int;
+  rename : src:string -> dst:string -> unit;
+  unlink : string -> unit;
+  pipe : unit -> int * int;
+  shm_open : string -> int -> cap;
+  map_library : string -> int -> cap;
+  stats_private_bytes : unit -> int;
+  stats_heap_used : unit -> int;
+  yield : unit -> unit;
+  sleep : int64 -> unit;
+      (* Block for the given simulated time (network/device waits); the
+         core is released while sleeping. *)
+}
+
+exception Exited of int

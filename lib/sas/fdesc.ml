@@ -1,0 +1,62 @@
+type description =
+  | Vfs_file of Vfs.file
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+  | Null
+
+type entry = { desc : description; mutable refcount : int ref }
+
+module Fdtable = struct
+  type t = (int, entry) Hashtbl.t
+
+  let make_entry desc = { desc; refcount = ref 1 }
+
+  let create () =
+    let t = Hashtbl.create 16 in
+    for fd = 0 to 2 do
+      Hashtbl.replace t fd (make_entry Null)
+    done;
+    t
+
+  let alloc t desc =
+    let rec first fd = if Hashtbl.mem t fd then first (fd + 1) else fd in
+    let fd = first 0 in
+    Hashtbl.replace t fd (make_entry desc);
+    fd
+
+  let get t fd =
+    match Hashtbl.find_opt t fd with
+    | Some e -> e.desc
+    | None -> raise Not_found
+
+  let release_description e =
+    decr e.refcount;
+    if !(e.refcount) = 0 then
+      match e.desc with
+      | Pipe_read p -> Pipe.close_read p
+      | Pipe_write p -> Pipe.close_write p
+      | Vfs_file f -> Vfs.close f
+      | Null -> ()
+
+  let close t fd =
+    match Hashtbl.find_opt t fd with
+    | None -> raise Not_found
+    | Some e ->
+        Hashtbl.remove t fd;
+        release_description e
+
+  let dup_all t =
+    let t' = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun fd e ->
+        incr e.refcount;
+        Hashtbl.replace t' fd { desc = e.desc; refcount = e.refcount })
+      t;
+    t'
+
+  let close_all t =
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t [] in
+    List.iter (fun fd -> close t fd) fds
+
+  let open_count t = Hashtbl.length t
+end

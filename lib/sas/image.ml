@@ -1,0 +1,54 @@
+module Addr = Ufork_mem.Addr
+
+type t = {
+  name : string;
+  code_bytes : int;
+  data_bytes : int;
+  stack_bytes : int;
+  heap_bytes : int;
+  got_slots : int;
+}
+
+let make ?(code_bytes = 64 * 1024) ?(data_bytes = 16 * 1024)
+    ?(stack_bytes = 32 * 1024) ?(heap_bytes = 1024 * 1024) ?(got_slots = 256)
+    name =
+  if code_bytes <= 0 || data_bytes <= 0 || stack_bytes <= 0 || heap_bytes <= 0
+  then invalid_arg "Image.make: non-positive region";
+  { name; code_bytes; data_bytes; stack_bytes; heap_bytes; got_slots }
+
+let hello =
+  make ~code_bytes:(16 * 1024) ~data_bytes:(8 * 1024) ~stack_bytes:(16 * 1024)
+    ~heap_bytes:(64 * 1024) "hello"
+
+let redis ~heap_bytes =
+  make ~code_bytes:(2 * 1024 * 1024) ~data_bytes:(512 * 1024)
+    ~stack_bytes:(256 * 1024) ~heap_bytes ~got_slots:512 "redis"
+
+let nginx =
+  make ~code_bytes:(1536 * 1024) ~data_bytes:(512 * 1024)
+    ~stack_bytes:(128 * 1024)
+    ~heap_bytes:(8 * 1024 * 1024)
+    ~got_slots:512 "nginx"
+
+let micropython =
+  make ~code_bytes:(768 * 1024) ~data_bytes:(256 * 1024)
+    ~stack_bytes:(128 * 1024)
+    ~heap_bytes:(4 * 1024 * 1024)
+    ~got_slots:512 "micropython"
+
+let got_pages t =
+  let bytes = t.got_slots * Addr.granule_size in
+  Addr.bytes_to_pages bytes
+
+let metadata_capacity_bytes t =
+  max Addr.page_size (Addr.align_up (t.heap_bytes / 256) Addr.page_size)
+
+let page_align = Addr.page_size
+
+let area_bytes t =
+  let a v = Addr.align_up v page_align in
+  a (got_pages t * Addr.page_size)
+  + a t.code_bytes + a t.data_bytes + a t.stack_bytes
+  + a (metadata_capacity_bytes t)
+  + a t.heap_bytes
+  + (6 * Addr.page_size) (* guard pages between regions *)

@@ -1,0 +1,46 @@
+(** Application image specification.
+
+    Sizes of the regions that make up a μprocess area (Fig. 1's layout).
+    The heap is a contiguous reservation served by the per-μprocess
+    allocator; pages materialize on first use except under the full-copy
+    fork strategy, which transfers the entire reservation (the paper's
+    "large static heap" effect, §5.2). *)
+
+type t = {
+  name : string;
+  code_bytes : int;  (** Text; mapped eagerly, executable, shared CoW. *)
+  data_bytes : int;  (** Globals; mapped eagerly. *)
+  stack_bytes : int;  (** Mapped eagerly (it is small). *)
+  heap_bytes : int;  (** Reserved; materialized on allocation. *)
+  got_slots : int;  (** Global-offset-table capability slots. *)
+}
+
+val make :
+  ?code_bytes:int ->
+  ?data_bytes:int ->
+  ?stack_bytes:int ->
+  ?heap_bytes:int ->
+  ?got_slots:int ->
+  string ->
+  t
+(** Defaults: 64 KiB code, 16 KiB data, 32 KiB stack, 1 MiB heap,
+    256 GOT slots. *)
+
+val hello : t
+(** Minimal "hello world" image used by the Fig. 8 microbenchmarks. *)
+
+val redis : heap_bytes:int -> t
+(** Redis-like image: 2 MiB code, 512 KiB data, 256 KiB stack and the given
+    heap reservation (the paper's build-time-configurable static heap). *)
+
+val nginx : t
+val micropython : t
+
+val area_bytes : t -> int
+(** Total contiguous virtual area needed: GOT + regions, page-aligned,
+    plus one guard page between regions. *)
+
+val got_pages : t -> int
+val metadata_capacity_bytes : t -> int
+(** Reserved allocator-metadata region: one 16-byte granule per potential
+    allocation, 1/256 of the heap, at least one page. *)

@@ -1,0 +1,865 @@
+module Capability = Ufork_cheri.Capability
+module Perms = Ufork_cheri.Perms
+module Addr = Ufork_mem.Addr
+module Phys = Ufork_mem.Phys
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Vas = Ufork_mem.Vas
+module Engine = Ufork_sim.Engine
+module Sync = Ufork_sim.Sync
+module Costs = Ufork_sim.Costs
+module Meter = Ufork_sim.Meter
+
+(* The shared single-address-space arena starts above the kernel region. *)
+let kernel_region_bytes = 64 * 1024 * 1024
+let user_arena_base = kernel_region_bytes
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  config : Config.t;
+  meter : Meter.t;
+  phys : Phys.t;
+  vfs : Vfs.t;
+  biglock : Sync.Lock.t option;
+  procs : (int, Uproc.t) Hashtbl.t;
+  mutable next_pid : int;
+  root : Capability.t;
+  multi_as : bool;
+  shared_pt : Page_table.t option; (* the single table of the SASOS *)
+  mutable next_area : int;
+  mutable free_areas : (int * int) list; (* (base, bytes) of reaped areas *)
+  mutable fork_hook : (Uproc.t -> (Api.t -> unit) -> int) option;
+  mutable fault_hook : (Uproc.t -> addr:int -> access:Vas.access -> unit) option;
+  mutable areas : (int * int * int) list; (* (base, bytes, pid), live+zombie *)
+  shms : (string, Phys.frame array) Hashtbl.t; (* named shared memory *)
+  libs : (string, Phys.frame array) Hashtbl.t; (* shared library text *)
+  aslr : Ufork_util.Prng.t option;
+  entry_cap : Capability.t;
+      (* The sealed kernel entry capability handed to every uprocess: the
+         only way into kernel code without a trap (§4.2, §4.4). *)
+}
+
+let create ~engine ~costs ~config ~multi_address_space () =
+  let phys = Phys.create () in
+  let root = Capability.root () in
+  let entry_cap =
+    (* Points at the system-call handler in the kernel region, executable
+       but sealed: invocable, never inspectable or modifiable. *)
+    let target =
+      Capability.mint ~parent:root ~base:0x1000 ~length:0x1000
+        ~perms:Perms.user_code
+    in
+    Capability.seal ~authority:root target Ufork_cheri.Otype.syscall_entry
+  in
+  {
+    engine;
+    costs;
+    config;
+    meter = Meter.create ();
+    phys;
+    vfs = Vfs.create ();
+    biglock =
+      (if config.Config.big_kernel_lock then Some (Sync.Lock.create ())
+       else None);
+    procs = Hashtbl.create 64;
+    next_pid = 0;
+    root;
+    multi_as = multi_address_space;
+    shared_pt =
+      (if multi_address_space then None else Some (Page_table.create phys));
+    next_area = user_arena_base;
+    free_areas = [];
+    fork_hook = None;
+    fault_hook = None;
+    areas = [];
+    shms = Hashtbl.create 8;
+    libs = Hashtbl.create 8;
+    aslr =
+      Option.map
+        (fun seed -> Ufork_util.Prng.create ~seed)
+        config.Config.aslr_seed;
+    entry_cap;
+  }
+
+let engine t = t.engine
+let costs t = t.costs
+let config t = t.config
+let meter t = t.meter
+let phys t = t.phys
+let vfs t = t.vfs
+let multi_address_space t = t.multi_as
+let root_cap t = t.root
+let set_fork_hook t f = t.fork_hook <- Some f
+let set_fault_hook t f = t.fault_hook <- Some f
+
+(* Time passes only inside engine threads; boot-time setup (and unit tests
+   poking at the kernel directly) runs outside one. *)
+let charge _t cycles =
+  if cycles > 0L then
+    try Engine.advance cycles with Effect.Unhandled _ -> ()
+
+let account_private _t (u : Uproc.t) ~bytes =
+  u.Uproc.private_bytes <- u.Uproc.private_bytes + bytes
+
+let fresh_frame t u =
+  Meter.incr t.meter "page_alloc";
+  charge t t.costs.Costs.page_alloc;
+  account_private t u ~bytes:Addr.page_size;
+  Phys.alloc t.phys
+
+(* {1 Areas} *)
+
+let alloc_area t ~bytes_needed =
+  let bytes = Addr.align_up bytes_needed Addr.page_size in
+  (* Hole selection with splitting: the unused tail stays reusable. Under
+     first fit, mixed-size churn still fragments the arena badly (small
+     areas nibble the prefixes of the only holes large enough for big
+     ones) — the §6 behaviour the fragmentation bench quantifies; best
+     fit is the cheap mitigation. *)
+  let take (b, s) others =
+    let others =
+      if s - bytes >= Addr.page_size then (b + bytes, s - bytes) :: others
+      else others
+    in
+    t.free_areas <- others;
+    Some b
+  in
+  let first_fit () =
+    let rec find acc = function
+      | [] -> None
+      | (b, s) :: rest when s >= bytes -> take (b, s) (List.rev_append acc rest)
+      | a :: rest -> find (a :: acc) rest
+    in
+    find [] t.free_areas
+  in
+  let best_fit () =
+    let best =
+      List.fold_left
+        (fun acc (b, s) ->
+          if s < bytes then acc
+          else
+            match acc with
+            | Some (_, s') when s' <= s -> acc
+            | Some _ | None -> Some (b, s))
+        None t.free_areas
+    in
+    match best with
+    | None -> None
+    | Some (b, s) ->
+        take (b, s) (List.filter (fun (b', _) -> b' <> b) t.free_areas)
+  in
+  let chosen =
+    match t.config.Config.area_fit with
+    | Config.First_fit -> first_fit ()
+    | Config.Best_fit -> best_fit ()
+  in
+  match chosen with
+  | Some base -> base
+  | None ->
+      (* ASLR (§3.7): randomize the base offset of each fresh area. *)
+      let slide =
+        match t.aslr with
+        | None -> 0
+        | Some g -> Ufork_util.Prng.int g 256 * Addr.page_size
+      in
+      let base = t.next_area + slide in
+      t.next_area <- base + bytes + Addr.page_size (* guard *);
+      base
+
+(* {1 Process lifecycle} *)
+
+let create_uproc t ?parent ?fds ~image () =
+  t.next_pid <- t.next_pid + 1;
+  let pid = t.next_pid in
+  let pt =
+    match t.shared_pt with
+    | Some pt -> pt
+    | None -> Page_table.create t.phys
+  in
+  let area_base =
+    if t.multi_as then user_arena_base
+    else alloc_area t ~bytes_needed:(Image.area_bytes image)
+  in
+  let parent_pid = Option.map (fun (p : Uproc.t) -> p.Uproc.pid) parent in
+  let u = Uproc.create ~pid ?parent_pid ~image ~area_base ~pt ?fds () in
+  account_private t u ~bytes:t.config.Config.kernel_overhead_bytes;
+  (match parent with
+  | Some p -> p.Uproc.children <- pid :: p.Uproc.children
+  | None -> ());
+  Hashtbl.replace t.procs pid u;
+  t.areas <- (area_base, Image.area_bytes image, pid) :: t.areas;
+  u
+
+let find_area_of_addr t addr =
+  List.find_map
+    (fun (base, bytes, _pid) ->
+      if addr >= base && addr < base + bytes then Some (base, bytes) else None)
+    t.areas
+
+let find_uproc t pid = Hashtbl.find_opt t.procs pid
+
+let live_process_count t =
+  Hashtbl.fold
+    (fun _ (u : Uproc.t) n ->
+      match u.Uproc.state with Uproc.Running -> n + 1 | _ -> n)
+    t.procs 0
+
+let map_zero_pages t u ~base ~bytes ?(read = true) ?(write = true)
+    ?(exec = false) () =
+  let pages = Addr.bytes_to_pages bytes in
+  let vpn0 = Addr.vpn_of_addr base in
+  for v = vpn0 to vpn0 + pages - 1 do
+    if not (Page_table.is_mapped u.Uproc.pt ~vpn:v) then begin
+      let frame = fresh_frame t u in
+      Page_table.map u.Uproc.pt ~vpn:v (Pte.make ~read ~write ~exec frame)
+    end
+  done
+
+let map_initial_image t u =
+  let r = u.Uproc.regions in
+  map_zero_pages t u ~base:r.Uproc.got_base ~bytes:r.Uproc.got_bytes ();
+  map_zero_pages t u ~base:r.Uproc.code_base ~bytes:r.Uproc.code_bytes
+    ~write:false ~exec:true ();
+  map_zero_pages t u ~base:r.Uproc.data_base ~bytes:r.Uproc.data_bytes ();
+  map_zero_pages t u ~base:r.Uproc.stack_base ~bytes:r.Uproc.stack_bytes ()
+
+let materialize_heap_range t u ~addr ~len =
+  if len > 0 then begin
+    let base = Addr.align_down addr Addr.page_size in
+    map_zero_pages t u ~base ~bytes:(addr + len - base) ()
+  end
+
+(* {1 Capabilities} *)
+
+let area_cap t (u : Uproc.t) =
+  Capability.mint ~parent:t.root ~base:u.Uproc.area_base
+    ~length:u.Uproc.area_bytes
+    ~perms:Perms.(union user_data (union execute (union load_cap store_cap)))
+
+(* The capability handed to user code for a heap block. Under isolation it
+   is bounded to the block; with isolation disabled the process gets a
+   wide capability (the classic unikernel single-trust-domain model). *)
+let user_block_cap t (u : Uproc.t) ~addr ~len =
+  match t.config.Config.isolation with
+  | Config.No_isolation ->
+      Capability.with_cursor
+        (Capability.mint ~parent:t.root ~base:0
+           ~length:(Capability.length t.root) ~perms:Perms.user_data)
+        addr
+  | Config.Fault_isolation | Config.Full_isolation ->
+      Capability.mint ~parent:(area_cap t u) ~base:addr ~length:len
+        ~perms:Perms.user_data
+
+let got_addr (u : Uproc.t) slot =
+  let r = u.Uproc.regions in
+  if slot < 0 || slot >= u.Uproc.image.Image.got_slots then
+    invalid_arg "Kernel.got_addr: slot out of range";
+  r.Uproc.got_base + (slot * Addr.granule_size)
+
+let meta_addr (u : Uproc.t) index =
+  let r = u.Uproc.regions in
+  if index < 0 || index * Addr.granule_size >= r.Uproc.meta_bytes then
+    invalid_arg "Kernel.meta_addr: index out of range";
+  r.Uproc.meta_base + (index * Addr.granule_size)
+
+(* {1 Signals (minimal: SIGKILL, §4.5's per-uprocess signals)} *)
+
+exception Killed_signal
+
+let sys_kill t pid =
+  charge t 300L;
+  Meter.incr t.meter "kill";
+  match find_uproc t pid with
+  | Some target when target.Uproc.state = Uproc.Running -> (
+      target.Uproc.killed <- true;
+      (* If the target sleeps inside a syscall (pipe, wait, ...), wake it
+         so the kill is delivered promptly. *)
+      match target.Uproc.kernel_waker with
+      | Some w when Engine.waker_pending w -> Engine.wake w
+      | Some _ | None -> ())
+  | Some _ | None -> raise (Api.Sys_error "ESRCH")
+
+(* Checked at every kernel entry and blocking resume: a pending kill turns
+   into immediate termination (the caller unwinds via Killed_signal, which
+   spawn_process converts into the exit path). *)
+let check_killed (u : Uproc.t) =
+  if u.Uproc.killed && u.Uproc.state = Uproc.Running then raise Killed_signal
+
+(* {1 Syscall plumbing} *)
+
+let syscall_entry_cap t = t.entry_cap
+
+let syscall_entry_cost t =
+  match t.config.Config.syscall_mode with
+  | Config.Sealed_entry ->
+      (* The entry really is a sealed-capability invocation: branching to
+         anything else in kernel code is impossible for a uprocess. *)
+      ignore (Capability.invoke t.entry_cap);
+      t.costs.Costs.syscall
+  | Config.Trap ->
+      (* An exception-based entry can never be cheaper than ~800 cycles:
+         pipeline flush + vector dispatch + return. *)
+      max t.costs.Costs.syscall 800L
+
+let validation_cost t =
+  match t.config.Config.isolation with
+  | Config.Full_isolation -> 60L
+  | Config.Fault_isolation -> 20L
+  | Config.No_isolation -> 0L
+
+let lock_kernel t =
+  match t.biglock with Some l -> Sync.Lock.acquire l | None -> ()
+
+let unlock_kernel t =
+  match t.biglock with Some l -> Sync.Lock.release l | None -> ()
+
+let with_syscall t ?proc ?(bytes = 0) name f =
+  (match proc with Some u -> check_killed u | None -> ());
+  Meter.incr t.meter "syscall";
+  Meter.incr t.meter ("syscall." ^ name);
+  charge t (syscall_entry_cost t);
+  charge t (validation_cost t);
+  (* TOCTTOU hardening sets up the kernel-side shadow copies of
+     by-reference arguments on every entry (§4.4). *)
+  if t.config.Config.toctou then charge t 600L;
+  if bytes > 0 then begin
+    (* copyin/copyout of the payload... *)
+    charge t (Costs.bytes_cost t.costs.Costs.copy_per_byte bytes);
+    (* ...plus the TOCTTOU double copy when protection is on. *)
+    if t.config.Config.toctou then begin
+      Meter.add t.meter "toctou_bytes" bytes;
+      charge t (Costs.bytes_cost t.costs.Costs.toctou_per_byte bytes)
+    end
+  end;
+  lock_kernel t;
+  match f () with
+  | v ->
+      unlock_kernel t;
+      v
+  | exception e ->
+      unlock_kernel t;
+      raise e
+
+let kernel_wait ?proc t cond =
+  unlock_kernel t;
+  (match proc with
+  | None -> Sync.Cond.wait cond
+  | Some (u : Uproc.t) ->
+      (* An interruptible sleep: the waker sits in the condition's queue
+         and is also reachable by signal delivery. *)
+      Engine.suspend (fun w ->
+          u.Uproc.kernel_waker <- Some w;
+          Sync.Cond.add_waiter cond w);
+      u.Uproc.kernel_waker <- None);
+  (* Waking up is a context switch; on a multi-address-space kernel it also
+     switches page tables and flushes the TLB. *)
+  Meter.incr t.meter "context_switch";
+  charge t t.costs.Costs.context_switch;
+  if t.multi_as then charge t t.costs.Costs.address_space_switch;
+  lock_kernel t;
+  match proc with
+  | Some u ->
+      if u.Uproc.killed && u.Uproc.state = Uproc.Running then
+        (* Terminated while blocked: unwind out of the syscall. The
+           enclosing with_syscall releases the kernel lock on the way. *)
+        raise Killed_signal
+  | None -> ()
+
+(* {1 Faults} *)
+
+let handle_fault t u ~addr ~access =
+  match t.fault_hook with
+  | Some h -> h u ~addr ~access
+  | None ->
+      failwith
+        (Format.asprintf "unhandled %a fault at %#x (no fault hook)"
+           Vas.pp_access access addr)
+
+let rec with_faults t u f =
+  try f ()
+  with Vas.Fault { addr; access; _ } ->
+    handle_fault t u ~addr ~access;
+    with_faults t u f
+
+(* {1 Heap} *)
+
+(* Simulate user writes to currently write-protected pages: deliver the
+   write fault to the flavour's handler so CoW/CoA/CoPA resolution (and its
+   costs) happen exactly as they would for a real store. *)
+let touch_pages_for_write t (u : Uproc.t) vpns =
+  List.iter
+    (fun vpn ->
+      match Page_table.lookup u.Uproc.pt ~vpn with
+      | Some pte when not pte.Pte.write ->
+          handle_fault t u ~addr:(Addr.addr_of_vpn vpn) ~access:Vas.Write
+      | Some _ | None -> ())
+    vpns
+
+(* A forked child's first allocation re-initializes its allocator arena,
+   dirtying a configured fraction of the live heap (observed CheriBSD
+   behaviour; see Config.arena_pretouch_fraction). *)
+let arena_pretouch t (u : Uproc.t) =
+  let frac = t.config.Config.arena_pretouch_fraction in
+  if u.Uproc.forked && (not u.Uproc.first_alloc_done) && frac > 0. then begin
+    u.Uproc.first_alloc_done <- true;
+    let used = Tinyalloc.used_bytes u.Uproc.allocator in
+    let pages =
+      int_of_float (frac *. float_of_int used /. float_of_int Addr.page_size)
+    in
+    if pages > 0 then begin
+      Meter.add t.meter "arena_pretouch_pages" pages;
+      let r = u.Uproc.regions in
+      let vpn0 = Addr.vpn_of_addr r.Uproc.heap_base in
+      let limit = vpn0 + Addr.bytes_to_pages r.Uproc.heap_bytes in
+      let touched = ref 0 in
+      let vpn = ref vpn0 in
+      let batch = ref [] in
+      while !touched < pages && !vpn < limit do
+        (match Page_table.lookup u.Uproc.pt ~vpn:!vpn with
+        | Some pte when not pte.Pte.write ->
+            batch := !vpn :: !batch;
+            incr touched
+        | Some _ | None -> ());
+        incr vpn
+      done;
+      touch_pages_for_write t u (List.rev !batch)
+    end
+  end
+
+let sys_malloc t (u : Uproc.t) size =
+  arena_pretouch t u;
+  match Tinyalloc.alloc u.Uproc.allocator size with
+  | exception Tinyalloc.Out_of_heap -> raise (Api.Sys_error "ENOMEM")
+  | block ->
+      charge t 120L (* allocator bookkeeping *);
+      Meter.incr t.meter "malloc";
+      (* Back the block with physical pages. *)
+      materialize_heap_range t u ~addr:block.Tinyalloc.addr
+        ~len:block.Tinyalloc.size;
+      (* Reallocation hygiene: recycled memory must not carry stale valid
+         capabilities (heap temporal safety; the paper's CHERI stack does
+         this with Cornucopia-style revocation). The clears are ordinary
+         stores, so pages shared with a forked peer take their write fault
+         (CoW/CoA/CoPA copy) first. Counted per granule. *)
+      (let vpn0 = Addr.vpn_of_addr block.Tinyalloc.addr in
+       let vpn1 =
+         Addr.vpn_of_addr (block.Tinyalloc.addr + block.Tinyalloc.size - 1)
+       in
+       touch_pages_for_write t u
+         (List.init (vpn1 - vpn0 + 1) (fun i -> vpn0 + i)));
+      Vas.kernel_clear_tags u.Uproc.pt ~addr:block.Tinyalloc.addr
+        ~len:block.Tinyalloc.size;
+      charge t
+        (Int64.mul t.costs.Costs.granule_scan
+           (Int64.of_int (block.Tinyalloc.size / Addr.granule_size)));
+      (* Record the block's metadata granule: a capability to the block
+         stored in the metadata region (proactively copied at fork). *)
+      let maddr = meta_addr u block.Tinyalloc.meta_index in
+      materialize_heap_range t u ~addr:maddr ~len:Addr.granule_size;
+      let block_cap =
+        user_block_cap t u ~addr:block.Tinyalloc.addr ~len:block.Tinyalloc.size
+      in
+      with_faults t u (fun () ->
+          Vas.kernel_store_cap u.Uproc.pt ~addr:maddr block_cap);
+      block_cap
+
+let sys_free t (u : Uproc.t) cap =
+  (* The cursor, not the base, identifies the block: with isolation
+     disabled user capabilities are address-space-wide and only the cursor
+     carries the pointer value. *)
+  let addr = Capability.cursor cap in
+  match Tinyalloc.free u.Uproc.allocator addr with
+  | exception Invalid_argument _ -> raise (Api.Sys_error "EINVAL: bad free")
+  | block ->
+      charge t 80L;
+      let maddr = meta_addr u block.Tinyalloc.meta_index in
+      with_faults t u (fun () ->
+          Vas.kernel_store_cap u.Uproc.pt ~addr:maddr Capability.null)
+
+(* {1 Exit / wait} *)
+
+let reap t (u : Uproc.t) (child : Uproc.t) =
+  (match child.Uproc.state with
+  | Uproc.Zombie _ -> ()
+  | _ -> invalid_arg "Kernel.reap: not a zombie");
+  child.Uproc.state <- Uproc.Reaped;
+  u.Uproc.children <-
+    List.filter (fun pid -> pid <> child.Uproc.pid) u.Uproc.children;
+  (* Tear the child's memory down. *)
+  let vpn0 = Addr.vpn_of_addr child.Uproc.area_base in
+  let count = Addr.bytes_to_pages child.Uproc.area_bytes in
+  Page_table.unmap_range child.Uproc.pt ~vpn:vpn0 ~count;
+  t.areas <-
+    List.filter (fun (_, _, pid) -> pid <> child.Uproc.pid) t.areas;
+  if not t.multi_as then
+    t.free_areas <-
+      (child.Uproc.area_base, child.Uproc.area_bytes) :: t.free_areas
+
+let sys_exit t (u : Uproc.t) status =
+  charge t t.costs.Costs.exit_fixed;
+  Meter.incr t.meter "exit";
+  Fdesc.Fdtable.close_all u.Uproc.fds;
+  u.Uproc.state <- Uproc.Zombie status;
+  (match u.Uproc.parent_pid with
+  | Some ppid -> (
+      match find_uproc t ppid with
+      | Some parent -> Sync.Cond.broadcast parent.Uproc.exited_child
+      | None -> ())
+  | None -> ());
+  raise (Api.Exited status)
+
+let sys_wait t (u : Uproc.t) =
+  let rec zombie_child () =
+    let z =
+      List.find_map
+        (fun pid ->
+          match find_uproc t pid with
+          | Some c -> (
+              match c.Uproc.state with
+              | Uproc.Zombie status -> Some (c, status)
+              | _ -> None)
+          | None -> None)
+        u.Uproc.children
+    in
+    match z with
+    | Some (child, status) ->
+        reap t u child;
+        (child.Uproc.pid, status)
+    | None ->
+        if u.Uproc.children = [] then raise (Api.Sys_error "ECHILD");
+        kernel_wait ~proc:u t u.Uproc.exited_child;
+        zombie_child ()
+  in
+  zombie_child ()
+
+(* {1 File and pipe syscalls} *)
+
+let sys_open t (u : Uproc.t) name mode =
+  charge t t.costs.Costs.file_op;
+  match Vfs.open_ t.vfs name mode with
+  | f -> Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Vfs_file f)
+  | exception Not_found -> raise (Api.Sys_error ("ENOENT: " ^ name))
+
+let sys_close _t (u : Uproc.t) fd =
+  match Fdesc.Fdtable.close u.Uproc.fds fd with
+  | () -> ()
+  | exception Not_found -> raise (Api.Sys_error "EBADF")
+
+let sys_pipe t (u : Uproc.t) =
+  charge t t.costs.Costs.file_op;
+  let p = Pipe.create () in
+  let rfd = Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Pipe_read p) in
+  let wfd = Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Pipe_write p) in
+  (rfd, wfd)
+
+let sys_read t (u : Uproc.t) fd n =
+  match Fdesc.Fdtable.get u.Uproc.fds fd with
+  | exception Not_found -> raise (Api.Sys_error "EBADF")
+  | Fdesc.Null -> Bytes.create 0
+  | Fdesc.Vfs_file f -> Vfs.read f n
+  | Fdesc.Pipe_write _ -> raise (Api.Sys_error "EBADF: write end")
+  | Fdesc.Pipe_read p ->
+      charge t t.costs.Costs.pipe_op;
+      let rec go () =
+        match Pipe.try_read p n with
+        | Pipe.Data b -> b
+        | Pipe.Eof -> Bytes.create 0
+        | Pipe.Empty ->
+            kernel_wait ~proc:u t (Pipe.readable p);
+            go ()
+      in
+      go ()
+
+let sys_write t (u : Uproc.t) fd b =
+  match Fdesc.Fdtable.get u.Uproc.fds fd with
+  | exception Not_found -> raise (Api.Sys_error "EBADF")
+  | Fdesc.Null -> Bytes.length b
+  | Fdesc.Vfs_file f -> Vfs.write f b
+  | Fdesc.Pipe_read _ -> raise (Api.Sys_error "EBADF: read end")
+  | Fdesc.Pipe_write p ->
+      charge t t.costs.Costs.pipe_op;
+      let total = Bytes.length b in
+      let rec go off =
+        if off >= total then total
+        else
+          match Pipe.try_write p (Bytes.sub b off (total - off)) with
+          | Pipe.Wrote n -> go (off + n)
+          | Pipe.Would_block ->
+              kernel_wait ~proc:u t (Pipe.writable p);
+              go off
+          | exception Pipe.Broken_pipe -> raise (Api.Sys_error "EPIPE")
+      in
+      go 0
+
+
+(* {1 Shared memory (§3.7)} *)
+
+(* shm_open + map in one step: find or create the named segment, then map
+   its frames at a page-aligned window carved from the caller's heap
+   reservation. Forks keep these pages shared (never copied, never
+   relocated targets — the window sits at the same area offset in parent
+   and child, so relocated capabilities land on the same frames). *)
+(* Shared mapping machinery used by both shm_open and shared libraries
+   (§3.7): find-or-create the named frame set, then map it at a
+   page-aligned window carved from the caller's heap reservation. *)
+let map_named_segment t (u : Uproc.t) ~table ~name ~bytes ~writable ~exec =
+  if bytes <= 0 then raise (Api.Sys_error "EINVAL: segment size");
+  charge t t.costs.Costs.file_op;
+  let bytes = Addr.align_up bytes Addr.page_size in
+  let pages = bytes / Addr.page_size in
+  let frames =
+    match Hashtbl.find_opt table name with
+    | Some frames ->
+        if Array.length frames <> pages then
+          raise (Api.Sys_error "EINVAL: segment size mismatch");
+        frames
+    | None ->
+        let frames = Array.init pages (fun _ -> Phys.alloc t.phys) in
+        Meter.add t.meter "page_alloc" pages;
+        charge t (Int64.mul t.costs.Costs.page_alloc (Int64.of_int pages));
+        Hashtbl.replace table name frames;
+        frames
+  in
+  let block =
+    match Tinyalloc.alloc u.Uproc.allocator (bytes + Addr.page_size) with
+    | b -> b
+    | exception Tinyalloc.Out_of_heap -> raise (Api.Sys_error "ENOMEM")
+  in
+  let base = Addr.align_up block.Tinyalloc.addr Addr.page_size in
+  let vpn0 = Addr.vpn_of_addr base in
+  Array.iteri
+    (fun i frame ->
+      let vpn = vpn0 + i in
+      if Page_table.is_mapped u.Uproc.pt ~vpn then
+        Page_table.unmap u.Uproc.pt ~vpn;
+      charge t t.costs.Costs.pte_copy;
+      Page_table.map_shared u.Uproc.pt ~vpn
+        (Pte.make ~read:true ~write:writable ~exec ~share:Pte.Shm_shared frame))
+    frames;
+  (base, bytes)
+
+let sys_shm_open t (u : Uproc.t) name ~bytes =
+  Meter.incr t.meter "shm_open";
+  let base, bytes =
+    map_named_segment t u ~table:t.shms ~name ~bytes ~writable:true
+      ~exec:false
+  in
+  user_block_cap t u ~addr:base ~len:bytes
+
+(* "Shared libraries can be supported by mapping those libraries in each
+   uprocess ... creating capabilities with the proper permissions"
+   (§3.7): read-only, executable, physically shared. *)
+let sys_map_library t (u : Uproc.t) name ~bytes =
+  Meter.incr t.meter "map_library";
+  let base, bytes =
+    map_named_segment t u ~table:t.libs ~name ~bytes ~writable:false
+      ~exec:true
+  in
+  match t.config.Config.isolation with
+  | Config.No_isolation ->
+      Capability.with_cursor
+        (Capability.mint ~parent:t.root ~base:0
+           ~length:(Capability.length t.root)
+           ~perms:Perms.(union load (union load_cap execute)))
+        base
+  | Config.Fault_isolation | Config.Full_isolation ->
+      Capability.mint ~parent:(area_cap t u) ~base ~length:bytes
+        ~perms:Perms.(union load (union load_cap execute))
+
+(* {1 posix_spawn (§2.3's fork+exec replacement)} *)
+
+(* Start a fresh process from the same program image without duplicating
+   the parent state: the modern replacement for the U1 fork+exec pattern
+   that SASOSes like OSv/Junction support instead of fork. *)
+let rec sys_spawn t (u : Uproc.t) main =
+  Meter.incr t.meter "spawn";
+  charge t (Int64.div t.costs.Costs.fork_fixed 4L);
+  let fds = Fdesc.Fdtable.dup_all u.Uproc.fds in
+  let child = create_uproc t ~parent:u ~fds ~image:u.Uproc.image () in
+  child.Uproc.forked <- false (* fresh state, not a fork *);
+  map_initial_image t child;
+  charge t t.costs.Costs.thread_create;
+  spawn_process t child main;
+  child.Uproc.pid
+
+(* {1 The API builder} *)
+
+and build_api t ?(reloc = fun c -> c) (u : Uproc.t) : Api.t =
+  let pt = u.Uproc.pt in
+  let faulty f = with_faults t u f in
+  (* On real hardware a process cannot possess a valid capability into
+     another μprocess's area: fork relocates registers and memory, and
+     monotonicity prevents re-deriving one. In the simulation, application
+     closures could smuggle such a value across a fork, so under isolation
+     the API refuses foreign capabilities — restoring the invariant the
+     architecture enforces (§4.3). *)
+  let confined cap =
+    (match t.config.Config.isolation with
+    | Config.No_isolation -> ()
+    | Config.Fault_isolation | Config.Full_isolation ->
+        if
+          Capability.tag cap
+          && not
+               (Capability.in_range cap ~lo:u.Uproc.area_base
+                  ~hi:(u.Uproc.area_base + u.Uproc.area_bytes))
+        then
+          raise
+            (Capability.Violation
+               (Format.asprintf
+                  "capability %a does not belong to uprocess %d" Capability.pp
+                  cap u.Uproc.pid)));
+    cap
+  in
+  {
+    Api.getpid = (fun () -> u.Uproc.pid);
+    fork =
+      (fun child_main ->
+        match t.fork_hook with
+        | None -> raise (Api.Sys_error "ENOSYS: fork")
+        | Some hook ->
+            with_syscall t ~proc:u "fork" (fun () -> hook u child_main));
+    exit = (fun status -> with_syscall t ~proc:u "exit" (fun () -> sys_exit t u status));
+    wait =
+      (fun () -> with_syscall t ~proc:u "wait" (fun () -> sys_wait t u));
+    spawn =
+      (fun main ->
+        with_syscall t ~proc:u "spawn" (fun () -> sys_spawn t u main));
+    kill =
+      (fun pid -> with_syscall t ~proc:u "kill" (fun () -> sys_kill t pid));
+    reloc;
+    malloc = (fun size -> with_syscall t ~proc:u "brk" (fun () -> sys_malloc t u size));
+    free =
+      (fun cap ->
+        let cap = confined cap in
+        with_syscall t ~proc:u "brk" (fun () -> sys_free t u cap));
+    read_bytes =
+      (fun cap ~off ~len ->
+        let cap = confined cap in
+        faulty (fun () ->
+            Vas.read_bytes pt ~via:cap
+              ~addr:(Capability.cursor cap + off)
+              ~len));
+    write_bytes =
+      (fun cap ~off b ->
+        let cap = confined cap in
+        faulty (fun () ->
+            Vas.write_bytes pt ~via:cap ~addr:(Capability.cursor cap + off) b));
+    read_u64 =
+      (fun cap ~off ->
+        let cap = confined cap in
+        faulty (fun () ->
+            Vas.read_u64 pt ~via:cap ~addr:(Capability.cursor cap + off)));
+    write_u64 =
+      (fun cap ~off v ->
+        let cap = confined cap in
+        faulty (fun () ->
+            Vas.write_u64 pt ~via:cap ~addr:(Capability.cursor cap + off) v));
+    load_cap =
+      (fun cap ~off ->
+        let cap = confined cap in
+        faulty (fun () ->
+            Vas.load_cap pt ~via:cap ~addr:(Capability.cursor cap + off)));
+    store_cap =
+      (fun cap ~off v ->
+        let cap = confined cap in
+        faulty (fun () ->
+            Vas.store_cap pt ~via:cap ~addr:(Capability.cursor cap + off) v));
+    got_set =
+      (fun slot cap ->
+        let addr = got_addr u slot in
+        faulty (fun () ->
+            Vas.store_cap pt
+              ~via:(Capability.with_cursor (area_cap t u) addr)
+              ~addr cap));
+    got_get =
+      (fun slot ->
+        let addr = got_addr u slot in
+        faulty (fun () ->
+            Vas.load_cap pt
+              ~via:(Capability.with_cursor (area_cap t u) addr)
+              ~addr));
+    compute = (fun cycles -> charge t cycles);
+    now = (fun () -> Engine.now t.engine);
+    open_ =
+      (fun name mode -> with_syscall t ~proc:u "open" (fun () -> sys_open t u name mode));
+    close = (fun fd -> with_syscall t ~proc:u "close" (fun () -> sys_close t u fd));
+    read =
+      (fun fd n ->
+        with_syscall t ~proc:u ~bytes:n "read" (fun () -> sys_read t u fd n));
+    pread =
+      (fun fd ~off n ->
+        with_syscall t ~proc:u ~bytes:n "pread" (fun () ->
+            match Fdesc.Fdtable.get u.Uproc.fds fd with
+            | exception Not_found -> raise (Api.Sys_error "EBADF")
+            | Fdesc.Vfs_file f ->
+                Vfs.seek f off;
+                Vfs.read f n
+            | Fdesc.Null | Fdesc.Pipe_read _ | Fdesc.Pipe_write _ ->
+                raise (Api.Sys_error "ESPIPE")));
+    write =
+      (fun fd b ->
+        with_syscall t ~proc:u ~bytes:(Bytes.length b) "write" (fun () ->
+            sys_write t u fd b));
+    rename =
+      (fun ~src ~dst ->
+        with_syscall t ~proc:u "rename" (fun () ->
+            charge t t.costs.Costs.file_op;
+            try Vfs.rename t.vfs ~src ~dst
+            with Not_found -> raise (Api.Sys_error ("ENOENT: " ^ src))));
+    unlink =
+      (fun name ->
+        with_syscall t ~proc:u "unlink" (fun () ->
+            charge t t.costs.Costs.file_op;
+            try Vfs.unlink t.vfs name
+            with Not_found -> raise (Api.Sys_error ("ENOENT: " ^ name))));
+    pipe = (fun () -> with_syscall t ~proc:u "pipe" (fun () -> sys_pipe t u));
+    shm_open =
+      (fun name bytes ->
+        with_syscall t ~proc:u "shm_open" (fun () ->
+            sys_shm_open t u name ~bytes));
+    map_library =
+      (fun name bytes ->
+        with_syscall t ~proc:u "mmap_lib" (fun () ->
+            sys_map_library t u name ~bytes));
+    stats_private_bytes = (fun () -> u.Uproc.private_bytes);
+    stats_heap_used = (fun () -> Tinyalloc.used_bytes u.Uproc.allocator);
+    sleep =
+      (fun cycles ->
+        Engine.sleep cycles;
+        Meter.incr t.meter "context_switch";
+        charge t t.costs.Costs.context_switch;
+        if t.multi_as then charge t t.costs.Costs.address_space_switch);
+    yield =
+      (fun () ->
+        Meter.incr t.meter "context_switch";
+        Engine.yield ();
+        charge t t.costs.Costs.context_switch;
+        if t.multi_as then charge t t.costs.Costs.address_space_switch);
+  }
+
+and spawn_process t ?affinity ?reloc (u : Uproc.t) main =
+  let name = Printf.sprintf "%s.%d" u.Uproc.image.Image.name u.Uproc.pid in
+  ignore
+    (Engine.spawn ?affinity ~name t.engine (fun () ->
+         let api = build_api t ?reloc u in
+         (* The exit path must not re-check the kill flag: a killed
+            process has to be able to die. *)
+         let finish status =
+           match with_syscall t "exit" (fun () -> sys_exit t u status) with
+           | () -> ()
+           | exception Api.Exited _ -> ()
+         in
+         match main api with
+         | () -> finish 0 (* normal return = exit 0 *)
+         | exception Api.Exited _ -> ()
+         | exception Killed_signal -> finish 137))
+
+let total_frames_in_use t = Phys.frames_in_use t.phys
+
+(* Virtual-arena accounting for the fragmentation study (§6). *)
+let arena_span t = t.next_area - user_arena_base
+
+let live_area_bytes t =
+  List.fold_left (fun acc (_, bytes, _) -> acc + bytes) 0 t.areas
+let pp_meter ppf t = Meter.pp ppf t.meter

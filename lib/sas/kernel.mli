@@ -1,0 +1,178 @@
+(** The OS kernel kit.
+
+    This module implements everything an OS flavour needs except the fork
+    mechanism and the post-fork fault resolution, which are supplied as
+    hooks: μFork installs CoW/CoA/CoPA copying with capability relocation
+    ({!Ufork_core.Fork}); the monolithic baseline installs classic CoW in
+    per-process address spaces; the VM-clone baseline installs whole-image
+    copying. Shared here: μprocess areas and page mapping, the per-process
+    allocator with in-memory metadata, the GOT, syscall entry costing
+    (sealed vs trap), the big kernel lock, pipes, the ramdisk VFS,
+    wait/exit/reap, and the {!Api.t} builder.
+
+    All operations that consume simulated time charge the machine's
+    {!Ufork_sim.Costs.t}; every charged event is also counted in the
+    {!Ufork_sim.Meter.t} so benchmarks can audit where latency comes from. *)
+
+module Capability = Ufork_cheri.Capability
+
+type t
+
+(** {1 Construction} *)
+
+val create :
+  engine:Ufork_sim.Engine.t ->
+  costs:Ufork_sim.Costs.t ->
+  config:Config.t ->
+  multi_address_space:bool ->
+  unit ->
+  t
+(** [multi_address_space = false] gives the single-address-space layout:
+    one global page table, μprocess areas carved from a shared arena.
+    [true] gives one page table per process, every process at the same
+    base address. *)
+
+val engine : t -> Ufork_sim.Engine.t
+val costs : t -> Ufork_sim.Costs.t
+val config : t -> Config.t
+val meter : t -> Ufork_sim.Meter.t
+val phys : t -> Ufork_mem.Phys.t
+val vfs : t -> Vfs.t
+val multi_address_space : t -> bool
+val root_cap : t -> Capability.t
+(** The kernel's root capability (boot-time authority). *)
+
+val set_fork_hook : t -> (Uproc.t -> (Api.t -> unit) -> int) -> unit
+(** The fork implementation: duplicate [parent], spawn the child running
+    the continuation, return the child pid. Runs with syscall entry already
+    charged and the kernel lock held. *)
+
+val set_fault_hook :
+  t ->
+  (Uproc.t -> addr:int -> access:Ufork_mem.Vas.access -> unit) ->
+  unit
+(** Resolve an MMU fault (CoW/CoA/CoPA copy, …) so the access can retry.
+    Must raise if the fault is not resolvable (a real crash). *)
+
+(** {1 Processes} *)
+
+val create_uproc :
+  t -> ?parent:Uproc.t -> ?fds:Fdesc.Fdtable.t -> image:Image.t -> unit ->
+  Uproc.t
+(** Allocate a pid and an area (or reuse a freed one), build the μprocess
+    record with its page table (shared or private per
+    [multi_address_space]), and register it. No pages are mapped. *)
+
+val map_initial_image : t -> Uproc.t -> unit
+(** Eagerly map GOT, code, data and stack regions with fresh zero frames
+    (heap and allocator metadata materialize on demand), charging
+    page allocations and accounting them to the process. *)
+
+val spawn_process :
+  t ->
+  ?affinity:int ->
+  ?reloc:(Capability.t -> Capability.t) ->
+  Uproc.t ->
+  (Api.t -> unit) ->
+  unit
+(** Start the process main thread on the engine. Catches {!Api.Exited}
+    (and turns a normal return into exit 0) and performs kernel-side exit:
+    close fds, mark zombie, wake the parent. *)
+
+val find_uproc : t -> int -> Uproc.t option
+val live_process_count : t -> int
+
+val find_area_of_addr : t -> int -> (int * int) option
+(** The (base, bytes) of the live-or-zombie μprocess area containing an
+    address; [None] once the owner has been reaped (a capability into it is
+    dangling and must not be relocated — its tag is cleared instead). *)
+
+(** {1 Kernel internals exposed to fork implementations} *)
+
+val area_cap : t -> Uproc.t -> Capability.t
+(** A kernel capability covering exactly the μprocess area. *)
+
+val alloc_area : t -> bytes_needed:int -> int
+(** Reserve a contiguous area of the shared arena (single address space
+    only); reuses reaped areas first. *)
+
+val fresh_frame : t -> Uproc.t -> Ufork_mem.Phys.frame
+(** Allocate a physical frame, charging [page_alloc] and attributing the
+    memory to the process. *)
+
+val account_private : t -> Uproc.t -> bytes:int -> unit
+val charge : t -> int64 -> unit
+(** Advance simulated time (no-op outside an engine thread, e.g. during
+    boot-time setup in unit tests). *)
+
+val map_zero_pages :
+  t ->
+  Uproc.t ->
+  base:int ->
+  bytes:int ->
+  ?read:bool ->
+  ?write:bool ->
+  ?exec:bool ->
+  unit ->
+  unit
+(** Map fresh zero frames over every not-yet-mapped page of the range.
+    Defaults: readable, writable, non-executable. *)
+
+val materialize_heap_range : t -> Uproc.t -> addr:int -> len:int -> unit
+(** Ensure pages backing [addr, addr+len) exist (fresh zero frames). *)
+
+val got_addr : Uproc.t -> int -> int
+(** Address of a GOT slot. Raises [Invalid_argument] on slot overflow. *)
+
+val meta_addr : Uproc.t -> int -> int
+(** Address of an allocator-metadata granule. *)
+
+val touch_pages_for_write : t -> Uproc.t -> int list -> unit
+(** Simulate user stores to the given vpns: any write-protected mapping
+    gets a write fault delivered to the flavour's fault hook (used to model
+    post-fork working-set writes). *)
+
+val kernel_wait : ?proc:Uproc.t -> t -> Ufork_sim.Sync.Cond.t -> unit
+(** Block on a condition from inside a syscall: releases the big kernel
+    lock while suspended, recharges the context switch (+ address-space
+    switch on multi-AS kernels) on resume, and re-acquires the lock.
+    When [proc] is given and a SIGKILL arrived while blocked, unwinds
+    with {!Killed_signal} (lock released). *)
+
+val with_syscall : t -> ?proc:Uproc.t -> ?bytes:int -> string -> (unit -> 'a) -> 'a
+(** Charge syscall entry (per the configured mode), argument-validation
+    work when full isolation is on, TOCTTOU buffer copies for [bytes]
+    bytes when enabled, take the big kernel lock, run, release. [proc]
+    enables kill delivery at the entry check. *)
+
+exception Killed_signal
+(** Unwinds a process that received SIGKILL; converted into the exit path
+    by {!spawn_process}. *)
+
+val syscall_entry_cap : t -> Capability.t
+(** The sealed kernel entry capability every μprocess holds: invocable
+    (that is the system call), never dereferenceable or unsealable by
+    user code (§4.2, §4.4). *)
+
+(** {1 The application interface} *)
+
+val build_api :
+  t -> ?reloc:(Capability.t -> Capability.t) -> Uproc.t -> Api.t
+(** The {!Api.t} for a process context. [reloc] is the fork-register
+    translation (default identity). *)
+
+(** {1 Accounting} *)
+
+val total_frames_in_use : t -> int
+
+val arena_span : t -> int
+(** High-water mark of the shared virtual arena: how much contiguous
+    address space μprocess areas have ever claimed (§6's fragmentation
+    concern). Freed areas are recycled first-fit, so uniform fork/exit
+    churn keeps this flat; mixed sizes can grow it. *)
+
+val live_area_bytes : t -> int
+(** Sum of the areas of live and zombie processes — the "useful" part of
+    {!arena_span}; the difference is fragmentation. *)
+
+val pp_meter : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type node = { mutable data : Bytes.t; mutable len : int }
+
+type t = (string, node) Hashtbl.t
+
+type file = { node : node; mutable cursor : int; mutable open_ : bool }
+
+let create () = Hashtbl.create 16
+
+let node_get t name =
+  match Hashtbl.find_opt t name with
+  | Some n -> n
+  | None -> raise Not_found
+
+let node_create t name =
+  let n = { data = Bytes.create 256; len = 0 } in
+  Hashtbl.replace t name n;
+  n
+
+let open_ t name mode =
+  match mode with
+  | `Read -> { node = node_get t name; cursor = 0; open_ = true }
+  | `Write -> { node = node_get t name; cursor = 0; open_ = true }
+  | `Create ->
+      let n = node_create t name in
+      { node = n; cursor = 0; open_ = true }
+  | `Append ->
+      let n =
+        match Hashtbl.find_opt t name with
+        | Some n -> n
+        | None -> node_create t name
+      in
+      { node = n; cursor = n.len; open_ = true }
+
+let check f = if not f.open_ then invalid_arg "Vfs: file is closed"
+
+let read f n =
+  check f;
+  let avail = max 0 (f.node.len - f.cursor) in
+  let k = min n avail in
+  let out = Bytes.sub f.node.data f.cursor k in
+  f.cursor <- f.cursor + k;
+  out
+
+let ensure node cap =
+  if Bytes.length node.data < cap then begin
+    let ncap = max cap (2 * Bytes.length node.data) in
+    let d = Bytes.create ncap in
+    Bytes.blit node.data 0 d 0 node.len;
+    node.data <- d
+  end
+
+let write f b =
+  check f;
+  let n = Bytes.length b in
+  ensure f.node (f.cursor + n);
+  Bytes.blit b 0 f.node.data f.cursor n;
+  f.cursor <- f.cursor + n;
+  if f.cursor > f.node.len then f.node.len <- f.cursor;
+  n
+
+let seek f pos =
+  check f;
+  if pos < 0 then invalid_arg "Vfs.seek";
+  f.cursor <- pos
+
+let size_of f = f.node.len
+let close f = f.open_ <- false
+
+let exists t name = Hashtbl.mem t name
+let size t name = (node_get t name).len
+let contents t name =
+  let n = node_get t name in
+  Bytes.sub_string n.data 0 n.len
+
+let put t name s =
+  let n = node_create t name in
+  ensure n (String.length s);
+  Bytes.blit_string s 0 n.data 0 (String.length s);
+  n.len <- String.length s
+
+let rename t ~src ~dst =
+  let n = node_get t src in
+  Hashtbl.remove t src;
+  Hashtbl.replace t dst n
+
+let unlink t name =
+  if not (Hashtbl.mem t name) then raise Not_found;
+  Hashtbl.remove t name
+
+let list t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare

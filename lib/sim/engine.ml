@@ -1,0 +1,293 @@
+type tid = int
+
+(* Min-heap of (time, seq, action); seq breaks ties FIFO so the schedule is
+   deterministic. *)
+module Heap = struct
+  type entry = { time : int64; seq : int; action : unit -> unit }
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { time = 0L; seq = 0; action = (fun () -> ()) }
+  let create () = { a = Array.make 256 dummy; len = 0 }
+
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    h.a.(h.len) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type core = { index : int; mutable busy : bool }
+
+type thread = {
+  tid : tid;
+  name : string;
+  affinity : int option;
+  mutable finished : bool;
+  mutable cur_core : core option;
+      (* The core the thread currently occupies; threads can migrate across
+         yields, so the effect handler must read this rather than close
+         over a core. *)
+}
+
+(* What a ready thread resumes into: its initial body or a suspended
+   continuation. *)
+type resume =
+  | Start of (unit -> unit)
+  | Cont of (unit, unit) Effect.Deep.continuation
+
+type t = {
+  core_array : core array;
+  events : Heap.t;
+  mutable now : int64;
+  mutable seq : int;
+  ready : (thread * resume) Queue.t;
+  mutable live : int;
+  mutable blocked : int;
+  mutable next_tid : int;
+  mutable in_event : bool;
+}
+
+type waker = { mutable target : (t * thread * resume) option }
+
+type _ Effect.t +=
+  | Advance : int64 -> unit Effect.t
+  | Yield : unit Effect.t
+  | Suspend : (waker -> unit) -> unit Effect.t
+  | Get_time : int64 Effect.t
+  | Get_tid : tid Effect.t
+  | Get_core : int Effect.t
+
+let create ?(cores = 4) () =
+  if cores <= 0 then invalid_arg "Engine.create: cores <= 0";
+  {
+    core_array = Array.init cores (fun index -> { index; busy = false });
+    events = Heap.create ();
+    now = 0L;
+    seq = 0;
+    ready = Queue.create ();
+    live = 0;
+    blocked = 0;
+    next_tid = 0;
+    in_event = false;
+  }
+
+let cores t = Array.length t.core_array
+let now t = t.now
+let live_threads t = t.live
+let blocked_threads t = t.blocked
+
+let schedule t time action =
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time; seq = t.seq; action }
+
+let occupied_core thread =
+  match thread.cur_core with
+  | Some c -> c
+  | None -> invalid_arg "Engine: thread has no core (engine bug)"
+
+let release_core thread =
+  (occupied_core thread).busy <- false;
+  thread.cur_core <- None
+
+(* Run a thread fragment on a core until it suspends or finishes. Simulated
+   time does not move while the OCaml code runs; it passes only through
+   Advance/sleep. *)
+let exec t core thread resume =
+  core.busy <- true;
+  thread.cur_core <- Some core;
+  match resume with
+  | Cont k ->
+      (* The deep handler installed at Start travels with the continuation. *)
+      Effect.Deep.continue k ()
+  | Start body ->
+      Effect.Deep.match_with body ()
+        {
+          retc =
+            (fun () ->
+              thread.finished <- true;
+              t.live <- t.live - 1;
+              release_core thread);
+          exnc =
+            (fun e ->
+              (* A crashing thread must not leave its core marked busy. *)
+              thread.finished <- true;
+              t.live <- t.live - 1;
+              release_core thread;
+              raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Advance n ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      if n < 0L then
+                        (* Deliver the error at the perform site. *)
+                        Effect.Deep.discontinue k
+                          (Invalid_argument "Engine.advance: negative")
+                      else begin
+                        (* The core stays busy until the advance
+                           completes. *)
+                        let c = occupied_core thread in
+                        schedule t (Int64.add t.now n) (fun () ->
+                            thread.cur_core <- Some c;
+                            Effect.Deep.continue k ())
+                      end)
+              | Yield ->
+                  Some
+                    (fun k ->
+                      release_core thread;
+                      Queue.push (thread, Cont k) t.ready)
+              | Suspend register ->
+                  Some
+                    (fun k ->
+                      release_core thread;
+                      t.blocked <- t.blocked + 1;
+                      register { target = Some (t, thread, Cont k) })
+              | Get_time -> Some (fun k -> Effect.Deep.continue k t.now)
+              | Get_tid -> Some (fun k -> Effect.Deep.continue k thread.tid)
+              | Get_core ->
+                  Some
+                    (fun k ->
+                      Effect.Deep.continue k (occupied_core thread).index)
+              | _ -> None);
+        }
+
+(* Dispatch ready threads to idle cores (FIFO, lowest-numbered compatible
+   idle core first). *)
+let dispatch t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let idle =
+      Array.to_list t.core_array |> List.filter (fun c -> not c.busy)
+    in
+    if idle <> [] && not (Queue.is_empty t.ready) then begin
+      let n = Queue.length t.ready in
+      let picked = ref None in
+      let rest = Queue.create () in
+      for _ = 1 to n do
+        let ((thread, _) as entry) = Queue.pop t.ready in
+        match !picked with
+        | Some _ -> Queue.push entry rest
+        | None -> (
+            let compatible =
+              match thread.affinity with
+              | None -> List.nth_opt idle 0
+              | Some a -> List.find_opt (fun c -> c.index = a) idle
+            in
+            match compatible with
+            | Some core -> picked := Some (core, entry)
+            | None -> Queue.push entry rest)
+      done;
+      Queue.transfer rest t.ready;
+      match !picked with
+      | Some (core, (thread, resume)) ->
+          exec t core thread resume;
+          progress := true
+      | None -> ()
+    end
+  done
+
+let enqueue_new t ?name ?affinity body =
+  t.next_tid <- t.next_tid + 1;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "t%d" t.next_tid
+  in
+  let thread = { tid = t.next_tid; name; affinity; finished = false; cur_core = None } in
+  ignore thread.name;
+  t.live <- t.live + 1;
+  Queue.push (thread, Start body) t.ready;
+  thread.tid
+
+let spawn ?name ?affinity t body =
+  (match affinity with
+  | Some a when a < 0 || a >= cores t -> invalid_arg "Engine.spawn: affinity"
+  | Some _ | None -> ());
+  enqueue_new t ?name ?affinity body
+
+let run ?until t =
+  dispatch t;
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.events with
+    | None -> continue := false
+    | Some e -> (
+        match until with
+        | Some limit when e.Heap.time > limit ->
+            t.now <- limit;
+            continue := false
+        | Some _ | None ->
+            let e = Heap.pop t.events in
+            t.now <- e.Heap.time;
+            t.in_event <- true;
+            e.Heap.action ();
+            t.in_event <- false;
+            dispatch t)
+  done
+
+(* In-thread operations. *)
+let advance n = Effect.perform (Advance n)
+let yield () = Effect.perform Yield
+let suspend register = Effect.perform (Suspend register)
+let current_time () = Effect.perform Get_time
+let current_tid () = Effect.perform Get_tid
+let current_core () = Effect.perform Get_core
+
+let waker_pending w = w.target <> None
+
+let wake w =
+  match w.target with
+  | None -> invalid_arg "Engine.wake: waker already used"
+  | Some (t, thread, resume) ->
+      w.target <- None;
+      t.blocked <- t.blocked - 1;
+      Queue.push (thread, resume) t.ready;
+      (* A waker fired outside event processing (e.g. between runs) must
+         kick the dispatcher itself; inside, the main loop dispatches after
+         the current event completes. *)
+      if not t.in_event then dispatch t
+
+let sleep n =
+  if n < 0L then invalid_arg "Engine.sleep: negative";
+  let t0 = current_time () in
+  suspend (fun w ->
+      match w.target with
+      | Some (t, _, _) -> schedule t (Int64.add t0 n) (fun () -> wake w)
+      | None -> assert false)

@@ -1,0 +1,29 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t name r;
+      r
+
+let incr t name = Stdlib.incr (counter t name)
+let add t name n = counter t name := !(counter t name) + n
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.reset t
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-32s %d@," k v)
+    (to_list t);
+  Format.pp_close_box ppf ()
+
+let set t name v = counter t name := v

@@ -1,0 +1,23 @@
+(** Named event counters.
+
+    Every mechanism event in the kernels (pages copied, capabilities
+    relocated, traps taken, …) increments a meter; the benchmark harness
+    reads them to report and to cross-check that latencies are explained by
+    counted work rather than hidden constants. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 when never incremented. *)
+
+val reset : t -> unit
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val set : t -> string -> int -> unit
+(** Overwrite a counter (used for "last observed value" gauges). *)

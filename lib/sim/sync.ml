@@ -1,0 +1,52 @@
+module Lock = struct
+  type t = { mutable held : bool; queue : Engine.waker Queue.t }
+
+  let create () = { held = false; queue = Queue.create () }
+
+  let acquire t =
+    if not t.held then t.held <- true
+    else Engine.suspend (fun w -> Queue.push w t.queue)
+
+  let release t =
+    if not t.held then invalid_arg "Lock.release: not held";
+    match Queue.take_opt t.queue with
+    | Some w ->
+        (* Ownership transfers directly to the woken thread. *)
+        Engine.wake w
+    | None -> t.held <- false
+
+  let with_lock t f =
+    acquire t;
+    match f () with
+    | v ->
+        release t;
+        v
+    | exception e ->
+        release t;
+        raise e
+
+  let locked t = t.held
+end
+
+module Cond = struct
+  type t = { queue : Engine.waker Queue.t }
+
+  let create () = { queue = Queue.create () }
+  let wait t = Engine.suspend (fun w -> Queue.push w t.queue)
+  let add_waiter t w = Queue.push w t.queue
+
+  (* Entries woken out of band (e.g. signal delivery) are skipped so their
+     stale wakers never consume a real wakeup. *)
+  let rec signal t =
+    match Queue.take_opt t.queue with
+    | Some w -> if Engine.waker_pending w then Engine.wake w else signal t
+    | None -> ()
+
+  let broadcast t =
+    let n = Queue.length t.queue in
+    for _ = 1 to n do
+      signal t
+    done
+
+  let waiters t = Queue.length t.queue
+end

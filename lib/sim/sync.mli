@@ -1,0 +1,41 @@
+(** Blocking synchronization for engine threads.
+
+    [Lock] models mutexes — notably Unikraft's big kernel lock, which
+    serializes kernel code across cores (§4.5) — and [Cond] models waitqueues
+    (pipe readers, [wait] for child exit). Both are FIFO and deterministic. *)
+
+module Lock : sig
+  type t
+
+  val create : unit -> t
+  val acquire : t -> unit
+  (** Blocks (suspending the calling engine thread) until available. *)
+
+  val release : t -> unit
+  (** Hands the lock to the longest-waiting thread, if any. Raises
+      [Invalid_argument] if the lock is not held. *)
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** [acquire]; run; [release] (also on exception). *)
+
+  val locked : t -> bool
+end
+
+module Cond : sig
+  type t
+
+  val create : unit -> t
+  val wait : t -> unit
+  (** Suspend until signalled. No lock is associated: callers re-check
+      their predicate on wakeup (spurious-wakeup-safe style). *)
+
+  val add_waiter : t -> Engine.waker -> unit
+  (** Register an externally created waker (signal-interruptible waits). *)
+
+  val signal : t -> unit
+  (** Wake the longest-waiting thread (no-op when none; entries already
+      woken out of band are skipped). *)
+
+  val broadcast : t -> unit
+  val waiters : t -> int
+end

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic element of the simulation (workload generation, request
+    arrival jitter, key selection) draws from an explicit [Prng.t] so that
+    experiments are reproducible bit-for-bit across runs and platforms. *)
+
+type t
+
+val create : seed:int64 -> t
+(** Fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** A new generator derived from (and decorrelated with) [t]'s stream. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. Raises [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean (inter-arrival
+    times for open-loop request generators). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

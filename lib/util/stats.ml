@@ -1,0 +1,48 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (sq /. float_of_int (List.length xs - 1))
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1 in
+  a.(idx)
+
+let summary xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summary: empty"
+  | _ ->
+      let n = List.length xs in
+      {
+        n;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+        median = percentile 50. xs;
+      }
+
+let relative_change ~baseline v = (v -. baseline) /. baseline
+let speedup ~baseline v = baseline /. v

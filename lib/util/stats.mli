@@ -1,0 +1,30 @@
+(** Small descriptive-statistics helpers used by the benchmark harness.
+
+    The paper reports averages of 10 runs with standard deviation error
+    bars; [summary] provides exactly that. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summary : float list -> summary
+(** [summary xs] computes descriptive statistics. Raises [Invalid_argument]
+    on the empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100]; nearest-rank on the sorted data.
+    Raises [Invalid_argument] on the empty list or [p] outside the range. *)
+
+val relative_change : baseline:float -> float -> float
+(** [relative_change ~baseline v] is [(v - baseline) / baseline]. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline v] is [baseline /. v] — how many times faster [v] is
+    than [baseline] when both are durations. *)

@@ -1,0 +1,460 @@
+module Units = Ufork_util.Units
+module Costs = Ufork_sim.Costs
+module Engine = Ufork_sim.Engine
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+module Api = Ufork_sas.Api
+module Uproc = Ufork_sas.Uproc
+module Kernel = Ufork_sas.Kernel
+module Vfs = Ufork_sas.Vfs
+module Fdesc = Ufork_sas.Fdesc
+module Strategy = Ufork_core.Strategy
+module Os = Ufork_core.Os
+module Monolithic = Ufork_baselines.Monolithic
+module Vmclone = Ufork_baselines.Vmclone
+module Kvstore = Ufork_apps.Kvstore
+module Rdb = Ufork_apps.Rdb
+module Mpy = Ufork_apps.Mpy
+module Faas = Ufork_apps.Faas
+module Httpd = Ufork_apps.Httpd
+module Unixbench = Ufork_apps.Unixbench
+module Hello = Ufork_apps.Hello
+
+type system =
+  | Ufork of Strategy.t
+  | Ufork_toctou of Strategy.t
+  | Cheribsd
+  | Nephele
+  | Linux_ref
+
+let system_label = function
+  | Ufork s -> Printf.sprintf "uFork/%s" (Strategy.to_string s)
+  | Ufork_toctou s -> Printf.sprintf "uFork/%s+TOCTTOU" (Strategy.to_string s)
+  | Cheribsd -> "CheriBSD"
+  | Nephele -> "Nephele"
+  | Linux_ref -> "Linux (ref)"
+
+(* A booted system behind a uniform interface. *)
+type booted = {
+  kernel : Kernel.t;
+  engine : Engine.t;
+  start :
+    ?affinity:int -> image:Image.t -> (Api.t -> unit) -> Uproc.t;
+  run : ?until:int64 -> unit -> unit;
+}
+
+let boot ?(cores = 4) ?config system =
+  match system with
+  | Ufork strategy ->
+      let config = Option.value config ~default:Config.ufork_fast in
+      let os = Os.boot ~cores ~config ~strategy () in
+      {
+        kernel = Os.kernel os;
+        engine = Os.engine os;
+        start = (fun ?affinity ~image main -> Os.start os ?affinity ~image main);
+        run = (fun ?until () -> Os.run ?until os);
+      }
+  | Ufork_toctou strategy ->
+      let config = Option.value config ~default:Config.ufork_default in
+      let os = Os.boot ~cores ~config ~strategy () in
+      {
+        kernel = Os.kernel os;
+        engine = Os.engine os;
+        start = (fun ?affinity ~image main -> Os.start os ?affinity ~image main);
+        run = (fun ?until () -> Os.run ?until os);
+      }
+  | Cheribsd ->
+      let os = Monolithic.boot ~cores ?config () in
+      {
+        kernel = Monolithic.kernel os;
+        engine = Monolithic.engine os;
+        start =
+          (fun ?affinity ~image main -> Monolithic.start os ?affinity ~image main);
+        run = (fun ?until () -> Monolithic.run ?until os);
+      }
+  | Linux_ref ->
+      let os =
+        Monolithic.boot ~cores
+          ~config:(Option.value config ~default:Config.linux_default)
+          ~costs:Costs.linux_ref ()
+      in
+      {
+        kernel = Monolithic.kernel os;
+        engine = Monolithic.engine os;
+        start =
+          (fun ?affinity ~image main -> Monolithic.start os ?affinity ~image main);
+        run = (fun ?until () -> Monolithic.run ?until os);
+      }
+  | Nephele ->
+      let os = Vmclone.boot ~cores ?config () in
+      {
+        kernel = Vmclone.kernel os;
+        engine = Vmclone.engine os;
+        start =
+          (fun ?affinity ~image main -> Vmclone.start os ?affinity ~image main);
+        run = (fun ?until () -> Vmclone.run ?until os);
+      }
+
+let child_private_mb b pid =
+  match Kernel.find_uproc b.kernel pid with
+  | Some u -> Units.mb_of_bytes u.Uproc.private_bytes
+  | None -> nan
+
+(* {1 Redis} *)
+
+type redis_row = {
+  system : system;
+  db_label : string;
+  db_bytes : int;
+  entries : int;
+  save_ms : float;
+  fork_us : float;
+  child_mb : float;
+  dump_ok : bool;
+}
+
+let value_seed = 0x5eedL
+
+(* The paper's prototype gives each μprocess a build-time-sized static
+   heap; with a 100 MB database the heap reservation is 136.7 MB (§5.2).
+   We scale the build the same way: reservation = 1.37 x database size. *)
+let redis_image ~db_bytes =
+  let heap_bytes = max (4 * 1024 * 1024) (db_bytes * 137 / 100) in
+  Image.redis ~heap_bytes
+
+let redis_run system ~entries ~value_len ~db_label =
+  let db_bytes = entries * value_len in
+  let b = boot ~cores:4 system in
+  let result = ref None in
+  let _u =
+    b.start ~image:(redis_image ~db_bytes) (fun api ->
+        let store = Kvstore.create api ~buckets:1024 () in
+        Keyspace.populate store ~entries ~value_len ~seed:value_seed;
+        let r = Rdb.bgsave api store ~path:"/dump.rdb" in
+        result := Some r)
+  in
+  b.run ();
+  match !result with
+  | None -> failwith "redis_run: benchmark process never completed"
+  | Some r ->
+      let dump_ok =
+        match Vfs.contents (Kernel.vfs b.kernel) "/dump.rdb" with
+        | exception Not_found -> false
+        | contents -> (
+            match Rdb.verify contents with
+            | exception Failure _ -> false
+            | got ->
+                let got = List.sort compare got in
+                got
+                = Keyspace.expected_entries ~entries ~value_len ~seed:value_seed)
+      in
+      {
+        system;
+        db_label;
+        db_bytes;
+        entries;
+        save_ms = Units.ms_of_cycles r.Rdb.total_cycles;
+        fork_us = Units.us_of_cycles r.Rdb.fork_latency_cycles;
+        child_mb = child_private_mb b r.Rdb.child_pid;
+        dump_ok;
+      }
+
+let redis_sweep ~systems ?(sizes = Keyspace.db_sizes_of_paper) () =
+  List.concat_map
+    (fun system ->
+      List.map
+        (fun (db_label, entries, value_len) ->
+          redis_run system ~entries ~value_len ~db_label)
+        sizes)
+    systems
+
+(* {1 FaaS} *)
+
+type faas_row = {
+  system : system;
+  worker_cores : int;
+  throughput_per_s : float;
+  completed : int;
+}
+
+(* FunctionBench float_operation sized to ~0.6 ms of interpreter work. *)
+let faas_program = Mpy.float_operation ~n:3650
+
+let faas_run system ~worker_cores ?(window_s = 1.0) () =
+  if worker_cores <= 0 then invalid_arg "faas_run";
+  let b = boot ~cores:(worker_cores + 1) system in
+  let result = ref None in
+  let window_cycles = Units.cycles_of_s window_s in
+  let _u =
+    b.start ~affinity:0 ~image:Image.micropython (fun api ->
+        result :=
+          Some
+            (Faas.coordinator api ~max_workers:worker_cores ~window_cycles
+               ~program:faas_program))
+  in
+  b.run ();
+  match !result with
+  | None -> failwith "faas_run: coordinator never completed"
+  | Some r ->
+      {
+        system;
+        worker_cores;
+        throughput_per_s = r.Faas.throughput_per_s;
+        completed = r.Faas.completed;
+      }
+
+(* {1 Nginx} *)
+
+type nginx_row = {
+  system : system;
+  cores : int;
+  workers : int;
+  requests_per_s : float;
+}
+
+let nginx_run system ~cores ~workers ?(window_s = 1.0) ?(connections = 16) () =
+  let b = boot ~cores system in
+  Httpd.populate_docroot (Kernel.vfs b.kernel);
+  let net = Httpd.Net.create () in
+  let window_cycles = Units.cycles_of_s window_s in
+  let u =
+    b.start ~image:Image.nginx (fun api ->
+        Httpd.master api ~net ~listen_rfd:3 ~listen_wfd:4 ~workers
+          ~window_cycles)
+  in
+  (* Hand the master its pre-opened listen socket (fds 3 and 4), like a
+     socket-activated service. *)
+  let p = Httpd.Net.listen_pipe net in
+  let rfd = Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Pipe_read p) in
+  let wfd = Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Pipe_write p) in
+  assert (rfd = 3 && wfd = 4);
+  Httpd.Net.spawn_clients b.engine net ~connections ~window_cycles;
+  b.run ();
+  let stats = Httpd.Net.stats net in
+  {
+    system;
+    cores;
+    workers;
+    requests_per_s = float_of_int stats.Httpd.Net.completed /. window_s;
+  }
+
+(* {1 hello world (Fig. 8)} *)
+
+type hello_row = {
+  system : system;
+  fork_latency_us : float;
+  child_memory_mb : float;
+}
+
+let hello_run system =
+  let b = boot ~cores:4 system in
+  let sample = ref None in
+  let _u =
+    b.start ~image:Image.hello (fun api ->
+        let s = Hello.fork_once api in
+        sample := Some s;
+        Hello.reap api)
+  in
+  b.run ();
+  match !sample with
+  | None -> failwith "hello_run: process never completed"
+  | Some s ->
+      {
+        system;
+        fork_latency_us = Units.us_of_cycles s.Hello.latency_cycles;
+        child_memory_mb = child_private_mb b s.Hello.child_pid;
+      }
+
+let fig8 () = List.map hello_run [ Ufork Strategy.Copa; Cheribsd; Nephele ]
+
+(* {1 Unixbench (Fig. 9)} *)
+
+type unixbench_row = {
+  system : system;
+  spawn_ms : float;
+  context1_ms : float;
+}
+
+let unixbench_run system ~spawn_iters ~context1_iters =
+  let spawn_cycles =
+    let b = boot ~cores:4 system in
+    let out = ref 0L in
+    let _u =
+      b.start ~image:Image.hello (fun api ->
+          out := Unixbench.spawn api ~iterations:spawn_iters)
+    in
+    b.run ();
+    !out
+  in
+  let ctx =
+    let b = boot ~cores:4 system in
+    let out = ref None in
+    let _u =
+      b.start ~image:Image.hello (fun api ->
+          out := Some (Unixbench.context1 api ~iterations:context1_iters))
+    in
+    b.run ();
+    match !out with
+    | Some r -> r.Unixbench.total_cycles
+    | None -> failwith "context1 never completed"
+  in
+  {
+    system;
+    spawn_ms = Units.ms_of_cycles spawn_cycles;
+    context1_ms = Units.ms_of_cycles ctx;
+  }
+
+let fig9 ?(spawn_iters = 1000) ?(context1_iters = 100_000) () =
+  List.map
+    (fun s -> unixbench_run s ~spawn_iters ~context1_iters)
+    [ Ufork Strategy.Copa; Cheribsd ]
+
+(* {1 Ablations} *)
+
+type ablation_row = { label : string; value : float; unit_ : string }
+
+let zygote_fork_faults ~proactive =
+  let os =
+    Os.boot ~cores:2 ~config:Config.ufork_fast ~strategy:Strategy.Copa
+      ~proactive ()
+  in
+  let kernel = Os.kernel os in
+  let latency = ref 0L in
+  let _u =
+    Os.start os ~image:Image.micropython (fun api ->
+        Mpy.zygote_init api ~modules:24;
+        let t0 = api.Api.now () in
+        ignore
+          (api.Api.fork (fun capi ->
+               ignore (Mpy.zygote_check capi);
+               capi.Api.exit 0));
+        latency := Int64.sub (api.Api.now ()) t0;
+        ignore (api.Api.wait ()))
+  in
+  Os.run os;
+  let faults = Ufork_sim.Meter.get (Kernel.meter kernel) "fault" in
+  (Units.us_of_cycles !latency, float_of_int faults)
+
+let ablate_proactive () =
+  let lat_on, faults_on = zygote_fork_faults ~proactive:true in
+  let lat_off, faults_off = zygote_fork_faults ~proactive:false in
+  [
+    { label = "fork latency, proactive GOT/meta copy"; value = lat_on; unit_ = "us" };
+    { label = "fork latency, lazy GOT/meta"; value = lat_off; unit_ = "us" };
+    { label = "post-fork faults, proactive"; value = faults_on; unit_ = "faults" };
+    { label = "post-fork faults, lazy"; value = faults_off; unit_ = "faults" };
+  ]
+
+let context1_with_config config =
+  let os = Os.boot ~cores:4 ~config ~strategy:Strategy.Copa () in
+  let out = ref None in
+  let _u =
+    Os.start os ~image:Image.hello (fun api ->
+        out := Some (Unixbench.context1 api ~iterations:10_000))
+  in
+  Os.run os;
+  match !out with
+  | Some r -> r.Unixbench.per_switch_cycles /. Units.clock_hz *. 1e6
+  | None -> failwith "context1 never completed"
+
+let ablate_syscall_entry () =
+  let sealed = context1_with_config Config.ufork_fast in
+  let trap =
+    context1_with_config
+      { Config.ufork_fast with Config.syscall_mode = Config.Trap }
+  in
+  [
+    { label = "Context1 round trip, sealed entry"; value = sealed; unit_ = "us" };
+    { label = "Context1 round trip, trap entry"; value = trap; unit_ = "us" };
+  ]
+
+let ablate_isolation () =
+  let run config label =
+    let b =
+      boot ~cores:4 ~config (Ufork Strategy.Copa)
+    in
+    let result = ref None in
+    let entries = 100 and value_len = 100 * 1024 in
+    let _u =
+      b.start ~image:(redis_image ~db_bytes:(entries * value_len)) (fun api ->
+          let store = Kvstore.create api ~buckets:1024 () in
+          Keyspace.populate store ~entries ~value_len ~seed:value_seed;
+          result := Some (Rdb.bgsave api store ~path:"/dump.rdb"))
+    in
+    b.run ();
+    match !result with
+    | Some r ->
+        {
+          label = "Redis 10MB save, " ^ label;
+          value = Units.ms_of_cycles r.Rdb.total_cycles;
+          unit_ = "ms";
+        }
+    | None -> failwith "ablate_isolation: run failed"
+  in
+  [
+    run { Config.ufork_fast with Config.isolation = Config.No_isolation } "no isolation";
+    run Config.ufork_fast "fault isolation";
+    run { Config.ufork_fast with Config.isolation = Config.Full_isolation } "full isolation";
+    run Config.ufork_default "full isolation + TOCTTOU";
+  ]
+
+(* {1 Fragmentation study (§6)}
+
+   The paper notes μprocess areas are large and contiguous, raising
+   fragmentation concerns for long-running fork-heavy deployments, and
+   proposes compaction or size classes as future work. Quantify the
+   problem: uniform fork/exit churn recycles areas perfectly, while
+   processes of interleaved different sizes leave holes that first-fit
+   cannot always fill. *)
+
+type fragmentation_row = {
+  scenario : string;
+  churn : int;  (** fork/exit rounds performed *)
+  arena_mb : float;  (** virtual-arena high-water mark *)
+  live_mb : float;  (** area bytes still owned by live processes *)
+}
+
+let fragmentation_run ?(fit = Config.First_fit) ~mixed ~churn () =
+  let os =
+    Os.boot ~cores:2 ~config:(Config.with_area_fit fit Config.ufork_fast) ()
+  in
+  let kernel = Os.kernel os in
+  let images =
+    if mixed then
+      [
+        Image.make ~heap_bytes:(256 * 1024) "small";
+        Image.make ~heap_bytes:(4 * 1024 * 1024) "large";
+        Image.make ~heap_bytes:(1024 * 1024) "medium";
+      ]
+    else [ Image.make ~heap_bytes:(1024 * 1024) "uniform" ]
+  in
+  (* Each driver process churns children of its own size; drivers of
+     different sizes interleave their reaps, shredding the free list. *)
+  List.iter
+    (fun image ->
+      ignore
+        (Os.start os ~image (fun api ->
+             for _ = 1 to churn do
+               ignore (api.Api.fork (fun capi -> capi.Api.exit 0));
+               ignore (api.Api.wait ())
+             done)))
+    images;
+  Os.run os;
+  {
+    scenario =
+      Printf.sprintf "%s, %s"
+        (if mixed then "mixed sizes" else "uniform size")
+        (match fit with
+        | Config.First_fit -> "first fit"
+        | Config.Best_fit -> "best fit");
+    churn = churn * List.length images;
+    arena_mb = Units.mb_of_bytes (Kernel.arena_span kernel);
+    live_mb = Units.mb_of_bytes (Kernel.live_area_bytes kernel);
+  }
+
+let ablate_fragmentation ?(churn = 50) () =
+  [
+    fragmentation_run ~mixed:false ~churn ();
+    fragmentation_run ~mixed:true ~churn ();
+    fragmentation_run ~fit:Config.Best_fit ~mixed:true ~churn ();
+  ]

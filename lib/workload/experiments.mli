@@ -1,0 +1,119 @@
+(** Drivers for every experiment in the paper's evaluation (§5).
+
+    Each function boots the systems involved, runs the workload inside the
+    simulation, and returns structured rows. They are shared by the
+    benchmark harness ([bench/main.exe]), the CLI ([bin/ufork_sim.exe])
+    and the integration tests. All runs are deterministic. *)
+
+(** Which OS serves the workload. *)
+type system =
+  | Ufork of Ufork_core.Strategy.t
+  | Ufork_toctou of Ufork_core.Strategy.t  (** full isolation + TOCTTOU *)
+  | Cheribsd
+  | Nephele
+  | Linux_ref
+
+val system_label : system -> string
+
+(** {1 Redis (Fig. 3, 4, 5)} *)
+
+type redis_row = {
+  system : system;
+  db_label : string;
+  db_bytes : int;
+  entries : int;
+  save_ms : float;  (** Fig. 3: overall background-save time. *)
+  fork_us : float;  (** Fig. 4: latency of the fork call itself. *)
+  child_mb : float;  (** Fig. 5: memory attributable to the forked child. *)
+  dump_ok : bool;  (** The dump parsed back and matched the keyspace. *)
+}
+
+val redis_run :
+  system -> entries:int -> value_len:int -> db_label:string -> redis_row
+(** Populate, BGSAVE, verify the dump against the expected keyspace. *)
+
+val redis_sweep :
+  systems:system list ->
+  ?sizes:(string * int * int) list ->
+  unit ->
+  redis_row list
+(** Default sizes: {!Keyspace.db_sizes_of_paper}. *)
+
+(** {1 FaaS (Fig. 6)} *)
+
+type faas_row = {
+  system : system;
+  worker_cores : int;
+  throughput_per_s : float;
+  completed : int;
+}
+
+val faas_run : system -> worker_cores:int -> ?window_s:float -> unit -> faas_row
+(** Default window: 1 simulated second (rates are per second either
+    way). *)
+
+(** {1 Nginx (Fig. 7)} *)
+
+type nginx_row = {
+  system : system;
+  cores : int;
+  workers : int;
+  requests_per_s : float;
+}
+
+val nginx_run :
+  system -> cores:int -> workers:int -> ?window_s:float -> ?connections:int ->
+  unit -> nginx_row
+
+(** {1 hello-world microbenchmarks (Fig. 8)} *)
+
+type hello_row = {
+  system : system;
+  fork_latency_us : float;
+  child_memory_mb : float;
+}
+
+val hello_run : system -> hello_row
+val fig8 : unit -> hello_row list
+(** μFork (CoPA), CheriBSD, Nephele. *)
+
+(** {1 Unixbench (Fig. 9)} *)
+
+type unixbench_row = {
+  system : system;
+  spawn_ms : float;  (** Fig. 9 left: 1000 fork/exit/wait rounds. *)
+  context1_ms : float;  (** Fig. 9 right: 100k pipe round trips. *)
+}
+
+val fig9 : ?spawn_iters:int -> ?context1_iters:int -> unit -> unixbench_row list
+(** Defaults: 1000 spawns, 100_000 round trips, for μFork and CheriBSD. *)
+
+(** {1 Ablations beyond the paper} *)
+
+type ablation_row = { label : string; value : float; unit_ : string }
+
+val ablate_proactive : unit -> ablation_row list
+(** Fork latency and post-fork fault count with and without the proactive
+    GOT/metadata copy. *)
+
+val ablate_syscall_entry : unit -> ablation_row list
+(** Unixbench Context1 on μFork with sealed-capability entries vs forced
+    trap entries — the cost of not having CHERI sealed entry points. *)
+
+val ablate_isolation : unit -> ablation_row list
+(** Redis 10 MB save time under No/Fault/Full isolation (+TOCTTOU). *)
+
+(** {1 Fragmentation study (§6)} *)
+
+type fragmentation_row = {
+  scenario : string;
+  churn : int;
+  arena_mb : float;
+  live_mb : float;
+}
+
+val ablate_fragmentation : ?churn:int -> unit -> fragmentation_row list
+(** Virtual-arena high-water vs live bytes after fork/exit churn with
+    uniform-size processes (areas recycle perfectly) and with interleaved
+    mixed sizes (first-fit holes accumulate) — quantifying §6's
+    fragmentation discussion. *)

@@ -1,0 +1,33 @@
+module Prng = Ufork_util.Prng
+
+let key i = Printf.sprintf "key:%08d" i
+
+let value ~seed ~index ~len =
+  let g = Prng.create ~seed:(Int64.add seed (Int64.of_int (index * 2654435761))) in
+  let block = Prng.bytes g 64 in
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min 64 (len - !pos) in
+    Bytes.blit block 0 out !pos n;
+    pos := !pos + n
+  done;
+  out
+
+let populate store ~entries ~value_len ~seed =
+  for i = 0 to entries - 1 do
+    Ufork_apps.Kvstore.set store ~key:(key i)
+      ~value:(value ~seed ~index:i ~len:value_len)
+  done
+
+let expected_entries ~entries ~value_len ~seed =
+  List.init entries (fun i -> (key i, value ~seed ~index:i ~len:value_len))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let db_sizes_of_paper =
+  [
+    ("100 KB", 1, 100 * 1024);
+    ("1 MB", 10, 100 * 1024);
+    ("10 MB", 100, 100 * 1024);
+    ("100 MB", 1000, 100 * 1024);
+  ]

@@ -1,0 +1,24 @@
+(** Deterministic keyspaces and values for the Redis experiments.
+
+    The paper populates the database "with different amounts of 100 KB
+    entries" (§5.1); [populate] reproduces that, with values filled by a
+    cheap deterministic pattern (content does not affect timing, only
+    bytes moved — and the dump checker verifies it round-trips). *)
+
+val key : int -> string
+(** ["key:%08d"]. *)
+
+val value : seed:int64 -> index:int -> len:int -> bytes
+(** Deterministic pseudo-random-looking payload: a 64-byte block derived
+    from (seed, index) tiled to [len]. *)
+
+val populate :
+  Ufork_apps.Kvstore.t -> entries:int -> value_len:int -> seed:int64 -> unit
+
+val expected_entries :
+  entries:int -> value_len:int -> seed:int64 -> (string * bytes) list
+(** What a dump of the populated store must contain (sorted by key). *)
+
+val db_sizes_of_paper : (string * int * int) list
+(** Fig. 3–5 sweep: (label, entries, value_len) from 100 KB to 100 MB of
+    100 KB entries. *)

@@ -1,0 +1,283 @@
+(* Tests for the CHERI capability model: the architectural rules μFork's
+   security argument depends on (§2.4, §4.3). *)
+
+module Perms = Ufork_cheri.Perms
+module Otype = Ufork_cheri.Otype
+module Capability = Ufork_cheri.Capability
+
+let violation f =
+  match f () with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Capability.Violation"
+
+(* --- Perms --- *)
+
+let test_perms_lattice () =
+  Alcotest.(check bool) "subset refl" true
+    (Perms.is_subset ~sub:Perms.user_data ~super:Perms.user_data);
+  Alcotest.(check bool) "user < all" true
+    (Perms.is_subset ~sub:Perms.user_data ~super:Perms.all);
+  Alcotest.(check bool) "all not < user" false
+    (Perms.is_subset ~sub:Perms.all ~super:Perms.user_data);
+  Alcotest.(check bool) "user_data has no system" false
+    (Perms.has Perms.user_data Perms.system);
+  Alcotest.(check bool) "user_code has no store" false
+    (Perms.has Perms.user_code Perms.store)
+
+let test_perms_ops () =
+  let p = Perms.union Perms.load Perms.store in
+  Alcotest.(check bool) "union" true (Perms.has p Perms.load && Perms.has p Perms.store);
+  let q = Perms.remove p Perms.store in
+  Alcotest.(check bool) "remove" false (Perms.has q Perms.store);
+  Alcotest.(check bool) "intersect" true
+    (Perms.equal (Perms.intersect p Perms.load) Perms.load);
+  Alcotest.(check bool) "roundtrip int" true
+    (Perms.equal p (Perms.of_int (Perms.to_int p)))
+
+(* --- Otype --- *)
+
+let test_otype () =
+  Alcotest.(check bool) "unsealed" false (Otype.is_sealed Otype.unsealed);
+  Alcotest.(check bool) "syscall sealed" true (Otype.is_sealed Otype.syscall_entry);
+  let a = Otype.fresh () and b = Otype.fresh () in
+  Alcotest.(check bool) "fresh distinct" false (Otype.equal a b)
+
+(* --- Capability construction and monotonicity --- *)
+
+let root () = Capability.root ()
+
+let test_mint_basic () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0x1000 ~length:0x100
+      ~perms:Perms.user_data
+  in
+  Alcotest.(check int) "base" 0x1000 (Capability.base c);
+  Alcotest.(check int) "length" 0x100 (Capability.length c);
+  Alcotest.(check int) "limit" 0x1100 (Capability.limit c);
+  Alcotest.(check int) "cursor at base" 0x1000 (Capability.cursor c);
+  Alcotest.(check bool) "tagged" true (Capability.tag c)
+
+let test_mint_monotonic_bounds () =
+  let parent =
+    Capability.mint ~parent:(root ()) ~base:0x1000 ~length:0x100
+      ~perms:Perms.user_data
+  in
+  violation (fun () ->
+      Capability.mint ~parent ~base:0xf00 ~length:0x10 ~perms:Perms.user_data);
+  violation (fun () ->
+      Capability.mint ~parent ~base:0x1000 ~length:0x200 ~perms:Perms.user_data)
+
+let test_mint_monotonic_perms () =
+  let parent =
+    Capability.mint ~parent:(root ()) ~base:0x1000 ~length:0x100
+      ~perms:Perms.load
+  in
+  violation (fun () ->
+      Capability.mint ~parent ~base:0x1000 ~length:0x10
+        ~perms:(Perms.union Perms.load Perms.store))
+
+let test_mint_from_untagged () =
+  violation (fun () ->
+      Capability.mint ~parent:Capability.null ~base:0 ~length:1
+        ~perms:Perms.empty)
+
+let test_set_bounds_narrows () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0x1000 ~length:0x100
+      ~perms:Perms.user_data
+  in
+  let n = Capability.set_bounds c ~base:0x1010 ~length:0x20 in
+  Alcotest.(check int) "narrowed base" 0x1010 (Capability.base n);
+  Alcotest.(check int) "cursor clamped" 0x1010 (Capability.cursor n);
+  violation (fun () -> Capability.set_bounds c ~base:0x1000 ~length:0x101)
+
+let test_restrict_perms_intersects () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0 ~length:16 ~perms:Perms.user_data
+  in
+  let r = Capability.restrict_perms c Perms.load in
+  Alcotest.(check bool) "only load" true (Perms.equal (Capability.perms r) Perms.load)
+
+(* --- Access checks --- *)
+
+let test_check_access () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0x1000 ~length:0x100
+      ~perms:Perms.user_data
+  in
+  Capability.check_access c ~perm:Perms.load ~addr:0x1000 ~len:0x100;
+  violation (fun () ->
+      Capability.check_access c ~perm:Perms.load ~addr:0xfff ~len:2;
+      ());
+  violation (fun () ->
+      Capability.check_access c ~perm:Perms.load ~addr:0x10ff ~len:2;
+      ());
+  violation (fun () ->
+      Capability.check_access c ~perm:Perms.execute ~addr:0x1000 ~len:1;
+      ())
+
+let test_untagged_access () =
+  violation (fun () ->
+      Capability.check_access
+        (Capability.clear_tag
+           (Capability.mint ~parent:(root ()) ~base:0 ~length:16
+              ~perms:Perms.user_data))
+        ~perm:Perms.load ~addr:0 ~len:1;
+      ())
+
+let test_contains_in_range () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:100 ~length:10 ~perms:Perms.load
+  in
+  Alcotest.(check bool) "contains" true (Capability.contains c 105);
+  Alcotest.(check bool) "excl limit" false (Capability.contains c 110);
+  Alcotest.(check bool) "in_range" true (Capability.in_range c ~lo:100 ~hi:110);
+  Alcotest.(check bool) "not in smaller" false
+    (Capability.in_range c ~lo:101 ~hi:110)
+
+(* --- Sealing --- *)
+
+let test_sealing_rules () =
+  let auth = root () in
+  let c =
+    Capability.mint ~parent:auth ~base:0x2000 ~length:0x10
+      ~perms:Perms.(union user_code (union seal unseal))
+  in
+  let sealed = Capability.seal ~authority:auth c Otype.syscall_entry in
+  Alcotest.(check bool) "sealed" true (Capability.is_sealed sealed);
+  (* A sealed capability is immutable and non-dereferenceable. *)
+  violation (fun () -> Capability.with_cursor sealed 0);
+  violation (fun () ->
+      Capability.check_access sealed ~perm:Perms.load ~addr:0x2000 ~len:1;
+      ());
+  violation (fun () -> Capability.seal ~authority:auth sealed Otype.syscall_entry);
+  let unsealed = Capability.unseal ~authority:auth sealed in
+  Alcotest.(check bool) "unsealed" false (Capability.is_sealed unsealed)
+
+let test_seal_requires_authority () =
+  let weak =
+    Capability.mint ~parent:(root ()) ~base:0 ~length:16 ~perms:Perms.user_data
+  in
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0x10 ~length:16
+      ~perms:Perms.user_code
+  in
+  violation (fun () -> Capability.seal ~authority:weak c Otype.syscall_entry);
+  let sealed = Capability.seal ~authority:(root ()) c Otype.syscall_entry in
+  violation (fun () -> Capability.unseal ~authority:weak sealed)
+
+let test_invoke () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0x3000 ~length:0x100
+      ~perms:Perms.user_code
+  in
+  let sealed = Capability.seal ~authority:(root ()) c Otype.syscall_entry in
+  let pcc = Capability.invoke sealed in
+  Alcotest.(check bool) "invoke unseals" false (Capability.is_sealed pcc);
+  (* Only sealed, executable capabilities can be invoked. *)
+  violation (fun () -> Capability.invoke c);
+  let data =
+    Capability.mint ~parent:(root ()) ~base:0 ~length:16 ~perms:Perms.user_data
+  in
+  let sealed_data = Capability.seal ~authority:(root ()) data (Otype.fresh ()) in
+  violation (fun () -> Capability.invoke sealed_data)
+
+(* --- Relocation --- *)
+
+let test_rebase () =
+  let c =
+    Capability.mint ~parent:(root ()) ~base:0x1000 ~length:0x40
+      ~perms:Perms.user_data
+  in
+  let c = Capability.with_cursor c 0x1010 in
+  let r = Capability.rebase c ~delta:0x1_0000 in
+  Alcotest.(check int) "base moved" 0x11000 (Capability.base r);
+  Alcotest.(check int) "cursor moved" 0x11010 (Capability.cursor r);
+  Alcotest.(check int) "length kept" 0x40 (Capability.length r);
+  Alcotest.(check bool) "tag kept" true (Capability.tag r);
+  Alcotest.(check bool) "perms kept" true
+    (Perms.equal (Capability.perms r) (Capability.perms c))
+
+(* --- Properties --- *)
+
+let cap_gen =
+  QCheck.Gen.(
+    let* base = int_range 0 0xffff in
+    let* len = int_range 0 0xffff in
+    let* cur = int_range 0 0x1ffff in
+    return
+      (Capability.with_cursor
+         (Capability.mint ~parent:(Capability.root ()) ~base ~length:len
+            ~perms:Perms.user_data)
+         cur))
+
+let arb_cap = QCheck.make ~print:(Format.asprintf "%a" Capability.pp) cap_gen
+
+let prop_derived_within_parent =
+  QCheck.Test.make ~name:"derived caps stay within parent bounds" ~count:300
+    QCheck.(pair arb_cap (pair small_nat small_nat))
+    (fun (parent, (off, len)) ->
+      let base = Capability.base parent + off
+      and plen = Capability.length parent in
+      if off > plen || len > plen - off then true
+      else
+        let c =
+          Capability.mint ~parent ~base ~length:len ~perms:Perms.user_data
+        in
+        Capability.base c >= Capability.base parent
+        && Capability.limit c <= Capability.limit parent)
+
+let prop_narrowing_chain_monotonic =
+  QCheck.Test.make ~name:"narrowing chains never widen" ~count:300
+    QCheck.(pair arb_cap (list_of_size Gen.(0 -- 8) (pair small_nat small_nat)))
+    (fun (c0, steps) ->
+      let rec go c = function
+        | [] -> true
+        | (off, len) :: rest ->
+            let base = Capability.base c + (off mod max 1 (Capability.length c + 1)) in
+            let maxlen = Capability.limit c - base in
+            if maxlen < 0 then true
+            else
+              let len = len mod (maxlen + 1) in
+              let c' = Capability.set_bounds c ~base ~length:len in
+              Capability.base c' >= Capability.base c0
+              && Capability.limit c' <= Capability.limit c0
+              && go c' rest
+      in
+      go c0 steps)
+
+let prop_rebase_preserves_shape =
+  QCheck.Test.make ~name:"rebase preserves length/perms/tag" ~count:300
+    QCheck.(pair arb_cap (int_range (-1000) 100000))
+    (fun (c, delta) ->
+      let r = Capability.rebase c ~delta in
+      Capability.length r = Capability.length c
+      && Capability.tag r = Capability.tag c
+      && Perms.equal (Capability.perms r) (Capability.perms c)
+      && Capability.cursor r - Capability.base r
+         = Capability.cursor c - Capability.base c)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("perms lattice", `Quick, test_perms_lattice);
+    ("perms ops", `Quick, test_perms_ops);
+    ("otype", `Quick, test_otype);
+    ("mint basic", `Quick, test_mint_basic);
+    ("mint monotonic bounds", `Quick, test_mint_monotonic_bounds);
+    ("mint monotonic perms", `Quick, test_mint_monotonic_perms);
+    ("mint from untagged", `Quick, test_mint_from_untagged);
+    ("set_bounds narrows", `Quick, test_set_bounds_narrows);
+    ("restrict_perms", `Quick, test_restrict_perms_intersects);
+    ("check_access", `Quick, test_check_access);
+    ("untagged access", `Quick, test_untagged_access);
+    ("contains/in_range", `Quick, test_contains_in_range);
+    ("sealing rules", `Quick, test_sealing_rules);
+    ("seal authority", `Quick, test_seal_requires_authority);
+    ("invoke", `Quick, test_invoke);
+    ("rebase", `Quick, test_rebase);
+    qt prop_derived_within_parent;
+    qt prop_narrowing_chain_monotonic;
+    qt prop_rebase_preserves_shape;
+  ]

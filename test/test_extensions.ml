@@ -1,0 +1,462 @@
+(* Tests for the paper's discussion/future-work features implemented as
+   extensions: shared memory (§3.7), ASLR (§3.7), posix_spawn (§2.3),
+   SIGKILL delivery (§4.5), and the sealed syscall-entry capability
+   (§4.2/§4.4). *)
+
+module Addr = Ufork_mem.Addr
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Capability = Ufork_cheri.Capability
+module Perms = Ufork_cheri.Perms
+module Meter = Ufork_sim.Meter
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+module Api = Ufork_sas.Api
+module Uproc = Ufork_sas.Uproc
+module Kernel = Ufork_sas.Kernel
+module Strategy = Ufork_core.Strategy
+module Os = Ufork_core.Os
+module Monolithic = Ufork_baselines.Monolithic
+
+let run_os ?(cores = 4) ?(strategy = Strategy.Copa) ?config
+    ?(image = Image.hello) f =
+  let os = Os.boot ~cores ?config ~strategy () in
+  let result = ref None in
+  let _ = Os.start os ~image (fun api -> result := Some (f os api)) in
+  Os.run os;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "init process did not complete"
+
+(* --- Shared memory --- *)
+
+let test_shm_roundtrip () =
+  let v =
+    run_os (fun _os api ->
+        let shm = api.Api.shm_open "/seg" 8192 in
+        api.Api.write_u64 shm ~off:100 42L;
+        api.Api.read_u64 shm ~off:100)
+  in
+  Alcotest.(check int64) "rw through shm window" 42L v
+
+let test_shm_shared_across_fork () =
+  (* The whole point: unlike ordinary memory, shm writes are VISIBLE
+     across the fork boundary, both directions. *)
+  let child_saw, parent_sees =
+    run_os (fun _os api ->
+        let shm = api.Api.shm_open "/seg" 4096 in
+        api.Api.write_u64 shm ~off:0 1L;
+        let rfd, wfd = api.Api.pipe () in
+        ignore
+          (api.Api.fork (fun capi ->
+               let shm' = capi.Api.reloc shm in
+               let saw = capi.Api.read_u64 shm' ~off:0 in
+               (* Child publishes through the segment... *)
+               capi.Api.write_u64 shm' ~off:8 2L;
+               ignore (capi.Api.write wfd (Bytes.of_string "g"));
+               capi.Api.exit (Int64.to_int saw)));
+        ignore (api.Api.read rfd 1);
+        let from_child = api.Api.read_u64 shm ~off:8 in
+        let _, status = api.Api.wait () in
+        (status, from_child))
+  in
+  Alcotest.(check int) "child saw parent's value" 1 child_saw;
+  Alcotest.(check int64) "parent sees child's write" 2L parent_sees
+
+let test_shm_by_name_between_unrelated_procs () =
+  let seen =
+    run_os (fun os api ->
+        let shm = api.Api.shm_open "/bus" 4096 in
+        api.Api.write_u64 shm ~off:0 77L;
+        ignore os;
+        (* A spawned (not forked) process attaches by name. *)
+        let rfd, wfd = api.Api.pipe () in
+        ignore
+          (api.Api.spawn (fun sapi ->
+               let shm' = sapi.Api.shm_open "/bus" 4096 in
+               let v = sapi.Api.read_u64 shm' ~off:0 in
+               ignore (sapi.Api.write wfd (Bytes.of_string "g"));
+               sapi.Api.exit (Int64.to_int v)));
+        ignore (api.Api.read rfd 1);
+        let _, status = api.Api.wait () in
+        status)
+  in
+  Alcotest.(check int) "value crossed by name" 77 seen
+
+let test_shm_not_copied_at_fork () =
+  let copies =
+    run_os ~image:(Image.make ~heap_bytes:(512 * 1024) "shmtest")
+      (fun os api ->
+        let shm = api.Api.shm_open "/big" (16 * 4096) in
+        api.Api.write_bytes shm ~off:0 (Bytes.make 64 'x');
+        let m = Kernel.meter (Os.kernel os) in
+        ignore
+          (api.Api.fork (fun capi ->
+               let shm' = capi.Api.reloc shm in
+               (* Writes to shm never trigger CoW/CoPA copies. *)
+               let before =
+                 Meter.get m "page_copy_child" + Meter.get m "page_copy_cow"
+               in
+               for i = 0 to 15 do
+                 capi.Api.write_bytes shm' ~off:(i * 4096) (Bytes.make 8 'c')
+               done;
+               capi.Api.exit
+                 (Meter.get m "page_copy_child" + Meter.get m "page_copy_cow"
+                 - before)));
+        let _, st = api.Api.wait () in
+        ignore (Meter.get m "shm_share");
+        st)
+  in
+  Alcotest.(check int) "no copies for shm writes" 0 copies
+
+let test_shm_size_mismatch () =
+  let raised =
+    run_os (fun _os api ->
+        ignore (api.Api.shm_open "/s" 4096);
+        match api.Api.shm_open "/s" 8192 with
+        | exception Api.Sys_error _ -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "size mismatch rejected" true raised
+
+let test_shm_on_monolithic () =
+  (* Transparency: MAP_SHAREDish semantics also hold on the baseline. *)
+  let os = Monolithic.boot () in
+  let ok = ref false in
+  let _ =
+    Monolithic.start os ~image:Image.hello (fun api ->
+        let shm = api.Api.shm_open "/m" 4096 in
+        api.Api.write_u64 shm ~off:0 5L;
+        let rfd, wfd = api.Api.pipe () in
+        ignore
+          (api.Api.fork (fun capi ->
+               let shm' = capi.Api.reloc shm in
+               capi.Api.write_u64 shm' ~off:0 6L;
+               ignore (capi.Api.write wfd (Bytes.of_string "g"));
+               capi.Api.exit 0));
+        ignore (api.Api.read rfd 1);
+        ok := api.Api.read_u64 shm ~off:0 = 6L;
+        ignore (api.Api.wait ()))
+  in
+  Monolithic.run os;
+  Alcotest.(check bool) "shared on monolithic too" true !ok
+
+let test_shm_caps_relocated_to_same_frames () =
+  (* The child's relocated capability targets its own area, yet the
+     physical frames are the parent's: relocation + sharing compose. *)
+  let distinct_va, shared_value =
+    run_os (fun _os api ->
+        let shm = api.Api.shm_open "/f" 4096 in
+        api.Api.write_u64 shm ~off:0 9L;
+        let out = ref (false, 0L) in
+        ignore
+          (api.Api.fork (fun capi ->
+               let shm' = capi.Api.reloc shm in
+               out :=
+                 ( Capability.base shm' <> Capability.base shm,
+                   capi.Api.read_u64 shm' ~off:0 );
+               capi.Api.exit 0));
+        ignore (api.Api.wait ());
+        !out)
+  in
+  Alcotest.(check bool) "different virtual window" true distinct_va;
+  Alcotest.(check int64) "same frames" 9L shared_value
+
+(* --- Shared libraries (§3.7) --- *)
+
+let test_lib_shared_frames () =
+  (* Two unrelated processes mapping the same library share its frames:
+     physical memory does not grow with the second mapping. *)
+  let frames_equal =
+    run_os ~image:(Image.make ~heap_bytes:(1024 * 1024) "libtest")
+      (fun os api ->
+        let phys = Kernel.phys (Os.kernel os) in
+        let _lib = api.Api.map_library "/libssl" (64 * 1024) in
+        let rfd, wfd = api.Api.pipe () in
+        let spawn_saw = ref false in
+        ignore
+          (api.Api.spawn (fun sapi ->
+               let _lib2 = sapi.Api.map_library "/libssl" (64 * 1024) in
+               ignore (sapi.Api.write wfd (Bytes.of_string "g"));
+               sapi.Api.exit 0));
+        ignore (api.Api.read rfd 1);
+        spawn_saw := true;
+        ignore (api.Api.wait ());
+        (* Mapping the same library again allocates no new frames (the
+           window's PTEs alias the existing ones). *)
+        let before = Ufork_mem.Phys.frames_in_use phys in
+        let _lib3 = api.Api.map_library "/libssl" (64 * 1024) in
+        let after = Ufork_mem.Phys.frames_in_use phys in
+        !spawn_saw && after = before)
+  in
+  Alcotest.(check bool) "library frames shared" true frames_equal
+
+let test_lib_read_only () =
+  let blocked =
+    run_os (fun _os api ->
+        let lib = api.Api.map_library "/libc" 4096 in
+        match api.Api.write_bytes lib ~off:0 (Bytes.of_string "x") with
+        | exception Capability.Violation _ -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "library text immutable" true blocked
+
+let test_lib_executable_and_survives_fork () =
+  let ok =
+    run_os (fun _os api ->
+        let lib = api.Api.map_library "/libm" 4096 in
+        Alcotest.(check bool) "exec perm" true
+          (Perms.has (Capability.perms lib) Perms.execute);
+        ignore
+          (api.Api.fork (fun capi ->
+               let lib' = capi.Api.reloc lib in
+               (* Still readable and still the same shared content. *)
+               ignore (capi.Api.read_bytes lib' ~off:0 ~len:16);
+               capi.Api.exit 0));
+        snd (api.Api.wait ()) = 0)
+  in
+  Alcotest.(check bool) "library usable after fork" true ok
+
+(* --- posix_spawn --- *)
+
+let test_spawn_fresh_state () =
+  let status =
+    run_os (fun _os api ->
+        let c = api.Api.malloc 32 in
+        api.Api.write_u64 c ~off:0 123L;
+        api.Api.got_set 0 c;
+        ignore
+          (api.Api.spawn (fun sapi ->
+               (* A spawned process starts from a fresh image: its GOT is
+                  empty (untagged), unlike a forked child's. *)
+               let g = sapi.Api.got_get 0 in
+               sapi.Api.exit (if Capability.tag g then 1 else 0)));
+        snd (api.Api.wait ()))
+  in
+  Alcotest.(check int) "no inherited memory state" 0 status
+
+let test_spawn_inherits_fds () =
+  let got =
+    run_os (fun _os api ->
+        let rfd, wfd = api.Api.pipe () in
+        ignore
+          (api.Api.spawn (fun sapi ->
+               ignore (sapi.Api.write wfd (Bytes.of_string "spawned"));
+               sapi.Api.exit 0));
+        let b = api.Api.read rfd 7 in
+        ignore (api.Api.wait ());
+        Bytes.to_string b)
+  in
+  Alcotest.(check string) "pipe inherited" "spawned" got
+
+let test_spawn_cheaper_than_fork () =
+  let spawn_cost, fork_cost =
+    run_os ~image:(Image.redis ~heap_bytes:(8 * 1024 * 1024)) (fun _os api ->
+        (* Give the parent a fat heap so fork has PTEs to copy. *)
+        let c = api.Api.malloc (4 * 1024 * 1024) in
+        api.Api.write_bytes c ~off:0 (Bytes.make 64 'x');
+        let t0 = api.Api.now () in
+        ignore (api.Api.spawn (fun sapi -> sapi.Api.exit 0));
+        let spawn_cost = Int64.sub (api.Api.now ()) t0 in
+        ignore (api.Api.wait ());
+        let t1 = api.Api.now () in
+        ignore (api.Api.fork (fun capi -> capi.Api.exit 0));
+        let fork_cost = Int64.sub (api.Api.now ()) t1 in
+        ignore (api.Api.wait ());
+        (spawn_cost, fork_cost))
+  in
+  (* Spawn skips the state duplication but pays eager image mapping; for a
+     process with a big live heap fork costs more. *)
+  Alcotest.(check bool) "fork > spawn on a fat process" true
+    (fork_cost > spawn_cost)
+
+let test_spawn_wait_status () =
+  let pid_match =
+    run_os (fun _os api ->
+        let pid = api.Api.spawn (fun sapi -> sapi.Api.exit 9) in
+        let wpid, status = api.Api.wait () in
+        wpid = pid && status = 9)
+  in
+  Alcotest.(check bool) "spawn children are waitable" true pid_match
+
+(* --- kill --- *)
+
+let test_kill_at_next_syscall () =
+  let status =
+    run_os (fun _os api ->
+        let rfd, wfd = api.Api.pipe () in
+        let pid =
+          api.Api.fork (fun capi ->
+              ignore (capi.Api.write wfd (Bytes.of_string "r"));
+              (* Compute for a long time, then hit a syscall: the kill
+                 lands there. *)
+              capi.Api.compute 1_000_000L;
+              ignore (capi.Api.getpid ());
+              ignore (capi.Api.write wfd (Bytes.of_string "x"));
+              capi.Api.exit 0)
+        in
+        ignore (api.Api.read rfd 1);
+        api.Api.kill pid;
+        snd (api.Api.wait ()))
+  in
+  Alcotest.(check int) "killed with 137" 137 status
+
+let test_kill_blocked_in_wait () =
+  let status =
+    run_os (fun _os api ->
+        let ready_r, ready_w = api.Api.pipe () in
+        let never_r, _never_w = api.Api.pipe () in
+        let middle =
+          api.Api.fork (fun capi ->
+              (* This child forks a grandchild that never finishes, then
+                 blocks in wait() — the kill must wake it. *)
+              ignore
+                (capi.Api.fork (fun gapi ->
+                     ignore (gapi.Api.read never_r 1) (* blocks forever *)));
+              ignore (capi.Api.write ready_w (Bytes.of_string "w"));
+              ignore (capi.Api.wait ());
+              capi.Api.exit 0)
+        in
+        ignore (api.Api.read ready_r 1);
+        api.Api.kill middle;
+        let rec reap () =
+          let pid, st = api.Api.wait () in
+          if pid = middle then st else reap ()
+        in
+        reap ())
+  in
+  Alcotest.(check int) "blocked waiter killed" 137 status
+
+let test_kill_bad_pid () =
+  let raised =
+    run_os (fun _os api ->
+        match api.Api.kill 9999 with
+        | exception Api.Sys_error e -> e
+        | _ -> "")
+  in
+  Alcotest.(check string) "ESRCH" "ESRCH" raised
+
+(* --- ASLR --- *)
+
+let area_base_of_child ?config () =
+  run_os ?config (fun os api ->
+      let pid = api.Api.fork (fun capi -> capi.Api.exit 0) in
+      ignore (api.Api.wait ());
+      match Kernel.find_uproc (Os.kernel os) pid with
+      | Some u -> u.Uproc.area_base
+      | None -> -1)
+
+let test_aslr_randomizes_bases () =
+  let base_a =
+    area_base_of_child ~config:(Config.with_aslr 1L Config.ufork_fast) ()
+  in
+  let base_b =
+    area_base_of_child ~config:(Config.with_aslr 99L Config.ufork_fast) ()
+  in
+  let base_off = area_base_of_child () in
+  Alcotest.(check bool) "seeds change layout" true (base_a <> base_b);
+  Alcotest.(check bool) "aslr shifts vs no aslr" true
+    (base_a <> base_off || base_b <> base_off);
+  Alcotest.(check bool) "still page aligned" true
+    (base_a mod Addr.page_size = 0 && base_b mod Addr.page_size = 0)
+
+let test_aslr_everything_still_works () =
+  let ok =
+    run_os ~config:(Config.with_aslr 7L Config.ufork_fast) (fun _os api ->
+        let c = api.Api.malloc 64 in
+        api.Api.write_bytes c ~off:0 (Bytes.of_string "aslr");
+        api.Api.got_set 0 c;
+        ignore
+          (api.Api.fork (fun capi ->
+               let v =
+                 Bytes.to_string
+                   (capi.Api.read_bytes (capi.Api.got_get 0) ~off:0 ~len:4)
+               in
+               capi.Api.exit (if v = "aslr" then 0 else 1)));
+        snd (api.Api.wait ()) = 0)
+  in
+  Alcotest.(check bool) "fork + relocation under ASLR" true ok
+
+(* --- Sealed entry capability --- *)
+
+let test_entry_cap_is_sealed () =
+  let os = Os.boot () in
+  let cap = Kernel.syscall_entry_cap (Os.kernel os) in
+  Alcotest.(check bool) "sealed" true (Capability.is_sealed cap);
+  (* Not dereferenceable... *)
+  (match Capability.check_access cap ~perm:Perms.load ~addr:(Capability.base cap) ~len:1 with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "sealed cap dereferenced");
+  (* ...not modifiable... *)
+  (match Capability.with_cursor cap 0 with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "sealed cap modified");
+  (* ...but invocable (that is the system call). *)
+  let pcc = Capability.invoke cap in
+  Alcotest.(check bool) "invoke yields kernel PCC" true
+    (not (Capability.is_sealed pcc) && Perms.has (Capability.perms pcc) Perms.execute)
+
+let test_entry_cap_cannot_be_unsealed_by_user () =
+  let os = Os.boot () in
+  let kernel = Os.kernel os in
+  let cap = Kernel.syscall_entry_cap kernel in
+  (* A user capability has no Unseal permission. *)
+  let user =
+    Capability.mint ~parent:(Kernel.root_cap kernel) ~base:0x40000000
+      ~length:16 ~perms:Perms.user_data
+  in
+  match Capability.unseal ~authority:user cap with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "user unsealed the kernel entry"
+
+(* --- Fragmentation accounting (§6) --- *)
+
+let test_area_reuse_bounds_arena () =
+  (* Fork/exit churn must not grow the arena: reaped areas are recycled. *)
+  let spans =
+    run_os (fun os api ->
+        let kernel = Os.kernel os in
+        let span () =
+          Hashtbl.length (Hashtbl.create 0) |> ignore;
+          (* measure via area registry of live procs *)
+          ignore kernel;
+          ()
+        in
+        ignore span;
+        let bases = ref [] in
+        for _ = 1 to 20 do
+          let pid = api.Api.fork (fun capi -> capi.Api.exit 0) in
+          (match Kernel.find_uproc kernel pid with
+          | Some u -> bases := u.Uproc.area_base :: !bases
+          | None -> ());
+          ignore (api.Api.wait ())
+        done;
+        List.sort_uniq compare !bases)
+  in
+  Alcotest.(check int) "all 20 children reused one area" 1 (List.length spans)
+
+let suite =
+  [
+    ("shm roundtrip", `Quick, test_shm_roundtrip);
+    ("shm shared across fork", `Quick, test_shm_shared_across_fork);
+    ("shm by name", `Quick, test_shm_by_name_between_unrelated_procs);
+    ("shm never copied at fork", `Quick, test_shm_not_copied_at_fork);
+    ("shm size mismatch", `Quick, test_shm_size_mismatch);
+    ("shm on monolithic", `Quick, test_shm_on_monolithic);
+    ("shm relocation composes", `Quick, test_shm_caps_relocated_to_same_frames);
+    ("lib shared frames", `Quick, test_lib_shared_frames);
+    ("lib read only", `Quick, test_lib_read_only);
+    ("lib exec + fork", `Quick, test_lib_executable_and_survives_fork);
+    ("spawn fresh state", `Quick, test_spawn_fresh_state);
+    ("spawn inherits fds", `Quick, test_spawn_inherits_fds);
+    ("spawn cheaper than fork", `Quick, test_spawn_cheaper_than_fork);
+    ("spawn waitable", `Quick, test_spawn_wait_status);
+    ("kill at syscall", `Quick, test_kill_at_next_syscall);
+    ("kill blocked waiter", `Quick, test_kill_blocked_in_wait);
+    ("kill bad pid", `Quick, test_kill_bad_pid);
+    ("aslr randomizes", `Quick, test_aslr_randomizes_bases);
+    ("aslr still correct", `Quick, test_aslr_everything_still_works);
+    ("entry cap sealed", `Quick, test_entry_cap_is_sealed);
+    ("entry cap unsealable", `Quick, test_entry_cap_cannot_be_unsealed_by_user);
+    ("area reuse bounds arena", `Quick, test_area_reuse_bounds_arena);
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "ufork"
+    [
+      ("util", Test_util.suite);
+      ("cheri", Test_cheri.suite);
+      ("mem", Test_mem.suite);
+      ("sim", Test_sim.suite);
+      ("sas", Test_sas.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("apps", Test_apps.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_props.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,353 @@
+(* Tests for tagged memory, physical frames, page tables and the MMU. *)
+
+module Addr = Ufork_mem.Addr
+module Page = Ufork_mem.Page
+module Phys = Ufork_mem.Phys
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Vas = Ufork_mem.Vas
+module Capability = Ufork_cheri.Capability
+module Perms = Ufork_cheri.Perms
+
+(* --- Addr --- *)
+
+let test_addr_basics () =
+  Alcotest.(check int) "vpn" 3 (Addr.vpn_of_addr (3 * 4096 + 17));
+  Alcotest.(check int) "addr of vpn" (3 * 4096) (Addr.addr_of_vpn 3);
+  Alcotest.(check int) "offset" 17 (Addr.page_offset (3 * 4096 + 17));
+  Alcotest.(check int) "granules" 256 Addr.granules_per_page;
+  Alcotest.(check int) "pages for 1 byte" 1 (Addr.bytes_to_pages 1);
+  Alcotest.(check int) "pages for 4096" 1 (Addr.bytes_to_pages 4096);
+  Alcotest.(check int) "pages for 4097" 2 (Addr.bytes_to_pages 4097);
+  Alcotest.(check int) "span none" 0 (Addr.pages_spanned ~addr:0 ~len:0);
+  Alcotest.(check int) "span crossing" 2
+    (Addr.pages_spanned ~addr:4090 ~len:10)
+
+let prop_align =
+  QCheck.Test.make ~name:"align_up/down sandwich" ~count:300
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 6))
+    (fun (v, k) ->
+      let a = 1 lsl (k + 1) in
+      let up = Addr.align_up v a and down = Addr.align_down v a in
+      down <= v && v <= up && up - down < a + a && up mod a = 0
+      && down mod a = 0)
+
+(* --- Page --- *)
+
+let mk_cap ?(base = 0x4000) ?(len = 64) () =
+  Capability.mint ~parent:(Capability.root ()) ~base ~length:len
+    ~perms:Perms.user_data
+
+let test_page_rw () =
+  let p = Page.create () in
+  Page.write_bytes p ~off:100 (Bytes.of_string "hello");
+  Alcotest.(check string) "readback" "hello"
+    (Bytes.to_string (Page.read_bytes p ~off:100 ~len:5));
+  Page.write_u64 p ~off:200 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Page.read_u64 p ~off:200);
+  Page.write_u8 p ~off:0 0x1ff;
+  Alcotest.(check int) "u8 masked" 0xff (Page.read_u8 p ~off:0)
+
+let test_page_bounds () =
+  let p = Page.create () in
+  Alcotest.check_raises "oob" (Invalid_argument "Page: access out of page bounds")
+    (fun () -> ignore (Page.read_bytes p ~off:4090 ~len:10))
+
+let test_page_cap_roundtrip () =
+  let p = Page.create () in
+  let c = mk_cap () in
+  Page.store_cap p ~off:32 c;
+  Alcotest.(check bool) "tag set" true (Page.tag_at p ~off:32);
+  let c' = Page.load_cap p ~off:32 in
+  Alcotest.(check bool) "equal" true (Capability.equal c c');
+  (* The raw bytes mirror the cursor. *)
+  Alcotest.(check int64) "cursor mirrored" (Int64.of_int (Capability.cursor c))
+    (Page.read_u64 p ~off:32)
+
+let test_page_tag_clear_on_write () =
+  let p = Page.create () in
+  Page.store_cap p ~off:16 (mk_cap ());
+  (* Any raw byte store overlapping the granule clears the tag. *)
+  Page.write_u8 p ~off:20 7;
+  Alcotest.(check bool) "tag cleared" false (Page.tag_at p ~off:16);
+  let c = Page.load_cap p ~off:16 in
+  Alcotest.(check bool) "load yields untagged" false (Capability.tag c)
+
+let test_page_tag_clear_edge () =
+  let p = Page.create () in
+  Page.store_cap p ~off:16 (mk_cap ());
+  Page.store_cap p ~off:48 (mk_cap ());
+  (* A write spanning [15..17) touches granules 0 and 1 only. *)
+  Page.write_bytes p ~off:15 (Bytes.make 2 'x');
+  Alcotest.(check bool) "granule 1 cleared" false (Page.tag_at p ~off:16);
+  Alcotest.(check bool) "granule 3 untouched" true (Page.tag_at p ~off:48)
+
+let test_page_store_untagged_clears () =
+  let p = Page.create () in
+  Page.store_cap p ~off:0 (mk_cap ());
+  Page.store_cap p ~off:0 (Capability.clear_tag (mk_cap ()));
+  Alcotest.(check bool) "cleared" false (Page.tag_at p ~off:0)
+
+let test_page_alignment () =
+  let p = Page.create () in
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Page: capability access must be 16-byte aligned")
+    (fun () -> Page.store_cap p ~off:8 (mk_cap ()))
+
+let test_page_copy_deep () =
+  let p = Page.create () in
+  Page.store_cap p ~off:64 (mk_cap ());
+  Page.write_bytes p ~off:0 (Bytes.of_string "abc");
+  let q = Page.copy p in
+  Page.write_bytes q ~off:0 (Bytes.of_string "xyz");
+  Page.write_u8 q ~off:64 0 (* clears tag in q only *);
+  Alcotest.(check string) "p data intact" "abc"
+    (Bytes.to_string (Page.read_bytes p ~off:0 ~len:3));
+  Alcotest.(check bool) "p tag intact" true (Page.tag_at p ~off:64);
+  Alcotest.(check bool) "q tag cleared" false (Page.tag_at q ~off:64)
+
+let test_page_iter_map_caps () =
+  let p = Page.create () in
+  Page.store_cap p ~off:0 (mk_cap ~base:0x1000 ());
+  Page.store_cap p ~off:240 (mk_cap ~base:0x2000 ());
+  Alcotest.(check int) "count" 2 (Page.tagged_count p);
+  Alcotest.(check (list int)) "granules" [ 0; 15 ] (Page.tagged_granules p);
+  Page.map_caps p (fun c -> Capability.rebase c ~delta:0x100);
+  let c = Page.load_cap p ~off:0 in
+  Alcotest.(check int) "relocated" 0x1100 (Capability.base c)
+
+let prop_page_write_preserves_other_bytes =
+  QCheck.Test.make ~name:"page writes localized" ~count:200
+    QCheck.(pair (int_range 0 4000) (string_of_size Gen.(1 -- 64)))
+    (fun (off, s) ->
+      QCheck.assume (off + String.length s <= 4096);
+      let p = Page.create () in
+      Page.write_bytes p ~off (Bytes.of_string s);
+      (* Bytes before and after are still zero. *)
+      (off = 0 || Page.read_u8 p ~off:(off - 1) = 0)
+      && (off + String.length s >= 4096
+         || Page.read_u8 p ~off:(off + String.length s) = 0)
+      && Bytes.to_string (Page.read_bytes p ~off ~len:(String.length s)) = s)
+
+(* --- Phys --- *)
+
+let test_phys_refcount () =
+  let t = Phys.create () in
+  let f = Phys.alloc t in
+  Alcotest.(check int) "rc 1" 1 (Phys.refcount f);
+  Phys.retain t f;
+  Alcotest.(check int) "rc 2" 2 (Phys.refcount f);
+  Phys.release t f;
+  Alcotest.(check int) "in use" 1 (Phys.frames_in_use t);
+  Phys.release t f;
+  Alcotest.(check int) "freed" 0 (Phys.frames_in_use t);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Phys.release: frame is free") (fun () ->
+      Phys.release t f)
+
+let test_phys_limit () =
+  let t = Phys.create ~limit_frames:2 () in
+  let _ = Phys.alloc t and _ = Phys.alloc t in
+  Alcotest.check_raises "oom" Phys.Out_of_memory (fun () ->
+      ignore (Phys.alloc t))
+
+let test_phys_peak () =
+  let t = Phys.create () in
+  let a = Phys.alloc t and b = Phys.alloc t in
+  Phys.release t a;
+  let _ = Phys.alloc t in
+  Alcotest.(check int) "peak" 2 (Phys.peak_frames t);
+  Alcotest.(check int) "total" 3 (Phys.total_allocated t);
+  Phys.release t b
+
+(* --- Page_table --- *)
+
+let test_pt_map_unmap () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  let f = Phys.alloc phys in
+  Page_table.map pt ~vpn:10 (Pte.make f);
+  Alcotest.(check bool) "mapped" true (Page_table.is_mapped pt ~vpn:10);
+  Alcotest.(check int) "count" 1 (Page_table.mapped_count pt);
+  (match Page_table.lookup pt ~vpn:10 with
+  | Some pte -> Alcotest.(check int) "frame" (Phys.id f) (Phys.id pte.Pte.frame)
+  | None -> Alcotest.fail "lookup");
+  Page_table.unmap pt ~vpn:10;
+  Alcotest.(check int) "frame released" 0 (Phys.frames_in_use phys)
+
+let test_pt_double_map () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  Page_table.map pt ~vpn:1 (Pte.make (Phys.alloc phys));
+  Alcotest.check_raises "double map"
+    (Invalid_argument "Page_table.map: vpn 0x1 already mapped") (fun () ->
+      Page_table.map pt ~vpn:1 (Pte.make (Phys.alloc phys)))
+
+let test_pt_share_and_replace () =
+  let phys = Phys.create () in
+  let pt1 = Page_table.create phys and pt2 = Page_table.create phys in
+  let f = Phys.alloc phys in
+  Page_table.map pt1 ~vpn:5 (Pte.make f);
+  Page_table.map_shared pt2 ~vpn:5 (Pte.make ~write:false f);
+  Alcotest.(check int) "shared rc" 2 (Phys.refcount f);
+  (* CoW resolution: point pt2 at a fresh frame. *)
+  let fresh = Phys.alloc phys in
+  Page_table.replace_frame pt2 ~vpn:5 fresh;
+  Alcotest.(check int) "old rc dropped" 1 (Phys.refcount f);
+  (match Page_table.lookup pt2 ~vpn:5 with
+  | Some pte -> Alcotest.(check int) "new frame" (Phys.id fresh) (Phys.id pte.Pte.frame)
+  | None -> Alcotest.fail "lookup")
+
+let test_pt_range_ops () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  List.iter
+    (fun v -> Page_table.map pt ~vpn:v (Pte.make (Phys.alloc phys)))
+    [ 2; 3; 5 ];
+  let seen = ref [] in
+  Page_table.iter_range pt ~vpn:0 ~count:10 (fun v _ -> seen := v :: !seen);
+  Alcotest.(check (list int)) "ascending with holes" [ 2; 3; 5 ]
+    (List.rev !seen);
+  Page_table.unmap_range pt ~vpn:0 ~count:4;
+  Alcotest.(check int) "only vpn 5 left" 1 (Page_table.mapped_count pt)
+
+(* --- Vas --- *)
+
+let setup_vas () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  (* Map vpns 1 and 2 rw; vpn 3 read-only; vpn 4 with cap-load fault. *)
+  Page_table.map pt ~vpn:1 (Pte.make (Phys.alloc phys));
+  Page_table.map pt ~vpn:2 (Pte.make (Phys.alloc phys));
+  Page_table.map pt ~vpn:3 (Pte.make ~write:false (Phys.alloc phys));
+  Page_table.map pt ~vpn:4 (Pte.make ~cap_load_fault:true (Phys.alloc phys));
+  let via =
+    Capability.mint ~parent:(Capability.root ()) ~base:4096 ~length:(4 * 4096)
+      ~perms:Perms.user_data
+  in
+  (pt, via)
+
+let test_vas_rw_cross_page () =
+  let pt, via = setup_vas () in
+  let s = String.init 100 (fun i -> Char.chr (i mod 256)) in
+  (* Write crossing the vpn1/vpn2 boundary. *)
+  Vas.write_bytes pt ~via ~addr:(2 * 4096 - 50) (Bytes.of_string s);
+  Alcotest.(check string) "cross-page roundtrip" s
+    (Bytes.to_string (Vas.read_bytes pt ~via ~addr:(2 * 4096 - 50) ~len:100))
+
+let test_vas_u64 () =
+  let pt, via = setup_vas () in
+  Vas.write_u64 pt ~via ~addr:5000 77L;
+  Alcotest.(check int64) "u64" 77L (Vas.read_u64 pt ~via ~addr:5000)
+
+let expect_fault access f =
+  match f () with
+  | exception Vas.Fault { access = a; _ } when a = access -> ()
+  | exception Vas.Fault { access = a; _ } ->
+      Alcotest.fail
+        (Format.asprintf "wrong fault: %a (expected %a)" Vas.pp_access a
+           Vas.pp_access access)
+  | _ -> Alcotest.fail "expected fault"
+
+let test_vas_write_fault_on_ro () =
+  let pt, via = setup_vas () in
+  expect_fault Vas.Write (fun () ->
+      Vas.write_bytes pt ~via ~addr:(3 * 4096) (Bytes.of_string "x"))
+
+let test_vas_unmapped_fault () =
+  let pt, via = setup_vas () in
+  ignore via;
+  let via5 =
+    Capability.mint ~parent:(Capability.root ()) ~base:(5 * 4096) ~length:64
+      ~perms:Perms.user_data
+  in
+  expect_fault Vas.Read (fun () ->
+      ignore (Vas.read_bytes pt ~via:via5 ~addr:(5 * 4096) ~len:1))
+
+let test_vas_cap_load_fault_bit () =
+  let pt, via = setup_vas () in
+  let c = mk_cap () in
+  (* Store through vpn 1 (no fault bit), load back fine. *)
+  Vas.store_cap pt ~via ~addr:(4096 + 16) c;
+  Alcotest.(check bool) "roundtrip" true
+    (Capability.equal c (Vas.load_cap pt ~via ~addr:(4096 + 16)));
+  (* vpn 4 has the CoPA bit: data reads fine, capability loads fault. *)
+  ignore (Vas.read_bytes pt ~via ~addr:(4 * 4096) ~len:16);
+  expect_fault Vas.Cap_load (fun () ->
+      ignore (Vas.load_cap pt ~via ~addr:(4 * 4096)))
+
+let test_vas_cap_checks_dominate () =
+  (* The capability check fires before the MMU lookup. *)
+  let pt, _ = setup_vas () in
+  let narrow =
+    Capability.mint ~parent:(Capability.root ()) ~base:4096 ~length:8
+      ~perms:Perms.user_data
+  in
+  (match Vas.read_bytes pt ~via:narrow ~addr:4096 ~len:16 with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation");
+  let no_store = Capability.restrict_perms narrow Perms.load in
+  match Vas.write_bytes pt ~via:no_store ~addr:4096 (Bytes.of_string "abc") with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation"
+
+let test_vas_unaligned_cap () =
+  let pt, via = setup_vas () in
+  match Vas.load_cap pt ~via ~addr:(4096 + 8) with
+  | exception Capability.Violation _ -> ()
+  | _ -> Alcotest.fail "expected Violation"
+
+let test_vas_kernel_paths () =
+  let pt, via = setup_vas () in
+  ignore via;
+  Vas.kernel_write_bytes pt ~addr:(3 * 4096) (Bytes.of_string "kernel");
+  Alcotest.(check string) "kernel write ignores perms" "kernel"
+    (Bytes.to_string (Vas.kernel_read_bytes pt ~addr:(3 * 4096) ~len:6));
+  let c = mk_cap () in
+  Vas.kernel_store_cap pt ~addr:(4 * 4096 + 32) c;
+  Alcotest.(check bool) "kernel cap load skips CoPA bit" true
+    (Capability.equal c (Vas.kernel_load_cap pt ~addr:(4 * 4096 + 32)))
+
+let prop_vas_roundtrip =
+  QCheck.Test.make ~name:"vas write/read roundtrip" ~count:200
+    QCheck.(pair (int_range 0 8100) (string_of_size Gen.(1 -- 200)))
+    (fun (off, s) ->
+      let pt, via = setup_vas () in
+      let addr = 4096 + off in
+      QCheck.assume (addr + String.length s <= 3 * 4096);
+      Vas.write_bytes pt ~via ~addr (Bytes.of_string s);
+      Bytes.to_string (Vas.read_bytes pt ~via ~addr ~len:(String.length s)) = s)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("addr basics", `Quick, test_addr_basics);
+    ("page rw", `Quick, test_page_rw);
+    ("page bounds", `Quick, test_page_bounds);
+    ("page cap roundtrip", `Quick, test_page_cap_roundtrip);
+    ("page tag clear on write", `Quick, test_page_tag_clear_on_write);
+    ("page tag clear edges", `Quick, test_page_tag_clear_edge);
+    ("page store untagged", `Quick, test_page_store_untagged_clears);
+    ("page cap alignment", `Quick, test_page_alignment);
+    ("page deep copy", `Quick, test_page_copy_deep);
+    ("page iter/map caps", `Quick, test_page_iter_map_caps);
+    ("phys refcount", `Quick, test_phys_refcount);
+    ("phys limit", `Quick, test_phys_limit);
+    ("phys peak", `Quick, test_phys_peak);
+    ("pt map/unmap", `Quick, test_pt_map_unmap);
+    ("pt double map", `Quick, test_pt_double_map);
+    ("pt share/replace", `Quick, test_pt_share_and_replace);
+    ("pt range ops", `Quick, test_pt_range_ops);
+    ("vas rw cross page", `Quick, test_vas_rw_cross_page);
+    ("vas u64", `Quick, test_vas_u64);
+    ("vas ro write fault", `Quick, test_vas_write_fault_on_ro);
+    ("vas unmapped fault", `Quick, test_vas_unmapped_fault);
+    ("vas CoPA fault bit", `Quick, test_vas_cap_load_fault_bit);
+    ("vas cap checks first", `Quick, test_vas_cap_checks_dominate);
+    ("vas unaligned cap", `Quick, test_vas_unaligned_cap);
+    ("vas kernel paths", `Quick, test_vas_kernel_paths);
+    qt prop_align;
+    qt prop_page_write_preserves_other_bytes;
+    qt prop_vas_roundtrip;
+  ]

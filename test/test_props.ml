@@ -1,0 +1,323 @@
+(* Deeper property tests cutting across subsystems: random fork trees,
+   byte-stream preservation through pipes, cross-system application
+   equivalence, and access atomicity under faults. *)
+
+module Addr = Ufork_mem.Addr
+module Vas = Ufork_mem.Vas
+module Pte = Ufork_mem.Pte
+module Phys = Ufork_mem.Phys
+module Page_table = Ufork_mem.Page_table
+module Capability = Ufork_cheri.Capability
+module Perms = Ufork_cheri.Perms
+module Image = Ufork_sas.Image
+module Api = Ufork_sas.Api
+module Kernel = Ufork_sas.Kernel
+module Vfs = Ufork_sas.Vfs
+module Strategy = Ufork_core.Strategy
+module Os = Ufork_core.Os
+module Monolithic = Ufork_baselines.Monolithic
+module Kvstore = Ufork_apps.Kvstore
+module Rdb = Ufork_apps.Rdb
+module Prng = Ufork_util.Prng
+
+let run_os ?(cores = 4) ?(strategy = Strategy.Copa) ?(image = Image.hello) f =
+  let os = Os.boot ~cores ~strategy () in
+  let result = ref None in
+  let _ = Os.start os ~image (fun api -> result := Some (f api)) in
+  Os.run os;
+  match !result with
+  | Some v -> v
+  | None -> QCheck.Test.fail_report "process did not complete"
+
+(* --- Random fork trees ---
+
+   Build a tree of processes, each writing a distinct stamp into its copy
+   of an inherited block. Every process must observe exactly its own
+   lineage's final stamp: nobody's write may leak anywhere else. *)
+
+let prop_fork_tree_isolation =
+  QCheck.Test.make ~name:"fork trees: writes never leak across branches"
+    ~count:20
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (depth, width) ->
+      run_os (fun api ->
+          let cell = api.Api.malloc 16 in
+          api.Api.write_u64 cell ~off:0 0L;
+          api.Api.got_set 0 cell;
+          let violations = ref 0 in
+          (* Each node stamps (its pid), spawns children, then re-checks
+             that its stamp is still in place after they all exit. *)
+          let rec node (napi : Api.t) level =
+            let c = napi.Api.got_get 0 in
+            let stamp = Int64.of_int (napi.Api.getpid ()) in
+            napi.Api.write_u64 c ~off:0 stamp;
+            if level < depth then begin
+              for _ = 1 to width do
+                ignore (napi.Api.fork (fun capi -> node capi (level + 1)))
+              done;
+              for _ = 1 to width do
+                ignore (napi.Api.wait ())
+              done
+            end;
+            if napi.Api.read_u64 c ~off:0 <> stamp then incr violations
+          in
+          node api 0;
+          !violations = 0))
+
+(* --- Pipe byte-stream preservation ---
+
+   Parent streams a random byte string to a child in random-size chunks;
+   the child reads in different random-size chunks and the concatenation
+   must be exact. Exercises pipe buffering, blocking, fd inheritance. *)
+
+let prop_pipe_stream =
+  QCheck.Test.make ~name:"pipes preserve byte streams across fork" ~count:20
+    QCheck.(pair int64 (string_of_size Gen.(1 -- 2000)))
+    (fun (seed, payload) ->
+      run_os (fun api ->
+          let rfd, wfd = api.Api.pipe () in
+          let back_r, back_w = api.Api.pipe () in
+          let g = Prng.create ~seed in
+          ignore
+            (api.Api.fork (fun capi ->
+                 (* The child echoes everything back in its own chunks. *)
+                 capi.Api.close wfd;
+                 let rec pump () =
+                   let n = 1 + Prng.int g 97 in
+                   let b = capi.Api.read rfd n in
+                   if Bytes.length b > 0 then begin
+                     ignore (capi.Api.write back_w b);
+                     pump ()
+                   end
+                 in
+                 pump ();
+                 capi.Api.close back_w;
+                 capi.Api.exit 0));
+          (* Parent writes the payload in random chunks, closes, then
+             reads the echo until its own EOF. *)
+          let g' = Prng.create ~seed:(Int64.add seed 1L) in
+          let len = String.length payload in
+          let pos = ref 0 in
+          while !pos < len do
+            let n = min (1 + Prng.int g' 131) (len - !pos) in
+            ignore
+              (api.Api.write wfd (Bytes.of_string (String.sub payload !pos n)));
+            pos := !pos + n
+          done;
+          api.Api.close wfd;
+          api.Api.close back_w;
+          let echoed = Buffer.create len in
+          let rec drain () =
+            let b = api.Api.read back_r 100 in
+            if Bytes.length b > 0 then begin
+              Buffer.add_bytes echoed b;
+              drain ()
+            end
+          in
+          drain ();
+          ignore (api.Api.wait ());
+          Buffer.contents echoed = payload))
+
+(* --- Cross-system application equivalence ---
+
+   The same random operation sequence against the kvstore produces the
+   same verified dump bytes on μFork and on the monolithic baseline:
+   transparency (R2) as a property. *)
+
+let apply_ops api ops =
+  let kv = Kvstore.create api ~buckets:8 () in
+  List.iter
+    (fun (k, v) ->
+      let key = Printf.sprintf "key%d" (k mod 12) in
+      if v = "" then ignore (Kvstore.delete kv ~key)
+      else Kvstore.set kv ~key ~value:(Bytes.of_string v))
+    ops;
+  ignore (Rdb.bgsave api kv ~path:"/dump.rdb")
+
+let dump_on_ufork ops =
+  let os = Os.boot () in
+  let _ =
+    Os.start os
+      ~image:(Image.make ~heap_bytes:(1024 * 1024) "kv")
+      (fun api -> apply_ops api ops)
+  in
+  Os.run os;
+  Vfs.contents (Kernel.vfs (Os.kernel os)) "/dump.rdb"
+
+let dump_on_monolithic ops =
+  let os = Monolithic.boot () in
+  let _ =
+    Monolithic.start os
+      ~image:(Image.make ~heap_bytes:(1024 * 1024) "kv")
+      (fun api -> apply_ops api ops)
+  in
+  Monolithic.run os;
+  Vfs.contents (Kernel.vfs (Monolithic.kernel os)) "/dump.rdb"
+
+let prop_cross_system_equivalence =
+  QCheck.Test.make
+    ~name:"same app, same ops, same dump on uFork and CheriBSD" ~count:10
+    QCheck.(
+      list_of_size Gen.(1 -- 40) (pair small_nat (string_of_size Gen.(0 -- 60))))
+    (fun ops ->
+      let a = dump_on_ufork ops and b = dump_on_monolithic ops in
+      (* Both parse, and byte-identical output. *)
+      ignore (Rdb.verify a);
+      a = b)
+
+(* --- Access atomicity under faults ---
+
+   A multi-page write that faults partway (read-only page in the middle)
+   must not have mutated anything: Vas validates the whole span before
+   moving bytes. *)
+
+let prop_vas_failed_write_leaves_no_trace =
+  QCheck.Test.make ~name:"failed multi-page writes mutate nothing" ~count:100
+    QCheck.(pair (int_range 0 4095) (int_range 2 8192))
+    (fun (off, len) ->
+      let phys = Phys.create () in
+      let pt = Page_table.create phys in
+      Page_table.map pt ~vpn:1 (Pte.make (Phys.alloc phys));
+      Page_table.map pt ~vpn:2 (Pte.make ~write:false (Phys.alloc phys));
+      Page_table.map pt ~vpn:3 (Pte.make (Phys.alloc phys));
+      let via =
+        Capability.mint ~parent:(Capability.root ()) ~base:4096
+          ~length:(3 * 4096) ~perms:Perms.user_data
+      in
+      let addr = 4096 + off in
+      QCheck.assume (addr + len <= 4 * 4096);
+      QCheck.assume (Addr.pages_spanned ~addr ~len >= 2 || Addr.vpn_of_addr addr = 2);
+      (* Touches the read-only page 2? Then it must fault... *)
+      let touches_ro = addr < 3 * 4096 && addr + len > 2 * 4096 in
+      let before = Vas.kernel_read_bytes pt ~addr:4096 ~len:(3 * 4096) in
+      match Vas.write_bytes pt ~via ~addr (Bytes.make len 'X') with
+      | () -> not touches_ro
+      | exception Vas.Fault _ ->
+          (* ...and leave every byte untouched. *)
+          touches_ro
+          && Vas.kernel_read_bytes pt ~addr:4096 ~len:(3 * 4096) = before)
+
+(* --- VFS vs a reference model ---
+
+   Random open/write/seek/read/rename/unlink sequences behave like a
+   simple string-map model. *)
+
+type vfs_op =
+  | Put of int * string
+  | Append of int * string
+  | Rename of int * int
+  | Unlink of int
+  | Check of int
+
+let vfs_op_gen =
+  QCheck.Gen.(
+    let name = int_range 0 4 in
+    frequency
+      [
+        (3, map2 (fun n s -> Put (n, s)) name (string_size (0 -- 50)));
+        (3, map2 (fun n s -> Append (n, s)) name (string_size (0 -- 50)));
+        (1, map2 (fun a b -> Rename (a, b)) name name);
+        (1, map (fun n -> Unlink n) name);
+        (3, map (fun n -> Check n) name);
+      ])
+
+let show_vfs_op = function
+  | Put (n, s) -> Printf.sprintf "Put(%d,%S)" n s
+  | Append (n, s) -> Printf.sprintf "Append(%d,%S)" n s
+  | Rename (a, b) -> Printf.sprintf "Rename(%d,%d)" a b
+  | Unlink n -> Printf.sprintf "Unlink(%d)" n
+  | Check n -> Printf.sprintf "Check(%d)" n
+
+let prop_vfs_model =
+  QCheck.Test.make ~name:"vfs = string-map model" ~count:200
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map show_vfs_op ops))
+       QCheck.Gen.(list_size (1 -- 60) vfs_op_gen))
+    (fun ops ->
+      let vfs = Vfs.create () in
+      let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let file n = Printf.sprintf "/f%d" n in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Put (n, s) ->
+              Vfs.put vfs (file n) s;
+              Hashtbl.replace model (file n) s
+          | Append (n, s) ->
+              let f = Vfs.open_ vfs (file n) `Append in
+              ignore (Vfs.write f (Bytes.of_string s));
+              Vfs.close f;
+              let old =
+                Option.value ~default:"" (Hashtbl.find_opt model (file n))
+              in
+              Hashtbl.replace model (file n) (old ^ s)
+          | Rename (a, b) -> (
+              match Vfs.rename vfs ~src:(file a) ~dst:(file b) with
+              | () ->
+                  let v = Hashtbl.find model (file a) in
+                  Hashtbl.remove model (file a);
+                  Hashtbl.replace model (file b) v;
+                  if a = b then () (* self-rename keeps the file *)
+              | exception Not_found ->
+                  if Hashtbl.mem model (file a) then ok := false)
+          | Unlink n -> (
+              match Vfs.unlink vfs (file n) with
+              | () ->
+                  if not (Hashtbl.mem model (file n)) then ok := false;
+                  Hashtbl.remove model (file n)
+              | exception Not_found ->
+                  if Hashtbl.mem model (file n) then ok := false)
+          | Check n -> (
+              match Vfs.contents vfs (file n) with
+              | got -> (
+                  match Hashtbl.find_opt model (file n) with
+                  | Some want -> if got <> want then ok := false
+                  | None -> ok := false)
+              | exception Not_found ->
+                  if Hashtbl.mem model (file n) then ok := false))
+        ops;
+      !ok
+      && Vfs.list vfs
+         = List.sort compare
+             (Hashtbl.fold (fun k _ acc -> k :: acc) model []))
+
+(* --- ASLR determinism ---
+
+   Same seed, same layout; the simulation stays reproducible even with
+   randomized bases. *)
+
+let prop_aslr_deterministic =
+  QCheck.Test.make ~name:"ASLR layouts deterministic per seed" ~count:20
+    QCheck.int64
+    (fun seed ->
+      let bases () =
+        let config = Ufork_sas.Config.with_aslr seed Ufork_sas.Config.ufork_fast in
+        let os = Os.boot ~config () in
+        let out = ref [] in
+        let _ =
+          Os.start os ~image:Image.hello (fun api ->
+              for _ = 1 to 3 do
+                let pid = api.Api.fork (fun capi -> capi.Api.exit 0) in
+                (match Kernel.find_uproc (Os.kernel os) pid with
+                | Some u -> out := u.Ufork_sas.Uproc.area_base :: !out
+                | None -> ());
+                ignore (api.Api.wait ())
+              done)
+        in
+        Os.run os;
+        !out
+      in
+      bases () = bases ())
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    qt prop_fork_tree_isolation;
+    qt prop_pipe_stream;
+    qt prop_cross_system_equivalence;
+    qt prop_vas_failed_write_leaves_no_trace;
+    qt prop_vfs_model;
+    qt prop_aslr_deterministic;
+  ]

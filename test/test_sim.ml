@@ -1,0 +1,379 @@
+(* Tests for the discrete-event engine, synchronization and meters. *)
+
+module Engine = Ufork_sim.Engine
+module Sync = Ufork_sim.Sync
+module Meter = Ufork_sim.Meter
+module Costs = Ufork_sim.Costs
+
+(* --- Engine basics --- *)
+
+let test_single_thread_time () =
+  let e = Engine.create ~cores:1 () in
+  let finish = ref (-1L) in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 100L;
+        Engine.advance 50L;
+        finish := Engine.current_time ())
+  in
+  Engine.run e;
+  Alcotest.(check int64) "time accumulates" 150L !finish;
+  Alcotest.(check int64) "engine time" 150L (Engine.now e);
+  Alcotest.(check int) "no live" 0 (Engine.live_threads e)
+
+let test_two_cores_parallel () =
+  let e = Engine.create ~cores:2 () in
+  let t1 = ref 0L and t2 = ref 0L in
+  let _ = Engine.spawn e (fun () -> Engine.advance 100L; t1 := Engine.current_time ()) in
+  let _ = Engine.spawn e (fun () -> Engine.advance 100L; t2 := Engine.current_time ()) in
+  Engine.run e;
+  Alcotest.(check int64) "parallel t1" 100L !t1;
+  Alcotest.(check int64) "parallel t2" 100L !t2;
+  Alcotest.(check int64) "wall = 100" 100L (Engine.now e)
+
+let test_one_core_serializes () =
+  let e = Engine.create ~cores:1 () in
+  let t2 = ref 0L in
+  let _ = Engine.spawn e (fun () -> Engine.advance 100L) in
+  let _ = Engine.spawn e (fun () -> Engine.advance 100L; t2 := Engine.current_time ()) in
+  Engine.run e;
+  Alcotest.(check int64) "second waits for core" 200L !t2
+
+let test_affinity () =
+  let e = Engine.create ~cores:2 () in
+  let t2 = ref 0L and core2 = ref (-1) in
+  let _ = Engine.spawn ~affinity:1 e (fun () -> Engine.advance 100L) in
+  let _ =
+    Engine.spawn ~affinity:1 e (fun () ->
+        Engine.advance 10L;
+        core2 := Engine.current_core ();
+        t2 := Engine.current_time ())
+  in
+  Engine.run e;
+  Alcotest.(check int64) "pinned threads serialize" 110L !t2;
+  Alcotest.(check int) "ran on core 1" 1 !core2
+
+let test_yield_migration () =
+  (* A yielding thread can resume on a different core and its later
+     advances must charge the new core (regression test for the stale-core
+     handler bug). *)
+  let e = Engine.create ~cores:2 () in
+  let log = ref [] in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 10L;
+        Engine.yield ();
+        Engine.advance 10L;
+        log := ("a", Engine.current_time ()) :: !log)
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 100L;
+        log := ("b", Engine.current_time ()) :: !log)
+  in
+  Engine.run e;
+  Alcotest.(check int64) "a done at 20" 20L (List.assoc "a" !log);
+  Alcotest.(check int64) "b done at 100" 100L (List.assoc "b" !log)
+
+let test_sleep () =
+  let e = Engine.create ~cores:1 () in
+  let woke = ref 0L and other = ref 0L in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.sleep 1000L;
+        woke := Engine.current_time ())
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 200L;
+        other := Engine.current_time ())
+  in
+  Engine.run e;
+  Alcotest.(check int64) "sleeper wakes at 1000" 1000L !woke;
+  Alcotest.(check int64) "core free during sleep" 200L !other
+
+let test_spawn_from_thread () =
+  let e = Engine.create ~cores:2 () in
+  let child_done = ref 0L in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 10L;
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.advance 5L;
+               child_done := Engine.current_time ())))
+  in
+  Engine.run e;
+  Alcotest.(check int64) "nested spawn runs" 15L !child_done
+
+let test_run_until () =
+  let e = Engine.create ~cores:1 () in
+  let steps = ref 0 in
+  let _ =
+    Engine.spawn e (fun () ->
+        for _ = 1 to 100 do
+          Engine.advance 10L;
+          incr steps
+        done)
+  in
+  Engine.run ~until:55L e;
+  Alcotest.(check int64) "clock clamped" 55L (Engine.now e);
+  Alcotest.(check bool) "stopped early" true (!steps < 100)
+
+let test_blocked_thread_reported () =
+  let e = Engine.create ~cores:1 () in
+  let c = Sync.Cond.create () in
+  let _ = Engine.spawn e (fun () -> Sync.Cond.wait c) in
+  Engine.run e;
+  Alcotest.(check int) "blocked" 1 (Engine.blocked_threads e);
+  Alcotest.(check int) "still live" 1 (Engine.live_threads e)
+
+let test_determinism () =
+  let trace () =
+    let e = Engine.create ~cores:2 () in
+    let log = ref [] in
+    for i = 1 to 10 do
+      ignore
+        (Engine.spawn e (fun () ->
+             Engine.advance (Int64.of_int (i * 7));
+             Engine.yield ();
+             Engine.advance (Int64.of_int (i * 3));
+             log := (i, Engine.current_time ()) :: !log))
+    done;
+    Engine.run e;
+    !log
+  in
+  Alcotest.(check bool) "same schedule twice" true (trace () = trace ())
+
+let test_zero_advance () =
+  let e = Engine.create ~cores:1 () in
+  let ran = ref false in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 0L;
+        ran := true)
+  in
+  Engine.run e;
+  Alcotest.(check bool) "zero advance completes" true !ran;
+  Alcotest.(check int64) "no time passed" 0L (Engine.now e)
+
+let test_negative_advance_rejected () =
+  let e = Engine.create ~cores:1 () in
+  let _ =
+    Engine.spawn e (fun () ->
+        match Engine.advance (-1L) with
+        | () -> Alcotest.fail "negative advance accepted"
+        | exception Invalid_argument _ -> ())
+  in
+  Engine.run e
+
+let test_spawn_storm () =
+  (* Many short threads across few cores: everyone runs, time is the
+     serialized sum over the bottleneck core, and nothing deadlocks. *)
+  let e = Engine.create ~cores:3 () in
+  let completed = ref 0 in
+  for _ = 1 to 500 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Engine.advance 30L;
+           incr completed))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all ran" 500 !completed;
+  Alcotest.(check int64) "makespan = ceil(500/3)*30" (Int64.of_int (167 * 30))
+    (Engine.now e)
+
+let test_same_time_fifo () =
+  (* Threads readied at the same instant run in FIFO order on one core. *)
+  let e = Engine.create ~cores:1 () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.spawn e (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_waker_pending () =
+  let e = Engine.create ~cores:1 () in
+  let stash = ref None in
+  let _ = Engine.spawn e (fun () -> Engine.suspend (fun w -> stash := Some w)) in
+  Engine.run e;
+  match !stash with
+  | None -> Alcotest.fail "no waker"
+  | Some w ->
+      Alcotest.(check bool) "pending before" true (Engine.waker_pending w);
+      Engine.wake w;
+      Engine.run e;
+      Alcotest.(check bool) "used after" false (Engine.waker_pending w);
+      Alcotest.check_raises "double wake"
+        (Invalid_argument "Engine.wake: waker already used") (fun () ->
+          Engine.wake w)
+
+(* --- Locks --- *)
+
+let test_lock_mutual_exclusion () =
+  let e = Engine.create ~cores:4 () in
+  let l = Sync.Lock.create () in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 8 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Sync.Lock.with_lock l (fun () ->
+               incr inside;
+               max_inside := max !max_inside !inside;
+               Engine.advance 10L;
+               decr inside)))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "never concurrent" 1 !max_inside;
+  Alcotest.(check int64) "fully serialized" 80L (Engine.now e)
+
+let test_lock_fifo () =
+  let e = Engine.create ~cores:1 () in
+  let l = Sync.Lock.create () in
+  let order = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Sync.Lock.with_lock l (fun () ->
+               order := i :: !order;
+               Engine.advance 5L)))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_lock_release_unheld () =
+  let l = Sync.Lock.create () in
+  Alcotest.check_raises "release unheld"
+    (Invalid_argument "Lock.release: not held") (fun () -> Sync.Lock.release l)
+
+let test_lock_released_on_exception () =
+  let e = Engine.create ~cores:1 () in
+  let l = Sync.Lock.create () in
+  let ok = ref false in
+  let _ =
+    Engine.spawn e (fun () ->
+        (try Sync.Lock.with_lock l (fun () -> failwith "boom")
+         with Failure _ -> ());
+        ok := not (Sync.Lock.locked l))
+  in
+  Engine.run e;
+  Alcotest.(check bool) "released" true !ok
+
+(* --- Cond --- *)
+
+let test_cond_signal_order () =
+  let e = Engine.create ~cores:2 () in
+  let c = Sync.Cond.create () in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Sync.Cond.wait c;
+           woken := i :: !woken))
+  done;
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.advance 10L;
+        Sync.Cond.signal c;
+        Engine.advance 10L;
+        Sync.Cond.broadcast c)
+  in
+  Engine.run e;
+  Alcotest.(check int) "all woken" 3 (List.length !woken);
+  Alcotest.(check int) "first is 1" 1 (List.nth (List.rev !woken) 0)
+
+let test_cond_signal_empty () =
+  let c = Sync.Cond.create () in
+  Sync.Cond.signal c;
+  Alcotest.(check int) "no waiters" 0 (Sync.Cond.waiters c)
+
+(* --- Meter --- *)
+
+let test_meter () =
+  let m = Meter.create () in
+  Meter.incr m "a";
+  Meter.incr m "a";
+  Meter.add m "b" 5;
+  Alcotest.(check int) "a" 2 (Meter.get m "a");
+  Alcotest.(check int) "b" 5 (Meter.get m "b");
+  Alcotest.(check int) "missing" 0 (Meter.get m "zzz");
+  Meter.set m "a" 100;
+  Alcotest.(check int) "set" 100 (Meter.get m "a");
+  Alcotest.(check (list (pair string int))) "sorted" [ ("a", 100); ("b", 5) ]
+    (Meter.to_list m);
+  Meter.reset m;
+  Alcotest.(check int) "reset" 0 (Meter.get m "a")
+
+(* --- Costs --- *)
+
+let test_costs_presets () =
+  Alcotest.(check bool) "ufork syscall cheaper than cheribsd" true
+    (Costs.ufork.Costs.syscall < Costs.cheribsd.Costs.syscall);
+  Alcotest.(check int64) "single AS has no AS switch" 0L
+    Costs.ufork.Costs.address_space_switch;
+  Alcotest.(check bool) "nephele domain create dominates" true
+    (Costs.nephele.Costs.domain_create > 10_000_000L);
+  Alcotest.(check int64) "bytes cost" 100L (Costs.bytes_cost 1.0 100)
+
+(* --- Property: random workloads complete with consistent time --- *)
+
+let prop_random_workload =
+  QCheck.Test.make ~name:"random task graphs complete deterministically"
+    ~count:50
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(1 -- 20) (int_range 1 500)))
+    (fun (cores, works) ->
+      let run () =
+        let e = Engine.create ~cores () in
+        let total = ref 0L in
+        List.iter
+          (fun w ->
+            ignore
+              (Engine.spawn e (fun () ->
+                   Engine.advance (Int64.of_int w);
+                   Engine.yield ();
+                   Engine.advance (Int64.of_int w);
+                   total := Int64.add !total (Int64.of_int w))))
+          works;
+        Engine.run e;
+        (Engine.now e, !total, Engine.live_threads e)
+      in
+      let t1, sum1, live1 = run () in
+      let t2, sum2, live2 = run () in
+      let work_total =
+        List.fold_left (fun acc w -> Int64.add acc (Int64.of_int (2 * w))) 0L works
+      in
+      (* Deterministic; everyone ran; makespan bounds hold. *)
+      t1 = t2 && sum1 = sum2 && live1 = 0 && live2 = 0
+      && t1 >= Int64.div work_total (Int64.of_int cores)
+      && t1 <= work_total)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("single thread time", `Quick, test_single_thread_time);
+    ("two cores parallel", `Quick, test_two_cores_parallel);
+    ("one core serializes", `Quick, test_one_core_serializes);
+    ("affinity", `Quick, test_affinity);
+    ("yield migration", `Quick, test_yield_migration);
+    ("sleep", `Quick, test_sleep);
+    ("spawn from thread", `Quick, test_spawn_from_thread);
+    ("run until", `Quick, test_run_until);
+    ("blocked reported", `Quick, test_blocked_thread_reported);
+    ("deterministic schedule", `Quick, test_determinism);
+    ("zero advance", `Quick, test_zero_advance);
+    ("negative advance", `Quick, test_negative_advance_rejected);
+    ("spawn storm", `Quick, test_spawn_storm);
+    ("same-time FIFO", `Quick, test_same_time_fifo);
+    ("waker pending", `Quick, test_waker_pending);
+    ("lock mutual exclusion", `Quick, test_lock_mutual_exclusion);
+    ("lock fifo", `Quick, test_lock_fifo);
+    ("lock release unheld", `Quick, test_lock_release_unheld);
+    ("lock release on exception", `Quick, test_lock_released_on_exception);
+    ("cond signal order", `Quick, test_cond_signal_order);
+    ("cond signal empty", `Quick, test_cond_signal_empty);
+    ("meter", `Quick, test_meter);
+    ("costs presets", `Quick, test_costs_presets);
+    qt prop_random_workload;
+  ]
