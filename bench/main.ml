@@ -593,30 +593,65 @@ let all () =
   toctou ();
   ablations ()
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = if args = [] then [ "all" ] else args in
-  if List.mem "quick" args then quick := true;
-  let run = function
-    | "table1" -> table1 ()
-    | "survey" -> survey ()
-    | "fig1" | "fig2" | "fig1-2" -> fig1_fig2 ()
-    | "fig3" -> fig3 ()
-    | "fig4" -> fig4 ()
-    | "fig5" -> fig5 ()
-    | "fig6" -> fig6 ()
-    | "fig7" -> fig7 ()
-    | "fig8" -> fig8 ()
-    | "fig9" -> fig9 ()
-    | "toctou" -> toctou ()
-    | "ablate-proactive" | "ablate-entry" | "ablate-isolation" | "ablations" ->
-        ablations ()
-    | "bechamel" -> bechamel ()
-    | "all" -> all ()
-    | "quick" -> ()
-    | other ->
-        Printf.eprintf "unknown bench target %S\n" other;
-        exit 2
+let run_target = function
+  | "table1" -> table1 ()
+  | "survey" -> survey ()
+  | "fig1" | "fig2" | "fig1-2" -> fig1_fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "fig7" -> fig7 ()
+  | "fig8" -> fig8 ()
+  | "fig9" -> fig9 ()
+  | "toctou" -> toctou ()
+  | "ablate-proactive" | "ablate-entry" | "ablate-isolation" | "ablations" ->
+      ablations ()
+  | "bechamel" -> bechamel ()
+  | "all" -> all ()
+  | "quick" -> ()
+  | other ->
+      Printf.eprintf "unknown bench target %S\n" other;
+      exit 2
+
+let main targets quick_flag cores trace_out =
+  (* "quick" as a positional target is the historic spelling of --quick. *)
+  if quick_flag || List.mem "quick" targets then quick := true;
+  E.set_default_cores cores;
+  E.set_trace_out trace_out;
+  let targets = if targets = [] then [ "all" ] else targets in
+  List.iter run_target targets;
+  if List.mem "all" targets && not !quick then bechamel ()
+
+let cmd =
+  let open Cmdliner in
+  let targets =
+    let doc =
+      "Benchmark targets: table1, survey, fig1-2, fig3..fig9, toctou, \
+       ablations, bechamel, all (default)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"TARGET" ~doc)
   in
-  List.iter run args;
-  if List.mem "all" args && not !quick then bechamel ()
+  let quick_flag =
+    let doc = "Shrink iteration counts for a fast smoke run." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let cores =
+    let doc =
+      "Boot every simulated machine with $(docv) cores instead of each \
+       experiment's default."
+    in
+    Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Record every mechanism event and write a JSONL trace to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "μFork reproduction benchmark harness" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(const main $ targets $ quick_flag $ cores $ trace_out)
+
+let () = exit (Cmdliner.Cmd.eval cmd)

@@ -241,6 +241,66 @@ let meter_cmd =
        ~doc:"Audit the mechanism-event counters behind the numbers")
     Term.(const run $ system_arg)
 
+(* trace: run an experiment with the event bus recording and write the
+   trace out as JSONL (one record per line) or a Chrome about:tracing
+   file. *)
+let trace_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace-out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the recorded event trace to $(docv).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", E.Jsonl); ("chrome", E.Chrome) ]) E.Jsonl
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:
+            "Trace encoding: jsonl (default; one JSON record per line) or \
+             chrome (load in chrome://tracing or Perfetto).")
+  in
+  let experiment =
+    Arg.(
+      value
+      & pos 0 (enum [ ("hello", `Hello); ("redis", `Redis); ("unixbench", `Unixbench) ]) `Hello
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment to trace: hello (default), redis, or unixbench.")
+  in
+  let run system out format experiment =
+    E.set_trace_out ~format (Some out);
+    Fun.protect
+      ~finally:(fun () -> E.set_trace_out None)
+      (fun () ->
+        match experiment with
+        | `Hello ->
+            let r = E.hello_run system in
+            Printf.printf "%s: fork %.1f us, child memory %.2f MB\n"
+              (E.system_label r.E.system) r.E.fork_latency_us
+              r.E.child_memory_mb
+        | `Redis ->
+            let entries = 50 and value_len = 100 * 1024 in
+            let r =
+              E.redis_run system ~entries ~value_len ~db_label:"5 MB"
+            in
+            Printf.printf "%s: save %.2f ms, fork %.1f us\n"
+              (E.system_label system) r.E.save_ms r.E.fork_us
+        | `Unixbench ->
+            let r =
+              E.unixbench_run system ~spawn_iters:50 ~context1_iters:500
+            in
+            Printf.printf "%s: Spawn(50) %.2f ms, Context1(500) %.2f ms\n"
+              (E.system_label system) r.E.spawn_ms r.E.context1_ms);
+    Printf.printf "trace written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run an experiment with mechanism-event recording on and write \
+          the trace to a file")
+    Term.(const run $ system_arg $ out $ format $ experiment)
+
 (* ablate *)
 let ablate_cmd =
   let run () =
@@ -281,5 +341,5 @@ let () =
        (Cmd.group ~default info
           [
             redis_cmd; hello_cmd; faas_cmd; nginx_cmd; unixbench_cmd;
-            meter_cmd; ablate_cmd;
+            meter_cmd; trace_cmd; ablate_cmd;
           ]))

@@ -6,6 +6,8 @@ module Vas = Ufork_mem.Vas
 module Engine = Ufork_sim.Engine
 module Costs = Ufork_sim.Costs
 module Meter = Ufork_sim.Meter
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 module Config = Ufork_sas.Config
@@ -23,11 +25,9 @@ let stack_touch_vpns (u : Uproc.t) n =
   List.init (min n pages) (fun i -> vpn0 + pages - 1 - i)
 
 let do_fork k (parent : Uproc.t) child_main =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let config = Kernel.config k in
   let t0 = Engine.now (Kernel.engine k) in
-  Meter.incr meter "fork";
-  Kernel.charge k costs.Costs.fork_fixed;
+  Kernel.emit ~proc:parent k Event.Fork_fixed;
   let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
   let child =
     Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
@@ -42,8 +42,7 @@ let do_fork k (parent : Uproc.t) child_main =
         Addr.addr_of_vpn vpn >= parent.Uproc.area_base
         && Addr.addr_of_vpn vpn < parent.Uproc.area_base + parent.Uproc.area_bytes
       then begin
-        Meter.incr meter "pte_copy";
-        Kernel.charge k costs.Costs.pte_copy;
+        Kernel.emit ~proc:child k Event.Pte_copy;
         if ppte.Pte.share = Pte.Shm_shared then
           (* MAP_SHARED segments keep pointing at the same frames. *)
           Page_table.map_shared child.Uproc.pt ~vpn
@@ -63,7 +62,7 @@ let do_fork k (parent : Uproc.t) child_main =
   (* Parent immediately re-dirties its stack working set (CoW copies). *)
   Kernel.touch_pages_for_write k parent
     (stack_touch_vpns parent config.Config.parent_touch_pages);
-  Kernel.charge k costs.Costs.thread_create;
+  Kernel.emit ~proc:parent k Event.Thread_create;
   let child_body api =
     Kernel.touch_pages_for_write k child
       (stack_touch_vpns child config.Config.child_touch_pages);
@@ -71,18 +70,16 @@ let do_fork k (parent : Uproc.t) child_main =
   in
   Kernel.spawn_process k child child_body;
   let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Meter.set meter "gauge.last_fork_latency" (Int64.to_int dt);
+  Trace.gauge (Kernel.trace k) "gauge.last_fork_latency" (Int64.to_int dt);
   child.Uproc.pid
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
   | None -> (
       match Uproc.region_of_addr u addr with
       | Some ("heap" | "meta") ->
-          Meter.incr meter "demand_zero";
-          Kernel.charge k costs.Costs.page_fault;
+          Kernel.emit ~proc:u k Event.Demand_zero;
           Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
             ~bytes:Addr.page_size ()
       | Some r ->
@@ -100,8 +97,7 @@ let handle_fault k (u : Uproc.t) ~addr ~access =
       | Vas.Read | Vas.Cap_load | Vas.Exec ->
           if first_touch then begin
             (* pmap miss on a resident page: map it in, still CoW. *)
-            Meter.incr meter "soft_fault";
-            Kernel.charge k costs.Costs.soft_fault;
+            Kernel.emit ~proc:u k Event.Soft_fault;
             pte.Pte.read <- true;
             if Uproc.region_of_addr u addr = Some "code" then
               pte.Pte.exec <- true
@@ -113,14 +109,13 @@ let handle_fault k (u : Uproc.t) ~addr ~access =
                     Vas.pp_access access addr))
       | Vas.Write | Vas.Cap_store -> (
           if first_touch then begin
-            Meter.incr meter "soft_fault";
-            Kernel.charge k costs.Costs.soft_fault;
+            Kernel.emit ~proc:u k Event.Soft_fault;
             pte.Pte.read <- true
           end;
           match pte.Pte.share with
           | Pte.Cow_shared ->
-              Meter.incr meter "cow_write_fault";
-              Kernel.charge k costs.Costs.page_fault;
+              Kernel.emit ~proc:u k Event.Page_fault;
+              Kernel.emit ~proc:u k Event.Cow_write_fault;
               Copy_engine.resolve_parent_cow k u ~vpn
           | Pte.Private ->
               if pte.Pte.write then () (* resolved by the soft fault above *)
@@ -161,3 +156,5 @@ let run ?until t = Engine.run ?until t.engine
 
 let last_fork_latency t =
   Int64.of_int (Meter.get (Kernel.meter t.kernel) "gauge.last_fork_latency")
+
+let trace t = Kernel.trace t.kernel

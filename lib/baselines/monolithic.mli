@@ -33,6 +33,9 @@ val boot :
 val kernel : t -> Ufork_sas.Kernel.t
 val engine : t -> Ufork_sim.Engine.t
 
+val trace : t -> Ufork_sim.Trace.t
+(** The kernel's mechanism-event bus. *)
+
 val start :
   t ->
   ?affinity:int ->

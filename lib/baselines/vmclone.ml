@@ -5,6 +5,8 @@ module Vas = Ufork_mem.Vas
 module Engine = Ufork_sim.Engine
 module Costs = Ufork_sim.Costs
 module Meter = Ufork_sim.Meter
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 module Config = Ufork_sas.Config
@@ -26,14 +28,11 @@ let unikernel_image (img : Image.t) =
   }
 
 let do_fork k (parent : Uproc.t) child_main =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let t0 = Engine.now (Kernel.engine k) in
-  Meter.incr meter "fork";
-  Meter.incr meter "domain_create";
+  Kernel.emit ~proc:parent k Event.Fork_fixed;
   (* Creating the new domain dominates: hypercalls, event channels, grant
      tables, device re-attachment. *)
-  Kernel.charge k costs.Costs.domain_create;
-  Kernel.charge k costs.Costs.fork_fixed;
+  Kernel.emit ~proc:parent k Event.Domain_create;
   let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
   let child =
     Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
@@ -41,10 +40,9 @@ let do_fork k (parent : Uproc.t) child_main =
   child.Uproc.forked <- true;
   (* The entire VM image — unikernel included — is copied eagerly. *)
   Page_table.fold parent.Uproc.pt ~init:() ~f:(fun vpn (ppte : Pte.t) () ->
-      Meter.incr meter "pte_copy";
-      Kernel.charge k costs.Costs.pte_copy;
+      Kernel.emit ~proc:child k Event.Pte_copy;
+      Kernel.emit ~proc:child k Event.Page_copy_eager;
       let fresh = Kernel.fresh_frame k child in
-      Kernel.charge k costs.Costs.page_copy;
       let src = Ufork_mem.Phys.page ppte.Pte.frame in
       let dst = Ufork_mem.Phys.page fresh in
       Ufork_mem.Page.write_bytes dst ~off:0
@@ -55,21 +53,19 @@ let do_fork k (parent : Uproc.t) child_main =
         (Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write ~exec:ppte.Pte.exec
            fresh));
   child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta:0;
-  Kernel.charge k costs.Costs.thread_create;
+  Kernel.emit ~proc:parent k Event.Thread_create;
   Kernel.spawn_process k child child_main;
   let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Meter.set meter "gauge.last_fork_latency" (Int64.to_int dt);
+  Trace.gauge (Kernel.trace k) "gauge.last_fork_latency" (Int64.to_int dt);
   child.Uproc.pid
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
   | None -> (
       match Uproc.region_of_addr u addr with
       | Some ("heap" | "meta") ->
-          Meter.incr meter "demand_zero";
-          Kernel.charge k costs.Costs.page_fault;
+          Kernel.emit ~proc:u k Event.Demand_zero;
           Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
             ~bytes:Addr.page_size ()
       | Some _ | None ->
@@ -109,3 +105,5 @@ let run ?until t = Engine.run ?until t.engine
 
 let last_fork_latency t =
   Int64.of_int (Meter.get (Kernel.meter t.kernel) "gauge.last_fork_latency")
+
+let trace t = Kernel.trace t.kernel

@@ -24,6 +24,9 @@ val boot :
 val kernel : t -> Ufork_sas.Kernel.t
 val engine : t -> Ufork_sim.Engine.t
 
+val trace : t -> Ufork_sim.Trace.t
+(** The kernel's mechanism-event bus. *)
+
 val unikernel_image : Ufork_sas.Image.t -> Ufork_sas.Image.t
 (** Extend an application image with the unikernel kernel's own text and
     data (cloned along with the app under this design). *)

@@ -5,7 +5,7 @@ module Phys = Ufork_mem.Phys
 module Pte = Ufork_mem.Pte
 module Page_table = Ufork_mem.Page_table
 module Costs = Ufork_sim.Costs
-module Meter = Ufork_sim.Meter
+module Event = Ufork_sim.Event
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 
@@ -34,37 +34,30 @@ let restore_perms (u : Uproc.t) ~vpn (pte : Pte.t) =
 (* Relocate the page now backing [vpn] for the child and make it private. *)
 let relocate_and_privatize k (child : Uproc.t) ~vpn (pte : Pte.t)
     ~already_private =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let page = Phys.page pte.Pte.frame in
   let outcome =
     Relocate.relocate_page ~owner_area:(owner_area k)
       ~child_base:child.Uproc.area_base ~child_bytes:child.Uproc.area_bytes
       page
   in
-  Meter.add meter "granules_scanned" outcome.Relocate.granules_scanned;
-  Meter.add meter "caps_relocated" outcome.Relocate.relocated;
-  Kernel.charge k
-    (Int64.mul costs.Costs.granule_scan
-       (Int64.of_int outcome.Relocate.granules_scanned));
-  Kernel.charge k
-    (Int64.mul costs.Costs.cap_relocate (Int64.of_int outcome.Relocate.relocated));
+  Kernel.emit ~proc:child k
+    (Event.Granule_scan outcome.Relocate.granules_scanned);
+  Kernel.emit ~proc:child k (Event.Cap_relocate outcome.Relocate.relocated);
   if already_private then
     (* The frame was claimed in place: it becomes child-private memory. *)
     Kernel.account_private k child ~bytes:Addr.page_size;
   restore_perms child ~vpn pte
 
 let resolve_child_copy k (child : Uproc.t) ~vpn =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let pte = Page_table.lookup_exn child.Uproc.pt ~vpn in
   if Phys.refcount pte.Pte.frame = 1 then begin
     (* Nobody else references the frame: claim it in place, skip the copy. *)
-    Meter.incr meter "claim_in_place";
+    Kernel.emit ~proc:child k Event.Claim_in_place;
     relocate_and_privatize k child ~vpn pte ~already_private:true
   end
   else begin
-    Meter.incr meter "page_copy_child";
+    Kernel.emit ~proc:child k Event.Page_copy_child;
     let fresh = Kernel.fresh_frame k child in
-    Kernel.charge k costs.Costs.page_copy;
     let src = Phys.page pte.Pte.frame in
     let dst = Phys.page fresh in
     Page.write_bytes dst ~off:0 (Page.read_bytes src ~off:0 ~len:Addr.page_size);
@@ -75,16 +68,14 @@ let resolve_child_copy k (child : Uproc.t) ~vpn =
   end
 
 let resolve_parent_cow k (u : Uproc.t) ~vpn =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let pte = Page_table.lookup_exn u.Uproc.pt ~vpn in
   if Phys.refcount pte.Pte.frame = 1 then begin
-    Meter.incr meter "cow_claim_in_place";
+    Kernel.emit ~proc:u k Event.Cow_claim_in_place;
     restore_perms u ~vpn pte
   end
   else begin
-    Meter.incr meter "page_copy_cow";
+    Kernel.emit ~proc:u k Event.Page_copy_cow;
     let fresh = Kernel.fresh_frame k u in
-    Kernel.charge k costs.Costs.page_copy;
     let src = Phys.page pte.Pte.frame in
     let dst = Phys.page fresh in
     Page.write_bytes dst ~off:0 (Page.read_bytes src ~off:0 ~len:Addr.page_size);
@@ -98,11 +89,9 @@ let delta_pages ~(parent : Uproc.t) ~(child : Uproc.t) =
   (child.Uproc.area_base - parent.Uproc.area_base) / Addr.page_size
 
 let share_to_child k ~parent ~child ~strategy ~parent_vpn =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:parent_vpn in
   let child_vpn = parent_vpn + delta_pages ~parent ~child in
-  Meter.incr meter "pte_copy";
-  Kernel.charge k costs.Costs.pte_copy;
+  Kernel.emit ~proc:child k Event.Pte_copy;
   (* Parent side drops to copy-on-write (writes fault; reads — and, under
      CoPA, capability loads — proceed: its own capabilities are valid). *)
   if ppte.Pte.write then begin
@@ -123,14 +112,11 @@ let share_to_child k ~parent ~child ~strategy ~parent_vpn =
   Page_table.map_shared child.Uproc.pt ~vpn:child_vpn cpte
 
 let copy_to_child k ~parent ~child ~parent_vpn =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:parent_vpn in
   let child_vpn = parent_vpn + delta_pages ~parent ~child in
-  Meter.incr meter "pte_copy";
-  Meter.incr meter "page_copy_eager";
-  Kernel.charge k costs.Costs.pte_copy;
+  Kernel.emit ~proc:child k Event.Pte_copy;
+  Kernel.emit ~proc:child k Event.Page_copy_eager;
   let fresh = Kernel.fresh_frame k child in
-  Kernel.charge k costs.Costs.page_copy;
   let src = Phys.page ppte.Pte.frame in
   let dst = Phys.page fresh in
   Page.write_bytes dst ~off:0 (Page.read_bytes src ~off:0 ~len:Addr.page_size);
@@ -151,15 +137,12 @@ let touch_write k (u : Uproc.t) ~vpn =
   | None -> ()
   | Some pte -> (
       if not pte.Pte.write then
-        let costs = Kernel.costs k and meter = Kernel.meter k in
         match pte.Pte.share with
         | Pte.Copa_shared | Pte.Coa_shared ->
-            Meter.incr meter "fault";
-            Kernel.charge k costs.Costs.page_fault;
+            Kernel.emit ~proc:u k Event.Page_fault;
             resolve_child_copy k u ~vpn
         | Pte.Cow_shared ->
-            Meter.incr meter "fault";
-            Kernel.charge k costs.Costs.page_fault;
+            Kernel.emit ~proc:u k Event.Page_fault;
             resolve_parent_cow k u ~vpn
         | Pte.Shm_shared | Pte.Private -> ())
 
@@ -167,12 +150,10 @@ let touch_write k (u : Uproc.t) ~vpn =
 (* Deliberately shared memory is mapped, not copied: the child's page at
    the same area offset points at the very same frame (§3.7). *)
 let share_shm_to_child k ~parent ~child ~parent_vpn =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:parent_vpn in
   let child_vpn = parent_vpn + delta_pages ~parent ~child in
-  Meter.incr meter "pte_copy";
-  Meter.incr meter "shm_share";
-  Kernel.charge k costs.Costs.pte_copy;
+  Kernel.emit ~proc:child k Event.Pte_copy;
+  Kernel.emit ~proc:child k Event.Shm_share;
   Page_table.map_shared child.Uproc.pt ~vpn:child_vpn
     (Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write ~exec:ppte.Pte.exec
        ~share:Pte.Shm_shared ppte.Pte.frame)

@@ -6,6 +6,8 @@ module Vas = Ufork_mem.Vas
 module Engine = Ufork_sim.Engine
 module Costs = Ufork_sim.Costs
 module Meter = Ufork_sim.Meter
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 module Config = Ufork_sas.Config
@@ -62,11 +64,10 @@ let data_touch_vpns (u : Uproc.t) n =
   List.init (min n pages) (fun i -> vpn0 + i)
 
 let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
+  let meter = Kernel.meter k in
   let config = Kernel.config k in
   let t0 = Engine.now (Kernel.engine k) in
-  Meter.incr meter "fork";
-  Kernel.charge k costs.Costs.fork_fixed;
+  Kernel.emit ~proc:parent k Event.Fork_fixed;
   let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
   let child =
     Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
@@ -129,15 +130,13 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
      TOCTTOU protection is relatively minor (2.6% at 100 MB)"). *)
   if config.Config.toctou then begin
     let ptes = Meter.get meter "pte_copy" - pte_before in
-    Kernel.charge k (Int64.of_int (ptes / 2))
+    Kernel.emit ~proc:parent k (Event.Toctou_revalidate ptes)
   end;
   (* Clone the allocator mirror — the bookkeeping twin of the metadata
      copy above. *)
   child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta;
   (* 2. Post-copy phase: relocate the register file. *)
-  Meter.add meter "caps_relocated" register_file_caps;
-  Kernel.charge k
-    (Int64.mul costs.Costs.cap_relocate (Int64.of_int register_file_caps));
+  Kernel.emit ~proc:parent k (Event.Cap_relocate register_file_caps);
   (* The parent's return path re-touches its working set at once. Writes
      fault under every lazy strategy; under CoA even the reads of globals
      fault, which is why CoA fork latency is slightly worse (§5.2). *)
@@ -152,7 +151,7 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
         (fun vpn -> Copy_engine.touch_write k parent ~vpn)
         (data_touch_vpns parent (4 * config.Config.parent_touch_pages))
   | Strategy.Copa | Strategy.Full_copy -> ());
-  Kernel.charge k costs.Costs.thread_create;
+  Kernel.emit ~proc:parent k Event.Thread_create;
   (* The child's capability registers are displaced copies of the
      parent's. *)
   let reloc cap =
@@ -170,20 +169,18 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
   in
   Kernel.spawn_process k ~reloc child child_body;
   let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Meter.set meter "gauge.last_fork_latency" (Int64.to_int dt);
+  Trace.gauge (Kernel.trace k) "gauge.last_fork_latency" (Int64.to_int dt);
   child.Uproc.pid
 
 (* Fault resolution: CoW/CoA/CoPA plus demand-zero heap. *)
 let handle_fault k (u : Uproc.t) ~addr ~access =
-  let costs = Kernel.costs k and meter = Kernel.meter k in
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
   | None -> (
       (* Demand-zero materialization inside the heap/metadata regions. *)
       match Uproc.region_of_addr u addr with
       | Some ("heap" | "meta") ->
-          Meter.incr meter "demand_zero";
-          Kernel.charge k costs.Costs.page_fault;
+          Kernel.emit ~proc:u k Event.Demand_zero;
           Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
             ~bytes:Addr.page_size ()
       | Some r ->
@@ -196,20 +193,19 @@ let handle_fault k (u : Uproc.t) ~addr ~access =
                (Printf.sprintf "pid %d: %#x outside μprocess area" u.Uproc.pid
                   addr)))
   | Some pte -> (
-      Meter.incr meter "fault";
-      Kernel.charge k costs.Costs.page_fault;
+      Kernel.emit ~proc:u k Event.Page_fault;
       match (pte.Pte.share, access) with
       | Pte.Copa_shared, (Vas.Write | Vas.Cap_store | Vas.Cap_load) ->
-          Meter.incr meter
+          Kernel.emit ~proc:u k
             (match access with
-            | Vas.Cap_load -> "copa_cap_load_fault"
-            | _ -> "copa_write_fault");
+            | Vas.Cap_load -> Event.Copa_cap_load_fault
+            | _ -> Event.Copa_write_fault);
           Copy_engine.resolve_child_copy k u ~vpn
       | Pte.Coa_shared, _ ->
-          Meter.incr meter "coa_access_fault";
+          Kernel.emit ~proc:u k Event.Coa_access_fault;
           Copy_engine.resolve_child_copy k u ~vpn
       | Pte.Cow_shared, (Vas.Write | Vas.Cap_store) ->
-          Meter.incr meter "cow_write_fault";
+          Kernel.emit ~proc:u k Event.Cow_write_fault;
           Copy_engine.resolve_parent_cow k u ~vpn
       | (Pte.Private | Pte.Cow_shared | Pte.Copa_shared | Pte.Shm_shared), _
         ->

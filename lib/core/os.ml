@@ -20,6 +20,7 @@ let boot ?(cores = 4) ?(config = Config.ufork_fast) ?(costs = Costs.ufork)
 
 let kernel t = t.kernel
 let engine t = t.engine
+let trace t = Kernel.trace t.kernel
 let strategy t = t.strategy
 
 let start t ?affinity ~image main =

@@ -20,6 +20,11 @@ val boot :
 
 val kernel : t -> Ufork_sas.Kernel.t
 val engine : t -> Ufork_sim.Engine.t
+
+val trace : t -> Ufork_sim.Trace.t
+(** The kernel's mechanism-event bus (cycle charging, counters, optional
+    record ring). *)
+
 val strategy : t -> Strategy.t
 
 val start :

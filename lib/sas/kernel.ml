@@ -9,6 +9,8 @@ module Engine = Ufork_sim.Engine
 module Sync = Ufork_sim.Sync
 module Costs = Ufork_sim.Costs
 module Meter = Ufork_sim.Meter
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
 
 (* The shared single-address-space arena starts above the kernel region. *)
 let kernel_region_bytes = 64 * 1024 * 1024
@@ -18,7 +20,7 @@ type t = {
   engine : Engine.t;
   costs : Costs.t;
   config : Config.t;
-  meter : Meter.t;
+  trace : Trace.t;
   phys : Phys.t;
   vfs : Vfs.t;
   biglock : Sync.Lock.t option;
@@ -56,7 +58,7 @@ let create ~engine ~costs ~config ~multi_address_space () =
     engine;
     costs;
     config;
-    meter = Meter.create ();
+    trace = Trace.create ~engine ~costs ();
     phys;
     vfs = Vfs.create ();
     biglock =
@@ -85,7 +87,8 @@ let create ~engine ~costs ~config ~multi_address_space () =
 let engine t = t.engine
 let costs t = t.costs
 let config t = t.config
-let meter t = t.meter
+let trace t = t.trace
+let meter t = Trace.meter t.trace
 let phys t = t.phys
 let vfs t = t.vfs
 let multi_address_space t = t.multi_as
@@ -93,18 +96,19 @@ let root_cap t = t.root
 let set_fork_hook t f = t.fork_hook <- Some f
 let set_fault_hook t f = t.fault_hook <- Some f
 
-(* Time passes only inside engine threads; boot-time setup (and unit tests
-   poking at the kernel directly) runs outside one. *)
-let charge _t cycles =
-  if cycles > 0L then
-    try Engine.advance cycles with Effect.Unhandled _ -> ()
+(* Every mechanism event — cycles, counter bump, optional trace record —
+   goes through the bus. Boot-time setup (and unit tests poking at the
+   kernel directly) runs outside an engine thread; Trace.emit counts those
+   events but skips the charge. *)
+let emit ?proc t event =
+  let pid = Option.map (fun (u : Uproc.t) -> u.Uproc.pid) proc in
+  Trace.emit t.trace ?pid event
 
 let account_private _t (u : Uproc.t) ~bytes =
   u.Uproc.private_bytes <- u.Uproc.private_bytes + bytes
 
 let fresh_frame t u =
-  Meter.incr t.meter "page_alloc";
-  charge t t.costs.Costs.page_alloc;
+  emit ~proc:u t (Event.Page_alloc 1);
   account_private t u ~bytes:Addr.page_size;
   Phys.alloc t.phys
 
@@ -268,8 +272,7 @@ let meta_addr (u : Uproc.t) index =
 exception Killed_signal
 
 let sys_kill t pid =
-  charge t 300L;
-  Meter.incr t.meter "kill";
+  emit t Event.Kill;
   match find_uproc t pid with
   | Some target when target.Uproc.state = Uproc.Running -> (
       target.Uproc.killed <- true;
@@ -290,23 +293,20 @@ let check_killed (u : Uproc.t) =
 
 let syscall_entry_cap t = t.entry_cap
 
-let syscall_entry_cost t =
+let syscall_entry_event t name =
   match t.config.Config.syscall_mode with
   | Config.Sealed_entry ->
       (* The entry really is a sealed-capability invocation: branching to
          anything else in kernel code is impossible for a uprocess. *)
       ignore (Capability.invoke t.entry_cap);
-      t.costs.Costs.syscall
-  | Config.Trap ->
-      (* An exception-based entry can never be cheaper than ~800 cycles:
-         pipeline flush + vector dispatch + return. *)
-      max t.costs.Costs.syscall 800L
+      Event.Syscall { name; trap = false }
+  | Config.Trap -> Event.Syscall { name; trap = true }
 
 let validation_cost t =
   match t.config.Config.isolation with
-  | Config.Full_isolation -> 60L
-  | Config.Fault_isolation -> 20L
-  | Config.No_isolation -> 0L
+  | Config.Full_isolation -> 60
+  | Config.Fault_isolation -> 20
+  | Config.No_isolation -> 0
 
 let lock_kernel t =
   match t.biglock with Some l -> Sync.Lock.acquire l | None -> ()
@@ -316,21 +316,18 @@ let unlock_kernel t =
 
 let with_syscall t ?proc ?(bytes = 0) name f =
   (match proc with Some u -> check_killed u | None -> ());
-  Meter.incr t.meter "syscall";
-  Meter.incr t.meter ("syscall." ^ name);
-  charge t (syscall_entry_cost t);
-  charge t (validation_cost t);
+  emit ?proc t (syscall_entry_event t name);
+  (match validation_cost t with
+  | 0 -> ()
+  | c -> emit ?proc t (Event.Entry_validation c));
   (* TOCTTOU hardening sets up the kernel-side shadow copies of
      by-reference arguments on every entry (§4.4). *)
-  if t.config.Config.toctou then charge t 600L;
+  if t.config.Config.toctou then emit ?proc t Event.Toctou_setup;
   if bytes > 0 then begin
     (* copyin/copyout of the payload... *)
-    charge t (Costs.bytes_cost t.costs.Costs.copy_per_byte bytes);
+    emit ?proc t (Event.Copy_bytes bytes);
     (* ...plus the TOCTTOU double copy when protection is on. *)
-    if t.config.Config.toctou then begin
-      Meter.add t.meter "toctou_bytes" bytes;
-      charge t (Costs.bytes_cost t.costs.Costs.toctou_per_byte bytes)
-    end
+    if t.config.Config.toctou then emit ?proc t (Event.Toctou_bytes bytes)
   end;
   lock_kernel t;
   match f () with
@@ -354,9 +351,8 @@ let kernel_wait ?proc t cond =
       u.Uproc.kernel_waker <- None);
   (* Waking up is a context switch; on a multi-address-space kernel it also
      switches page tables and flushes the TLB. *)
-  Meter.incr t.meter "context_switch";
-  charge t t.costs.Costs.context_switch;
-  if t.multi_as then charge t t.costs.Costs.address_space_switch;
+  emit ?proc t Event.Context_switch;
+  if t.multi_as then emit ?proc t Event.Address_space_switch;
   lock_kernel t;
   match proc with
   | Some u ->
@@ -408,7 +404,7 @@ let arena_pretouch t (u : Uproc.t) =
       int_of_float (frac *. float_of_int used /. float_of_int Addr.page_size)
     in
     if pages > 0 then begin
-      Meter.add t.meter "arena_pretouch_pages" pages;
+      emit ~proc:u t (Event.Arena_pretouch pages);
       let r = u.Uproc.regions in
       let vpn0 = Addr.vpn_of_addr r.Uproc.heap_base in
       let limit = vpn0 + Addr.bytes_to_pages r.Uproc.heap_bytes in
@@ -432,8 +428,7 @@ let sys_malloc t (u : Uproc.t) size =
   match Tinyalloc.alloc u.Uproc.allocator size with
   | exception Tinyalloc.Out_of_heap -> raise (Api.Sys_error "ENOMEM")
   | block ->
-      charge t 120L (* allocator bookkeeping *);
-      Meter.incr t.meter "malloc";
+      emit ~proc:u t Event.Malloc;
       (* Back the block with physical pages. *)
       materialize_heap_range t u ~addr:block.Tinyalloc.addr
         ~len:block.Tinyalloc.size;
@@ -450,9 +445,8 @@ let sys_malloc t (u : Uproc.t) size =
          (List.init (vpn1 - vpn0 + 1) (fun i -> vpn0 + i)));
       Vas.kernel_clear_tags u.Uproc.pt ~addr:block.Tinyalloc.addr
         ~len:block.Tinyalloc.size;
-      charge t
-        (Int64.mul t.costs.Costs.granule_scan
-           (Int64.of_int (block.Tinyalloc.size / Addr.granule_size)));
+      emit ~proc:u t
+        (Event.Granule_scan (block.Tinyalloc.size / Addr.granule_size));
       (* Record the block's metadata granule: a capability to the block
          stored in the metadata region (proactively copied at fork). *)
       let maddr = meta_addr u block.Tinyalloc.meta_index in
@@ -472,7 +466,7 @@ let sys_free t (u : Uproc.t) cap =
   match Tinyalloc.free u.Uproc.allocator addr with
   | exception Invalid_argument _ -> raise (Api.Sys_error "EINVAL: bad free")
   | block ->
-      charge t 80L;
+      emit ~proc:u t Event.Free;
       let maddr = meta_addr u block.Tinyalloc.meta_index in
       with_faults t u (fun () ->
           Vas.kernel_store_cap u.Uproc.pt ~addr:maddr Capability.null)
@@ -497,8 +491,7 @@ let reap t (u : Uproc.t) (child : Uproc.t) =
       (child.Uproc.area_base, child.Uproc.area_bytes) :: t.free_areas
 
 let sys_exit t (u : Uproc.t) status =
-  charge t t.costs.Costs.exit_fixed;
-  Meter.incr t.meter "exit";
+  emit ~proc:u t Event.Exit;
   Fdesc.Fdtable.close_all u.Uproc.fds;
   u.Uproc.state <- Uproc.Zombie status;
   (match u.Uproc.parent_pid with
@@ -536,7 +529,7 @@ let sys_wait t (u : Uproc.t) =
 (* {1 File and pipe syscalls} *)
 
 let sys_open t (u : Uproc.t) name mode =
-  charge t t.costs.Costs.file_op;
+  emit ~proc:u t Event.File_op;
   match Vfs.open_ t.vfs name mode with
   | f -> Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Vfs_file f)
   | exception Not_found -> raise (Api.Sys_error ("ENOENT: " ^ name))
@@ -547,7 +540,7 @@ let sys_close _t (u : Uproc.t) fd =
   | exception Not_found -> raise (Api.Sys_error "EBADF")
 
 let sys_pipe t (u : Uproc.t) =
-  charge t t.costs.Costs.file_op;
+  emit ~proc:u t Event.File_op;
   let p = Pipe.create () in
   let rfd = Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Pipe_read p) in
   let wfd = Fdesc.Fdtable.alloc u.Uproc.fds (Fdesc.Pipe_write p) in
@@ -560,7 +553,7 @@ let sys_read t (u : Uproc.t) fd n =
   | Fdesc.Vfs_file f -> Vfs.read f n
   | Fdesc.Pipe_write _ -> raise (Api.Sys_error "EBADF: write end")
   | Fdesc.Pipe_read p ->
-      charge t t.costs.Costs.pipe_op;
+      emit ~proc:u t Event.Pipe_op;
       let rec go () =
         match Pipe.try_read p n with
         | Pipe.Data b -> b
@@ -578,7 +571,7 @@ let sys_write t (u : Uproc.t) fd b =
   | Fdesc.Vfs_file f -> Vfs.write f b
   | Fdesc.Pipe_read _ -> raise (Api.Sys_error "EBADF: read end")
   | Fdesc.Pipe_write p ->
-      charge t t.costs.Costs.pipe_op;
+      emit ~proc:u t Event.Pipe_op;
       let total = Bytes.length b in
       let rec go off =
         if off >= total then total
@@ -605,7 +598,7 @@ let sys_write t (u : Uproc.t) fd b =
    page-aligned window carved from the caller's heap reservation. *)
 let map_named_segment t (u : Uproc.t) ~table ~name ~bytes ~writable ~exec =
   if bytes <= 0 then raise (Api.Sys_error "EINVAL: segment size");
-  charge t t.costs.Costs.file_op;
+  emit ~proc:u t Event.File_op;
   let bytes = Addr.align_up bytes Addr.page_size in
   let pages = bytes / Addr.page_size in
   let frames =
@@ -616,8 +609,7 @@ let map_named_segment t (u : Uproc.t) ~table ~name ~bytes ~writable ~exec =
         frames
     | None ->
         let frames = Array.init pages (fun _ -> Phys.alloc t.phys) in
-        Meter.add t.meter "page_alloc" pages;
-        charge t (Int64.mul t.costs.Costs.page_alloc (Int64.of_int pages));
+        emit ~proc:u t (Event.Page_alloc pages);
         Hashtbl.replace table name frames;
         frames
   in
@@ -633,14 +625,14 @@ let map_named_segment t (u : Uproc.t) ~table ~name ~bytes ~writable ~exec =
       let vpn = vpn0 + i in
       if Page_table.is_mapped u.Uproc.pt ~vpn then
         Page_table.unmap u.Uproc.pt ~vpn;
-      charge t t.costs.Costs.pte_copy;
+      emit ~proc:u t Event.Pte_copy;
       Page_table.map_shared u.Uproc.pt ~vpn
         (Pte.make ~read:true ~write:writable ~exec ~share:Pte.Shm_shared frame))
     frames;
   (base, bytes)
 
 let sys_shm_open t (u : Uproc.t) name ~bytes =
-  Meter.incr t.meter "shm_open";
+  emit ~proc:u t Event.Shm_open;
   let base, bytes =
     map_named_segment t u ~table:t.shms ~name ~bytes ~writable:true
       ~exec:false
@@ -651,7 +643,7 @@ let sys_shm_open t (u : Uproc.t) name ~bytes =
    uprocess ... creating capabilities with the proper permissions"
    (§3.7): read-only, executable, physically shared. *)
 let sys_map_library t (u : Uproc.t) name ~bytes =
-  Meter.incr t.meter "map_library";
+  emit ~proc:u t Event.Map_library;
   let base, bytes =
     map_named_segment t u ~table:t.libs ~name ~bytes ~writable:false
       ~exec:true
@@ -673,13 +665,12 @@ let sys_map_library t (u : Uproc.t) name ~bytes =
    the parent state: the modern replacement for the U1 fork+exec pattern
    that SASOSes like OSv/Junction support instead of fork. *)
 let rec sys_spawn t (u : Uproc.t) main =
-  Meter.incr t.meter "spawn";
-  charge t (Int64.div t.costs.Costs.fork_fixed 4L);
+  emit ~proc:u t Event.Spawn;
   let fds = Fdesc.Fdtable.dup_all u.Uproc.fds in
   let child = create_uproc t ~parent:u ~fds ~image:u.Uproc.image () in
   child.Uproc.forked <- false (* fresh state, not a fork *);
   map_initial_image t child;
-  charge t t.costs.Costs.thread_create;
+  emit ~proc:u t Event.Thread_create;
   spawn_process t child main;
   child.Uproc.pid
 
@@ -779,7 +770,7 @@ and build_api t ?(reloc = fun c -> c) (u : Uproc.t) : Api.t =
             Vas.load_cap pt
               ~via:(Capability.with_cursor (area_cap t u) addr)
               ~addr));
-    compute = (fun cycles -> charge t cycles);
+    compute = (fun cycles -> emit ~proc:u t (Event.Compute cycles));
     now = (fun () -> Engine.now t.engine);
     open_ =
       (fun name mode -> with_syscall t ~proc:u "open" (fun () -> sys_open t u name mode));
@@ -804,13 +795,13 @@ and build_api t ?(reloc = fun c -> c) (u : Uproc.t) : Api.t =
     rename =
       (fun ~src ~dst ->
         with_syscall t ~proc:u "rename" (fun () ->
-            charge t t.costs.Costs.file_op;
+            emit ~proc:u t Event.File_op;
             try Vfs.rename t.vfs ~src ~dst
             with Not_found -> raise (Api.Sys_error ("ENOENT: " ^ src))));
     unlink =
       (fun name ->
         with_syscall t ~proc:u "unlink" (fun () ->
-            charge t t.costs.Costs.file_op;
+            emit ~proc:u t Event.File_op;
             try Vfs.unlink t.vfs name
             with Not_found -> raise (Api.Sys_error ("ENOENT: " ^ name))));
     pipe = (fun () -> with_syscall t ~proc:u "pipe" (fun () -> sys_pipe t u));
@@ -827,15 +818,13 @@ and build_api t ?(reloc = fun c -> c) (u : Uproc.t) : Api.t =
     sleep =
       (fun cycles ->
         Engine.sleep cycles;
-        Meter.incr t.meter "context_switch";
-        charge t t.costs.Costs.context_switch;
-        if t.multi_as then charge t t.costs.Costs.address_space_switch);
+        emit ~proc:u t Event.Context_switch;
+        if t.multi_as then emit ~proc:u t Event.Address_space_switch);
     yield =
       (fun () ->
-        Meter.incr t.meter "context_switch";
         Engine.yield ();
-        charge t t.costs.Costs.context_switch;
-        if t.multi_as then charge t t.costs.Costs.address_space_switch);
+        emit ~proc:u t Event.Context_switch;
+        if t.multi_as then emit ~proc:u t Event.Address_space_switch);
   }
 
 and spawn_process t ?affinity ?reloc (u : Uproc.t) main =
@@ -862,4 +851,4 @@ let arena_span t = t.next_area - user_arena_base
 
 let live_area_bytes t =
   List.fold_left (fun acc (_, bytes, _) -> acc + bytes) 0 t.areas
-let pp_meter ppf t = Meter.pp ppf t.meter
+let pp_meter ppf t = Meter.pp ppf (Trace.meter t.trace)

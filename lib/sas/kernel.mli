@@ -10,9 +10,11 @@
     (sealed vs trap), the big kernel lock, pipes, the ramdisk VFS,
     wait/exit/reap, and the {!Api.t} builder.
 
-    All operations that consume simulated time charge the machine's
-    {!Ufork_sim.Costs.t}; every charged event is also counted in the
-    {!Ufork_sim.Meter.t} so benchmarks can audit where latency comes from. *)
+    All operations that consume simulated time emit a typed
+    {!Ufork_sim.Event.t} through the kernel's {!Ufork_sim.Trace.t} bus,
+    which charges the machine's {!Ufork_sim.Costs.t} and counts the event
+    in one step — so benchmarks can audit that latency is exactly the sum
+    of counted work ({!Ufork_sim.Trace.audit}). *)
 
 module Capability = Ufork_cheri.Capability
 
@@ -35,7 +37,14 @@ val create :
 val engine : t -> Ufork_sim.Engine.t
 val costs : t -> Ufork_sim.Costs.t
 val config : t -> Config.t
+
+val trace : t -> Ufork_sim.Trace.t
+(** The kernel's mechanism-event bus. *)
+
 val meter : t -> Ufork_sim.Meter.t
+(** The bus's derived counter view (read-only; writes belong in
+    {!emit}). *)
+
 val phys : t -> Ufork_mem.Phys.t
 val vfs : t -> Vfs.t
 val multi_address_space : t -> bool
@@ -101,9 +110,12 @@ val fresh_frame : t -> Uproc.t -> Ufork_mem.Phys.frame
     memory to the process. *)
 
 val account_private : t -> Uproc.t -> bytes:int -> unit
-val charge : t -> int64 -> unit
-(** Advance simulated time (no-op outside an engine thread, e.g. during
-    boot-time setup in unit tests). *)
+
+val emit : ?proc:Uproc.t -> t -> Ufork_sim.Event.t -> unit
+(** Send one mechanism event through the bus: charge its cycles and count
+    it atomically (cycles are skipped outside an engine thread, e.g.
+    during boot-time setup in unit tests). Fork implementations emit their
+    page-copy/relocation events here. *)
 
 val map_zero_pages :
   t ->

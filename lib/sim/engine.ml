@@ -76,6 +76,7 @@ type t = {
   core_array : core array;
   events : Heap.t;
   mutable now : int64;
+  mutable advanced : int64;
   mutable seq : int;
   ready : (thread * resume) Queue.t;
   mutable live : int;
@@ -100,6 +101,7 @@ let create ?(cores = 4) () =
     core_array = Array.init cores (fun index -> { index; busy = false });
     events = Heap.create ();
     now = 0L;
+    advanced = 0L;
     seq = 0;
     ready = Queue.create ();
     live = 0;
@@ -110,6 +112,7 @@ let create ?(cores = 4) () =
 
 let cores t = Array.length t.core_array
 let now t = t.now
+let advanced t = t.advanced
 let live_threads t = t.live
 let blocked_threads t = t.blocked
 
@@ -164,6 +167,7 @@ let exec t core thread resume =
                       else begin
                         (* The core stays busy until the advance
                            completes. *)
+                        t.advanced <- Int64.add t.advanced n;
                         let c = occupied_core thread in
                         schedule t (Int64.add t.now n) (fun () ->
                             thread.cur_core <- Some c;

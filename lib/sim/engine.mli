@@ -23,6 +23,13 @@ val cores : t -> int
 val now : t -> int64
 (** Current simulated time in cycles. *)
 
+val advanced : t -> int64
+(** Total busy cycles ever consumed through {!advance}, summed across
+    cores — unlike {!now}, unaffected by idle gaps or multi-core overlap.
+    Counted when the advance is scheduled, so an advance truncated by
+    [run ~until] is still included. This is the [elapsed] side of
+    {!Trace.audit}. *)
+
 val spawn : ?name:string -> ?affinity:int -> t -> (unit -> unit) -> tid
 (** Register a new thread, runnable immediately. [affinity] pins it to one
     core. Threads may spawn further threads. *)

@@ -1,0 +1,222 @@
+type t =
+  | Syscall of { name : string; trap : bool }
+  | Entry_validation of int
+  | Toctou_setup
+  | Copy_bytes of int
+  | Toctou_bytes of int
+  | Context_switch
+  | Address_space_switch
+  | Page_fault
+  | Soft_fault
+  | Demand_zero
+  | Cow_write_fault
+  | Copa_write_fault
+  | Copa_cap_load_fault
+  | Coa_access_fault
+  | Fork_fixed
+  | Spawn
+  | Thread_create
+  | Exit
+  | Kill
+  | Domain_create
+  | Pte_copy
+  | Pte_protect
+  | Page_alloc of int
+  | Page_copy_eager
+  | Page_copy_child
+  | Page_copy_cow
+  | Claim_in_place
+  | Cow_claim_in_place
+  | Shm_share
+  | Granule_scan of int
+  | Cap_relocate of int
+  | Toctou_revalidate of int
+  | Malloc
+  | Free
+  | File_op
+  | Pipe_op
+  | Shm_open
+  | Map_library
+  | Arena_pretouch of int
+  | Compute of int64
+
+let to_key = function
+  | Syscall { name; _ } -> "syscall." ^ name
+  | Entry_validation _ -> "entry_validation"
+  | Toctou_setup -> "toctou_setup"
+  | Copy_bytes _ -> "copyio_bytes"
+  | Toctou_bytes _ -> "toctou_bytes"
+  | Context_switch -> "context_switch"
+  | Address_space_switch -> "address_space_switch"
+  | Page_fault -> "fault"
+  | Soft_fault -> "soft_fault"
+  | Demand_zero -> "demand_zero"
+  | Cow_write_fault -> "cow_write_fault"
+  | Copa_write_fault -> "copa_write_fault"
+  | Copa_cap_load_fault -> "copa_cap_load_fault"
+  | Coa_access_fault -> "coa_access_fault"
+  | Fork_fixed -> "fork"
+  | Spawn -> "spawn"
+  | Thread_create -> "thread_create"
+  | Exit -> "exit"
+  | Kill -> "kill"
+  | Domain_create -> "domain_create"
+  | Pte_copy -> "pte_copy"
+  | Pte_protect -> "pte_protect"
+  | Page_alloc _ -> "page_alloc"
+  | Page_copy_eager -> "page_copy_eager"
+  | Page_copy_child -> "page_copy_child"
+  | Page_copy_cow -> "page_copy_cow"
+  | Claim_in_place -> "claim_in_place"
+  | Cow_claim_in_place -> "cow_claim_in_place"
+  | Shm_share -> "shm_share"
+  | Granule_scan _ -> "granules_scanned"
+  | Cap_relocate _ -> "caps_relocated"
+  | Toctou_revalidate _ -> "toctou_revalidate_ptes"
+  | Malloc -> "malloc"
+  | Free -> "free"
+  | File_op -> "file_op"
+  | Pipe_op -> "pipe_op"
+  | Shm_open -> "shm_open"
+  | Map_library -> "map_library"
+  | Arena_pretouch _ -> "arena_pretouch_pages"
+  | Compute _ -> "compute"
+
+let count = function
+  | Copy_bytes n | Toctou_bytes n | Page_alloc n | Granule_scan n
+  | Cap_relocate n | Toctou_revalidate n | Arena_pretouch n ->
+      n
+  | Syscall _ | Entry_validation _ | Toctou_setup | Context_switch
+  | Address_space_switch | Page_fault | Soft_fault | Demand_zero
+  | Cow_write_fault | Copa_write_fault | Copa_cap_load_fault
+  | Coa_access_fault | Fork_fixed | Spawn | Thread_create | Exit | Kill
+  | Domain_create | Pte_copy | Pte_protect | Page_copy_eager
+  | Page_copy_child | Page_copy_cow | Claim_in_place | Cow_claim_in_place
+  | Shm_share | Malloc | Free | File_op | Pipe_op | Shm_open | Map_library
+  | Compute _ ->
+      1
+
+(* Raw constants that are mechanism properties rather than machine
+   parameters: they do not vary across the cost presets. *)
+let trap_floor = 800L
+let toctou_setup_cycles = 600L
+let kill_cycles = 300L
+let malloc_bookkeeping_cycles = 120L
+let free_cycles = 80L
+
+let cost ~(costs : Costs.t) = function
+  | Syscall { trap; _ } ->
+      if trap then max costs.Costs.syscall trap_floor else costs.Costs.syscall
+  | Entry_validation c -> Int64.of_int c
+  | Toctou_setup -> toctou_setup_cycles
+  | Copy_bytes n -> Costs.bytes_cost costs.Costs.copy_per_byte n
+  | Toctou_bytes n -> Costs.bytes_cost costs.Costs.toctou_per_byte n
+  | Context_switch -> costs.Costs.context_switch
+  | Address_space_switch -> costs.Costs.address_space_switch
+  | Page_fault | Demand_zero -> costs.Costs.page_fault
+  | Soft_fault -> costs.Costs.soft_fault
+  | Cow_write_fault | Copa_write_fault | Copa_cap_load_fault
+  | Coa_access_fault ->
+      0L
+  | Fork_fixed -> costs.Costs.fork_fixed
+  | Spawn -> Int64.div costs.Costs.fork_fixed 4L
+  | Thread_create -> costs.Costs.thread_create
+  | Exit -> costs.Costs.exit_fixed
+  | Kill -> kill_cycles
+  | Domain_create -> costs.Costs.domain_create
+  | Pte_copy -> costs.Costs.pte_copy
+  | Pte_protect -> costs.Costs.pte_protect
+  | Page_alloc n -> Int64.mul costs.Costs.page_alloc (Int64.of_int n)
+  | Page_copy_eager | Page_copy_child | Page_copy_cow -> costs.Costs.page_copy
+  | Claim_in_place | Cow_claim_in_place | Shm_share -> 0L
+  | Granule_scan n -> Int64.mul costs.Costs.granule_scan (Int64.of_int n)
+  | Cap_relocate n -> Int64.mul costs.Costs.cap_relocate (Int64.of_int n)
+  | Toctou_revalidate n -> Int64.of_int (n / 2)
+  | Malloc -> malloc_bookkeeping_cycles
+  | Free -> free_cycles
+  | File_op -> costs.Costs.file_op
+  | Pipe_op -> costs.Costs.pipe_op
+  | Shm_open | Map_library | Arena_pretouch _ -> 0L
+  | Compute c -> c
+
+let linear_unit ~(costs : Costs.t) event =
+  match event with
+  (* Byte-scaled costs round per emission (sum of roundings is not the
+     rounding of the sum), so no per-key unit exists. *)
+  | Copy_bytes _ | Toctou_bytes _ -> None
+  (* The payload is the cost itself; different emissions under the same key
+     legitimately differ. *)
+  | Compute _ -> None
+  (* Integer halving rounds per emission. *)
+  | Toctou_revalidate _ -> None
+  | Page_alloc _ -> Some costs.Costs.page_alloc
+  | Granule_scan _ -> Some costs.Costs.granule_scan
+  | Cap_relocate _ -> Some costs.Costs.cap_relocate
+  | Arena_pretouch _ -> Some 0L
+  | e -> Some (cost ~costs e)
+
+let pp ppf e =
+  match count e with
+  | 1 -> Format.pp_print_string ppf (to_key e)
+  | n -> Format.fprintf ppf "%s x%d" (to_key e) n
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json e =
+  Printf.sprintf "{\"key\":\"%s\",\"n\":%d}" (json_escape (to_key e)) (count e)
+
+let samples =
+  [
+    Syscall { name = "read"; trap = false };
+    Entry_validation 60;
+    Toctou_setup;
+    Copy_bytes 4096;
+    Toctou_bytes 4096;
+    Context_switch;
+    Address_space_switch;
+    Page_fault;
+    Soft_fault;
+    Demand_zero;
+    Cow_write_fault;
+    Copa_write_fault;
+    Copa_cap_load_fault;
+    Coa_access_fault;
+    Fork_fixed;
+    Spawn;
+    Thread_create;
+    Exit;
+    Kill;
+    Domain_create;
+    Pte_copy;
+    Pte_protect;
+    Page_alloc 1;
+    Page_copy_eager;
+    Page_copy_child;
+    Page_copy_cow;
+    Claim_in_place;
+    Cow_claim_in_place;
+    Shm_share;
+    Granule_scan 256;
+    Cap_relocate 31;
+    Toctou_revalidate 10;
+    Malloc;
+    Free;
+    File_op;
+    Pipe_op;
+    Shm_open;
+    Map_library;
+    Arena_pretouch 4;
+    Compute 1000L;
+  ]

@@ -1,0 +1,111 @@
+(** The typed mechanism-event taxonomy of the cost model.
+
+    Every simulated cycle a kernel charges and every counter a benchmark
+    reads corresponds to one constructor below. An event knows three
+    things: its counter key ({!to_key} — the name under which the derived
+    {!Meter} view accumulates it), how many units one emission represents
+    ({!count} — pages for [Page_alloc], bytes for [Copy_bytes], 1 for
+    everything else), and its cycle cost under a given {!Costs.t} preset
+    ({!cost}). Emission happens through {!Trace.emit}, which charges,
+    counts and (optionally) records the event atomically — there is no
+    way to bump a counter without paying the cycles, or vice versa. *)
+
+type t =
+  (* Privilege and scheduling transitions. *)
+  | Syscall of { name : string; trap : bool }
+      (** Kernel entry. [trap = false] is the sealed-capability invocation
+          (§4.4); [trap = true] the classic exception entry, floored at
+          800 cycles. Counted under ["syscall.<name>"] plus the aggregate
+          ["syscall"]. *)
+  | Entry_validation of int
+      (** Argument-validation work at syscall entry; payload is the cycle
+          cost implied by the configured isolation level. *)
+  | Toctou_setup
+      (** Kernel-side shadow-copy setup of by-reference arguments on every
+          entry when TOCTTOU protection is on (§4.4). *)
+  | Copy_bytes of int  (** copyin/copyout of an [n]-byte syscall payload. *)
+  | Toctou_bytes of int
+      (** The TOCTTOU double copy of the same [n] bytes, on top of
+          {!Copy_bytes}. *)
+  | Context_switch
+  | Address_space_switch
+      (** Page-table switch + TLB flush; emitted only by multi-AS
+          kernels. *)
+  (* Faults. *)
+  | Page_fault  (** Fault delivery + handler entry/exit (key ["fault"]). *)
+  | Soft_fault
+      (** Monolithic pmap miss on a resident page (first touch after
+          fork). *)
+  | Demand_zero  (** Demand-zero materialization in heap/metadata. *)
+  | Cow_write_fault
+  | Copa_write_fault
+  | Copa_cap_load_fault
+  | Coa_access_fault
+      (** Fault classification sub-counters; zero cost — the cycles are on
+          the enclosing {!Page_fault}. *)
+  (* fork machinery. *)
+  | Fork_fixed  (** Fixed fork bookkeeping (key ["fork"]). *)
+  | Spawn  (** posix_spawn fixed cost: a quarter of {!Fork_fixed}. *)
+  | Thread_create
+  | Exit
+  | Kill
+  | Domain_create  (** Nephele VM-clone domain creation. *)
+  (* Page tables and page movement. *)
+  | Pte_copy
+  | Pte_protect
+  | Page_alloc of int  (** [n] fresh physical frames. *)
+  | Page_copy_eager  (** Eager 4 KiB copy at fork (proactive or full). *)
+  | Page_copy_child  (** Fault-driven copy into the child (CoA/CoPA). *)
+  | Page_copy_cow  (** Parent-side CoW copy. *)
+  | Claim_in_place
+  | Cow_claim_in_place
+      (** Refcount-1 frames claimed without a copy; zero cost. *)
+  | Shm_share  (** Deliberately shared page mapped, not copied (§3.7). *)
+  (* Capability relocation (§4.2). *)
+  | Granule_scan of int  (** [n] 16-byte granules tag-inspected. *)
+  | Cap_relocate of int  (** [n] tagged capabilities rebased. *)
+  | Toctou_revalidate of int
+      (** Post-copy revalidation of [n] duplicated PTEs against the copied
+          fork arguments (§5.1); costs n/2 cycles. *)
+  (* Allocator, files, pipes, segments. *)
+  | Malloc
+  | Free
+  | File_op
+  | Pipe_op
+  | Shm_open
+  | Map_library
+  | Arena_pretouch of int
+      (** [n] heap pages re-dirtied by a forked child's first allocation;
+          zero direct cost (the write faults are charged separately). *)
+  (* Application work. *)
+  | Compute of int64  (** Pure CPU burn requested via [Api.compute]. *)
+
+val to_key : t -> string
+(** The counter key. Injective across constructors: no two constructors
+    share a key (for [Syscall] the key is ["syscall." ^ name]; the
+    aggregate ["syscall"] counter is maintained by {!Trace.emit} on top). *)
+
+val count : t -> int
+(** Units represented by one emission: the payload for [Page_alloc],
+    [Copy_bytes], [Toctou_bytes], [Granule_scan], [Cap_relocate],
+    [Toctou_revalidate] and [Arena_pretouch]; 1 otherwise. *)
+
+val cost : costs:Costs.t -> t -> int64
+(** Simulated cycles one emission charges under the preset. *)
+
+val linear_unit : costs:Costs.t -> t -> int64 option
+(** [Some u] when [cost] is exactly [count * u] with [u] derivable from
+    the preset (and, for [Syscall]/[Entry_validation], the payload) — the
+    per-key invariant {!Trace.audit} re-checks. [None] for byte-scaled
+    costs (per-call rounding), [Toctou_revalidate] and [Compute]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val json_escape : string -> string
+(** Minimal JSON string escaping (quotes, backslash, control chars). *)
+
+val to_json : t -> string
+(** One-line JSON object [{"key": ..., "n": ...}]. *)
+
+val samples : t list
+(** One representative per constructor, for exhaustiveness-style tests. *)

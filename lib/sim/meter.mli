@@ -14,6 +14,11 @@ val get : t -> string -> int
 (** 0 when never incremented. *)
 
 val reset : t -> unit
+(** Zero every counter without discarding the key registry: keys touched
+    before the reset (including gauges set via {!set}) remain in
+    {!to_list} with value 0, so back-to-back experiments report identical
+    key sets. *)
+
 val to_list : t -> (string * int) list
 (** Sorted by name. *)
 

@@ -1,0 +1,213 @@
+type record = {
+  t : int64;
+  core : int;
+  tid : int;
+  pid : int;
+  event : Event.t;
+  cycles : int64;
+}
+
+(* Per-key aggregate: enough state to re-derive the key's cycle total from
+   an arbitrary preset at audit time. [rep] is one representative event;
+   [fixed] stays true only while every emission under the key has agreed
+   with [rep]'s linear unit, so [cycles = unit rep * charged_units]. *)
+type entry = {
+  mutable units : int;
+  mutable charged_units : int;
+  mutable cycles : int64;
+  mutable rep : Event.t option;
+  mutable fixed : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  meter : Meter.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable total_cycles : int64;
+  ring : record option array;
+  mutable ring_start : int;
+  mutable ring_len : int;
+  mutable dropped : int;
+  mutable recording : bool;
+}
+
+let default_ring_capacity = 65536
+
+let create ~engine ~costs ?(ring_capacity = default_ring_capacity) () =
+  {
+    engine;
+    costs;
+    meter = Meter.create ();
+    entries = Hashtbl.create 64;
+    total_cycles = 0L;
+    ring = Array.make (max 1 ring_capacity) None;
+    ring_start = 0;
+    ring_len = 0;
+    dropped = 0;
+    recording = false;
+  }
+
+let engine t = t.engine
+let costs t = t.costs
+let meter t = t.meter
+let total_charged t = t.total_cycles
+let set_recording t on = t.recording <- on
+let recording t = t.recording
+let dropped t = t.dropped
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e =
+        { units = 0; charged_units = 0; cycles = 0L; rep = None; fixed = true }
+      in
+      Hashtbl.add t.entries key e;
+      e
+
+let push t r =
+  let cap = Array.length t.ring in
+  if t.ring_len < cap then begin
+    t.ring.((t.ring_start + t.ring_len) mod cap) <- Some r;
+    t.ring_len <- t.ring_len + 1
+  end
+  else begin
+    t.ring.(t.ring_start) <- Some r;
+    t.ring_start <- (t.ring_start + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let emit t ?(pid = -1) event =
+  let key = Event.to_key event in
+  let n = Event.count event in
+  let cost = Event.cost ~costs:t.costs event in
+  Meter.add t.meter key n;
+  (match event with
+  | Event.Syscall _ -> Meter.incr t.meter "syscall"
+  | _ -> ());
+  (* Outside an engine thread (boot, direct kernel poking in unit tests)
+     there is no schedulable context to charge, mirroring the old
+     boot-time charge path: count the event, skip the cycles. *)
+  let tid =
+    match Engine.current_tid () with
+    | tid -> tid
+    | exception Effect.Unhandled _ -> -1
+  in
+  let charged = tid >= 0 && cost > 0L in
+  let e = entry t key in
+  e.units <- e.units + n;
+  (match (Event.linear_unit ~costs:t.costs event, e.rep) with
+  | None, _ -> e.fixed <- false
+  | Some _, None -> e.rep <- Some event
+  | Some u, Some rep ->
+      if Event.linear_unit ~costs:t.costs rep <> Some u then e.fixed <- false);
+  if charged then begin
+    e.charged_units <- e.charged_units + n;
+    e.cycles <- Int64.add e.cycles cost;
+    t.total_cycles <- Int64.add t.total_cycles cost
+  end;
+  if t.recording then begin
+    let core =
+      match Engine.current_core () with
+      | c -> c
+      | exception Effect.Unhandled _ -> -1
+    in
+    push t
+      {
+        t = Engine.now t.engine;
+        core;
+        tid;
+        pid;
+        event;
+        cycles = (if charged then cost else 0L);
+      }
+  end;
+  (* Last, so the record and the aggregates describe the state at emission
+     time even if a [~until] deadline truncates the advance. *)
+  if charged then Engine.advance cost
+
+let gauge t key v = Meter.set t.meter key v
+
+let records t =
+  let cap = Array.length t.ring in
+  List.init t.ring_len (fun i ->
+      match t.ring.((t.ring_start + i) mod cap) with
+      | Some r -> r
+      | None -> assert false)
+
+let reset t =
+  Meter.reset t.meter;
+  Hashtbl.iter
+    (fun _ e ->
+      e.units <- 0;
+      e.charged_units <- 0;
+      e.cycles <- 0L;
+      e.rep <- None;
+      e.fixed <- true)
+    t.entries;
+  t.total_cycles <- 0L;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.ring_start <- 0;
+  t.ring_len <- 0;
+  t.dropped <- 0
+
+let record_to_json r =
+  Printf.sprintf "{\"t\":%Ld,\"core\":%d,\"tid\":%d,\"pid\":%d,\"event\":%s,\"cycles\":%Ld}"
+    r.t r.core r.tid r.pid (Event.to_json r.event) r.cycles
+
+let to_jsonl_string t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (record_to_json r);
+      Buffer.add_char b '\n')
+    (records t);
+  Buffer.contents b
+
+let chrome_of_records recs =
+  let us cycles = Ufork_util.Units.us_of_cycles cycles in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"n\":%d,\"cycles\":%Ld,\"sim_pid\":%d,\"sim_tid\":%d}}"
+           (Event.json_escape (Event.to_key r.event))
+           (us r.t) (us r.cycles)
+           (if r.pid >= 0 then r.pid else 0)
+           (if r.core >= 0 then r.core else 0)
+           (Event.count r.event) r.cycles r.pid r.tid))
+    recs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents b
+
+exception Audit_failure of string
+
+let audit t ~costs ~elapsed =
+  if elapsed <> t.total_cycles then
+    raise
+      (Audit_failure
+         (Printf.sprintf
+            "engine advanced %Ld cycles but the trace charged %Ld (delta %Ld)"
+            elapsed t.total_cycles
+            (Int64.sub elapsed t.total_cycles)));
+  Hashtbl.iter
+    (fun key e ->
+      match e.rep with
+      | Some rep when e.fixed -> (
+          match Event.linear_unit ~costs rep with
+          | None -> ()
+          | Some unit ->
+              let expected = Int64.mul unit (Int64.of_int e.charged_units) in
+              if e.cycles <> expected then
+                raise
+                  (Audit_failure
+                     (Printf.sprintf
+                        "key %S charged %Ld cycles; preset says %d units x %Ld \
+                         = %Ld"
+                        key e.cycles e.charged_units unit expected)))
+      | _ -> ())
+    t.entries

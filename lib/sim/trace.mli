@@ -1,0 +1,98 @@
+(** The per-machine mechanism-event bus.
+
+    One [Trace.t] belongs to one simulated machine (engine + cost preset).
+    Every mechanism event flows through {!emit}, which atomically
+
+    + charges the event's simulated cycles via {!Engine.advance} (skipped,
+      like the old boot-time charge path, when called outside an engine
+      thread — e.g. initial image mapping or unit tests poking at a kernel
+      directly);
+    + bumps the event's counter in the derived {!Meter} view under
+      {!Event.to_key} (by {!Event.count} units), keeping every existing
+      benchmark reader working unchanged;
+    + when recording is on, appends a timestamped
+      [{t; core; tid; pid; event}] record to a bounded ring buffer that
+      exports as JSONL or Chrome [about:tracing] JSON.
+
+    Because charging and counting share one code path, the accounting
+    invariant is checkable: {!audit} asserts that the engine's total busy
+    cycles equal the sum of cycles charged through the bus — no hidden
+    constants — and re-derives each fixed-cost counter's cycle total from
+    the preset. *)
+
+type t
+
+val create :
+  engine:Engine.t -> costs:Costs.t -> ?ring_capacity:int -> unit -> t
+(** [ring_capacity] bounds the record buffer (default 65536); when it
+    overflows, the oldest records are dropped and {!dropped} counts them.
+    Recording starts disabled — counting and charging are always on. *)
+
+val engine : t -> Engine.t
+val costs : t -> Costs.t
+
+val meter : t -> Meter.t
+(** The derived counter view. Treat as read-only: all writes should come
+    from {!emit} (or {!gauge}); poking it directly bypasses charging and
+    will trip {!audit}. *)
+
+val emit : t -> ?pid:int -> Event.t -> unit
+(** Charge + count + record one event. [pid] defaults to [-1] (no process
+    context). For [Event.Syscall] the aggregate ["syscall"] counter is
+    bumped alongside the per-name key. *)
+
+val gauge : t -> string -> int -> unit
+(** Overwrite a "last observed value" gauge in the derived view (e.g.
+    ["gauge.last_fork_latency"]). Gauges carry no cycles and are exempt
+    from {!audit}. *)
+
+val total_charged : t -> int64
+(** Simulated cycles charged through this bus since creation/{!reset}. *)
+
+val set_recording : t -> bool -> unit
+val recording : t -> bool
+
+type record = {
+  t : int64;  (** Simulated time at emission, cycles. *)
+  core : int;  (** Executing core, [-1] outside an engine thread. *)
+  tid : int;  (** Engine thread id, [-1] outside an engine thread. *)
+  pid : int;  (** μprocess id, [-1] when not applicable. *)
+  event : Event.t;
+  cycles : int64;  (** Cycles this emission charged. *)
+}
+
+val records : t -> record list
+(** Buffered records, oldest first. *)
+
+val dropped : t -> int
+(** Records evicted by ring overflow since creation/{!reset}. *)
+
+val reset : t -> unit
+(** Zero all counters and aggregates and clear the ring. The key registry
+    of the derived view survives (see {!Meter.reset}). *)
+
+val record_to_json : record -> string
+(** One JSONL line (no trailing newline):
+    [{"t":..,"core":..,"tid":..,"pid":..,"event":{..},"cycles":..}]. *)
+
+val to_jsonl_string : t -> string
+(** All buffered records, one JSON object per line. *)
+
+val chrome_of_records : record list -> string
+(** Chrome trace-event JSON ([about:tracing] / Perfetto): one complete
+    ("ph":"X") event per record, timestamps in microseconds at the
+    simulated 2.5 GHz clock, cores as Chrome "tids". *)
+
+exception Audit_failure of string
+
+val audit : t -> costs:Costs.t -> elapsed:int64 -> unit
+(** Assert the accounting invariant, with zero tolerance:
+
+    - [elapsed] (pass {!Engine.advanced}, the engine's lifetime busy
+      cycles) equals {!total_charged} — every advanced cycle was a traced
+      event and every traced event's cycles reached the engine;
+    - for each counter key whose events have a preset-derivable unit cost
+      ({!Event.linear_unit}), the cycles charged under that key equal
+      [charged units * unit] recomputed from [costs].
+
+    Raises {!Audit_failure} naming the discrepancy otherwise. *)

@@ -1,6 +1,7 @@
 module Units = Ufork_util.Units
 module Costs = Ufork_sim.Costs
 module Engine = Ufork_sim.Engine
+module Trace = Ufork_sim.Trace
 module Config = Ufork_sas.Config
 module Image = Ufork_sas.Image
 module Api = Ufork_sas.Api
@@ -43,7 +44,61 @@ type booted = {
   run : ?until:int64 -> unit -> unit;
 }
 
-let boot ?(cores = 4) ?config system =
+(* {1 Harness-wide run options}
+
+   The bench/CLI front ends set these once from their flags; every
+   subsequent [boot] picks them up, so one [--cores]/[--trace-out] applies
+   uniformly across the systems an experiment compares. *)
+
+let default_cores : int option ref = ref None
+let set_default_cores n = default_cores := n
+
+type trace_format = Jsonl | Chrome
+
+let trace_sink : (string * trace_format) option ref = ref None
+
+(* Traces of every machine booted since the sink was set, oldest first —
+   a comparative experiment boots several systems and the output file
+   should hold them all. *)
+let traced : Trace.t list ref = ref []
+
+let set_trace_out ?(format = Jsonl) path =
+  trace_sink := Option.map (fun p -> (p, format)) path;
+  traced := []
+
+let register_trace tr =
+  if Option.is_some !trace_sink then begin
+    Trace.set_recording tr true;
+    traced := !traced @ [ tr ]
+  end
+
+(* Rewrite the sink from all traces so far; called after every run so the
+   file is complete whenever the harness stops. *)
+let flush_trace () =
+  match !trace_sink with
+  | None -> ()
+  | Some (path, format) ->
+      let oc = open_out path in
+      (match format with
+      | Jsonl ->
+          List.iter (fun tr -> output_string oc (Trace.to_jsonl_string tr)) !traced
+      | Chrome ->
+          output_string oc
+            (Trace.chrome_of_records (List.concat_map Trace.records !traced)));
+      close_out oc
+
+(* The accounting invariant, checked after every experiment run: the
+   engine's lifetime busy cycles must equal the cycles charged through the
+   machine's event bus — no hidden constants (ISSUE: fig8/fig9 audits). *)
+let audit_booted b =
+  Trace.audit (Kernel.trace b.kernel) ~costs:(Kernel.costs b.kernel)
+    ~elapsed:(Engine.advanced b.engine)
+
+let finish_run b =
+  audit_booted b;
+  flush_trace ()
+
+let boot_raw ~cores ?config system =
   match system with
   | Ufork strategy ->
       let config = Option.value config ~default:Config.ufork_fast in
@@ -95,6 +150,12 @@ let boot ?(cores = 4) ?config system =
         run = (fun ?until () -> Vmclone.run ?until os);
       }
 
+let boot ?(cores = 4) ?config system =
+  let cores = Option.value !default_cores ~default:cores in
+  let b = boot_raw ~cores ?config system in
+  register_trace (Kernel.trace b.kernel);
+  b
+
 let child_private_mb b pid =
   match Kernel.find_uproc b.kernel pid with
   | Some u -> Units.mb_of_bytes u.Uproc.private_bytes
@@ -134,6 +195,7 @@ let redis_run system ~entries ~value_len ~db_label =
         result := Some r)
   in
   b.run ();
+  finish_run b;
   match !result with
   | None -> failwith "redis_run: benchmark process never completed"
   | Some r ->
@@ -193,6 +255,7 @@ let faas_run system ~worker_cores ?(window_s = 1.0) () =
                ~program:faas_program))
   in
   b.run ();
+  finish_run b;
   match !result with
   | None -> failwith "faas_run: coordinator never completed"
   | Some r ->
@@ -230,6 +293,7 @@ let nginx_run system ~cores ~workers ?(window_s = 1.0) ?(connections = 16) () =
   assert (rfd = 3 && wfd = 4);
   Httpd.Net.spawn_clients b.engine net ~connections ~window_cycles;
   b.run ();
+  finish_run b;
   let stats = Httpd.Net.stats net in
   {
     system;
@@ -256,6 +320,7 @@ let hello_run system =
         Hello.reap api)
   in
   b.run ();
+  finish_run b;
   match !sample with
   | None -> failwith "hello_run: process never completed"
   | Some s ->
@@ -284,6 +349,7 @@ let unixbench_run system ~spawn_iters ~context1_iters =
           out := Unixbench.spawn api ~iterations:spawn_iters)
     in
     b.run ();
+    finish_run b;
     !out
   in
   let ctx =
@@ -294,6 +360,7 @@ let unixbench_run system ~spawn_iters ~context1_iters =
           out := Some (Unixbench.context1 api ~iterations:context1_iters))
     in
     b.run ();
+    finish_run b;
     match !out with
     | Some r -> r.Unixbench.total_cycles
     | None -> failwith "context1 never completed"
@@ -382,6 +449,7 @@ let ablate_isolation () =
           result := Some (Rdb.bgsave api store ~path:"/dump.rdb"))
     in
     b.run ();
+    finish_run b;
     match !result with
     | Some r ->
         {

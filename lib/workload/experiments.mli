@@ -15,6 +15,30 @@ type system =
 
 val system_label : system -> string
 
+(** {1 Harness-wide run options} *)
+
+val set_default_cores : int option -> unit
+(** Override the core count every subsequent experiment boots with
+    ([None] restores each experiment's own default). Set once from the
+    front end's [--cores] flag. *)
+
+(** Trace sink encoding: one JSON record per line, or a Chrome
+    [about:tracing] / Perfetto trace-event file. *)
+type trace_format = Jsonl | Chrome
+
+val set_trace_out : ?format:trace_format -> string option -> unit
+(** Direct every subsequent experiment to record its mechanism events and
+    write them to the given file (all machines booted since the sink was
+    set, oldest first; rewritten after each run). [None] disables
+    tracing. Default format: [Jsonl]. *)
+
+(** {1 Accounting audit}
+
+    Every experiment run checks {!Ufork_sim.Trace.audit} before returning:
+    the engine's busy cycles must equal the cycles charged through the
+    event bus, with zero tolerance. A failure raises
+    {!Ufork_sim.Trace.Audit_failure}. *)
+
 (** {1 Redis (Fig. 3, 4, 5)} *)
 
 type redis_row = {
@@ -84,6 +108,9 @@ type unixbench_row = {
   spawn_ms : float;  (** Fig. 9 left: 1000 fork/exit/wait rounds. *)
   context1_ms : float;  (** Fig. 9 right: 100k pipe round trips. *)
 }
+
+val unixbench_run :
+  system -> spawn_iters:int -> context1_iters:int -> unixbench_row
 
 val fig9 : ?spawn_iters:int -> ?context1_iters:int -> unit -> unixbench_row list
 (** Defaults: 1000 spawns, 100_000 round trips, for μFork and CheriBSD. *)

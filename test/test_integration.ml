@@ -182,6 +182,73 @@ let test_fragmentation_shapes () =
         (mixed_bf.E.arena_mb < mixed_ff.E.arena_mb)
   | _ -> Alcotest.fail "expected three scenarios"
 
+(* --- Event-bus accounting audit (zero tolerance) --- *)
+
+module Os = Ufork_core.Os
+module Mono = Ufork_baselines.Monolithic
+module Vm = Ufork_baselines.Vmclone
+module Kernel = Ufork_sas.Kernel
+module Engine = Ufork_sim.Engine
+module Trace = Ufork_sim.Trace
+module Image = Ufork_sas.Image
+module Hello = Ufork_apps.Hello
+module Unixbench = Ufork_apps.Unixbench
+
+let audit_kernel name k e =
+  match
+    Trace.audit (Kernel.trace k) ~costs:(Kernel.costs k)
+      ~elapsed:(Engine.advanced e)
+  with
+  | () -> ()
+  | exception Trace.Audit_failure msg -> Alcotest.failf "%s: %s" name msg
+
+(* Boot each of the three systems, run [main] to completion, and check
+   that every cycle the engine advanced was charged through the event bus
+   (and that each fixed-cost counter re-derives from the preset). *)
+let audit_all_systems label main =
+  let os = Os.boot () in
+  ignore (Os.start os ~image:Image.hello main);
+  Os.run os;
+  audit_kernel (label ^ " on uFork/CoPA") (Os.kernel os) (Os.engine os);
+  let b = Mono.boot () in
+  ignore (Mono.start b ~image:Image.hello main);
+  Mono.run b;
+  audit_kernel (label ^ " on CheriBSD") (Mono.kernel b) (Mono.engine b);
+  let v = Vm.boot () in
+  ignore (Vm.start v ~image:Image.hello main);
+  Vm.run v;
+  audit_kernel (label ^ " on Nephele") (Vm.kernel v) (Vm.engine v)
+
+let test_trace_audit_hello () =
+  (* Fig. 8 workload: one fork + reap. *)
+  audit_all_systems "hello fork" (fun api ->
+      ignore (Hello.fork_once api);
+      Hello.reap api)
+
+let test_trace_audit_unixbench () =
+  (* Fig. 9 workloads at reduced size: Spawn and Context1. *)
+  audit_all_systems "unixbench spawn" (fun api ->
+      ignore (Unixbench.spawn api ~iterations:50));
+  audit_all_systems "unixbench context1" (fun api ->
+      ignore (Unixbench.context1 api ~iterations:500))
+
+let test_trace_determinism () =
+  (* Two identical hello-fork runs produce byte-identical JSONL traces. *)
+  let run () =
+    let os = Os.boot () in
+    let tr = Os.trace os in
+    Trace.set_recording tr true;
+    ignore
+      (Os.start os ~image:Image.hello (fun api ->
+           ignore (Hello.fork_once api);
+           Hello.reap api));
+    Os.run os;
+    Trace.to_jsonl_string tr
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "trace non-empty" true (String.length a > 0);
+  Alcotest.(check bool) "byte-identical JSONL" true (String.equal a b)
+
 let test_keyspace_deterministic () =
   let a = Keyspace.value ~seed:1L ~index:3 ~len:100 in
   let b = Keyspace.value ~seed:1L ~index:3 ~len:100 in
@@ -208,4 +275,7 @@ let suite =
     ("syscall entry ablation", `Quick, test_ablate_syscall_entry);
     ("fragmentation shapes", `Quick, test_fragmentation_shapes);
     ("keyspace deterministic", `Quick, test_keyspace_deterministic);
+    ("trace audit: hello fork (fig8)", `Quick, test_trace_audit_hello);
+    ("trace audit: unixbench (fig9)", `Slow, test_trace_audit_unixbench);
+    ("trace determinism", `Quick, test_trace_determinism);
   ]

@@ -4,6 +4,8 @@ module Engine = Ufork_sim.Engine
 module Sync = Ufork_sim.Sync
 module Meter = Ufork_sim.Meter
 module Costs = Ufork_sim.Costs
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
 
 (* --- Engine basics --- *)
 
@@ -303,7 +305,13 @@ let test_meter () =
   Alcotest.(check (list (pair string int))) "sorted" [ ("a", 100); ("b", 5) ]
     (Meter.to_list m);
   Meter.reset m;
-  Alcotest.(check int) "reset" 0 (Meter.get m "a")
+  Alcotest.(check int) "reset" 0 (Meter.get m "a");
+  (* Reset zeroes values but keeps the key registry: a meter that is
+     printed or exported after reset still lists every key it ever saw. *)
+  Alcotest.(check (list (pair string int)))
+    "registry survives reset"
+    [ ("a", 0); ("b", 0) ]
+    (Meter.to_list m)
 
 (* --- Costs --- *)
 
@@ -315,6 +323,136 @@ let test_costs_presets () =
   Alcotest.(check bool) "nephele domain create dominates" true
     (Costs.nephele.Costs.domain_create > 10_000_000L);
   Alcotest.(check int64) "bytes cost" 100L (Costs.bytes_cost 1.0 100)
+
+(* --- Event bus (Trace) --- *)
+
+let test_emit_charges_and_counts () =
+  let e = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine:e ~costs:Costs.ufork () in
+  let _ =
+    Engine.spawn e (fun () ->
+        Trace.emit tr Event.Context_switch;
+        Trace.emit tr ~pid:7 Event.Pte_copy;
+        Trace.emit tr (Event.Page_alloc 3))
+  in
+  Engine.run e;
+  let m = Trace.meter tr in
+  Alcotest.(check int) "context_switch" 1 (Meter.get m "context_switch");
+  Alcotest.(check int) "pte_copy" 1 (Meter.get m "pte_copy");
+  Alcotest.(check int) "page_alloc counts pages" 3 (Meter.get m "page_alloc");
+  let expected =
+    let c = Costs.ufork in
+    Int64.add c.Costs.context_switch
+      (Int64.add c.Costs.pte_copy (Int64.mul 3L c.Costs.page_alloc))
+  in
+  Alcotest.(check int64) "charged = engine busy cycles" expected
+    (Trace.total_charged tr);
+  Alcotest.(check int64) "engine advanced the same" expected
+    (Engine.advanced e);
+  Trace.audit tr ~costs:Costs.ufork ~elapsed:(Engine.advanced e)
+
+let test_emit_outside_thread_counts_without_charging () =
+  (* Boot-time emissions (initial image mapping, unit tests poking at a
+     kernel directly) count in the meter but charge nothing. *)
+  let e = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine:e ~costs:Costs.ufork () in
+  Trace.emit tr Event.Pte_copy;
+  Alcotest.(check int) "counted" 1 (Meter.get (Trace.meter tr) "pte_copy");
+  Alcotest.(check int64) "not charged" 0L (Trace.total_charged tr);
+  Trace.audit tr ~costs:Costs.ufork ~elapsed:(Engine.advanced e)
+
+let test_audit_catches_uncharged_advance () =
+  (* A raw Engine.advance that bypasses the bus must trip the audit. *)
+  let e = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine:e ~costs:Costs.ufork () in
+  let _ =
+    Engine.spawn e (fun () ->
+        Trace.emit tr Event.Context_switch;
+        Engine.advance 123L)
+  in
+  Engine.run e;
+  match Trace.audit tr ~costs:Costs.ufork ~elapsed:(Engine.advanced e) with
+  | () -> Alcotest.fail "audit accepted an uncharged advance"
+  | exception Trace.Audit_failure _ -> ()
+
+let test_trace_jsonl_record_shape () =
+  let e = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine:e ~costs:Costs.ufork () in
+  Trace.set_recording tr true;
+  let _ =
+    Engine.spawn e (fun () ->
+        Trace.emit tr ~pid:42 (Event.Syscall { name = "read"; trap = false }))
+  in
+  Engine.run e;
+  match Trace.records tr with
+  | [ r ] ->
+      Alcotest.(check int) "pid" 42 r.Trace.pid;
+      Alcotest.(check int) "core" 0 r.Trace.core;
+      let line = Trace.record_to_json r in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun field ->
+          Alcotest.(check bool)
+            (Printf.sprintf "JSONL has %S" field)
+            true (contains line field))
+        [ "\"t\":"; "\"core\":"; "\"tid\":"; "\"pid\":"; "\"event\":" ]
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+let prop_event_key_injective =
+  (* No two constructors may share a counter key, or the audit's per-key
+     recomputation (and every benchmark reading the meter) would conflate
+     mechanisms. [Event.samples] holds one representative of each. *)
+  let n = List.length Event.samples in
+  QCheck.Test.make ~name:"Event.to_key is injective across constructors"
+    ~count:200
+    QCheck.(pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    (fun (i, j) ->
+      let ei = List.nth Event.samples i and ej = List.nth Event.samples j in
+      i = j || Event.to_key ei <> Event.to_key ej)
+
+let prop_trace_ring_bounded_and_monotonic =
+  QCheck.Test.make
+    ~name:"trace ring stays bounded; per-core timestamps are monotonic"
+    ~count:30
+    QCheck.(
+      triple (int_range 1 4) (int_range 1 32)
+        (list_of_size Gen.(1 -- 8) (int_range 1 25)))
+    (fun (cores, capacity, thread_events) ->
+      let e = Engine.create ~cores () in
+      let tr = Trace.create ~engine:e ~costs:Costs.ufork ~ring_capacity:capacity () in
+      Trace.set_recording tr true;
+      let total = List.fold_left ( + ) 0 thread_events in
+      List.iter
+        (fun n ->
+          ignore
+            (Engine.spawn e (fun () ->
+                 for _ = 1 to n do
+                   Trace.emit tr Event.Context_switch;
+                   Engine.yield ()
+                 done)))
+        thread_events;
+      Engine.run e;
+      let records = Trace.records tr in
+      let kept = List.length records in
+      let bounded = kept <= capacity && kept = min total capacity in
+      let accounted = kept + Trace.dropped tr = total in
+      (* Within one core, records appear in simulated-time order. *)
+      let monotonic =
+        let last = Hashtbl.create 8 in
+        List.for_all
+          (fun (r : Trace.record) ->
+            let prev =
+              Option.value (Hashtbl.find_opt last r.Trace.core) ~default:(-1L)
+            in
+            Hashtbl.replace last r.Trace.core r.Trace.t;
+            r.Trace.t >= prev)
+          records
+      in
+      bounded && accounted && monotonic)
 
 (* --- Property: random workloads complete with consistent time --- *)
 
@@ -375,5 +513,13 @@ let suite =
     ("cond signal empty", `Quick, test_cond_signal_empty);
     ("meter", `Quick, test_meter);
     ("costs presets", `Quick, test_costs_presets);
+    ("emit charges and counts", `Quick, test_emit_charges_and_counts);
+    ( "emit outside thread",
+      `Quick,
+      test_emit_outside_thread_counts_without_charging );
+    ("audit catches raw advance", `Quick, test_audit_catches_uncharged_advance);
+    ("jsonl record shape", `Quick, test_trace_jsonl_record_shape);
+    qt prop_event_key_injective;
+    qt prop_trace_ring_bounded_and_monotonic;
     qt prop_random_workload;
   ]
