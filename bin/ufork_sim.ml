@@ -301,6 +301,61 @@ let trace_cmd =
           the trace to a file")
     Term.(const run $ system_arg $ out $ format $ experiment)
 
+(* check: run a workload with the machine-state sanitizer and trace
+   linter armed; exit non-zero on any invariant violation. *)
+let check_cmd =
+  let experiment =
+    Arg.(
+      value
+      & pos 0
+          (enum [ ("hello", `Hello); ("redis", `Redis); ("unixbench", `Unixbench) ])
+          `Hello
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Workload to check: hello (default), redis, or unixbench.")
+  in
+  let run system experiment =
+    let module Checker = Ufork_analysis.Checker in
+    (* Record the event stream even without a trace sink so the protocol
+       linter (L1-L5) has something to replay; the state sweep (S1-S10)
+       and the cycle-accounting audit run at the end of every machine's
+       run regardless. *)
+    E.set_record_always true;
+    let name =
+      match experiment with
+      | `Hello -> "hello"
+      | `Redis -> "redis"
+      | `Unixbench -> "unixbench"
+    in
+    (try
+       match experiment with
+       | `Hello -> ignore (E.hello_run system)
+       | `Redis ->
+           ignore
+             (E.redis_run system ~entries:50 ~value_len:(100 * 1024)
+                ~db_label:"5 MB")
+       | `Unixbench ->
+           ignore (E.unixbench_run system ~spawn_iters:50 ~context1_iters:500)
+     with
+    | Checker.Unsafe report ->
+        Printf.eprintf "check %s on %s: FAILED\n%s\n" name
+          (E.system_label system) report;
+        exit 1
+    | Ufork_sim.Trace.Audit_failure msg ->
+        Printf.eprintf "check %s on %s: accounting audit FAILED: %s\n" name
+          (E.system_label system) msg;
+        exit 1);
+    Printf.printf
+      "check %s on %s: clean — state invariants S1-S10, protocol rules \
+       L1-L5, cycle accounting\n"
+      name (E.system_label system)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run a workload under the machine-state sanitizer and trace \
+          protocol linter; non-zero exit on any violation")
+    Term.(const run $ system_arg $ experiment)
+
 (* ablate *)
 let ablate_cmd =
   let run () =
@@ -341,5 +396,5 @@ let () =
        (Cmd.group ~default info
           [
             redis_cmd; hello_cmd; faas_cmd; nginx_cmd; unixbench_cmd;
-            meter_cmd; trace_cmd; ablate_cmd;
+            meter_cmd; trace_cmd; check_cmd; ablate_cmd;
           ]))

@@ -1,0 +1,205 @@
+module Addr = Ufork_mem.Addr
+module Page = Ufork_mem.Page
+module Phys = Ufork_mem.Phys
+module Pte = Ufork_mem.Pte
+module Page_table = Ufork_mem.Page_table
+module Capability = Ufork_cheri.Capability
+module Perms = Ufork_cheri.Perms
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
+module Kernel = Ufork_sas.Kernel
+module Uproc = Ufork_sas.Uproc
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+
+type scenario = {
+  name : string;
+  expected : Invariant.t;
+  detect : unit -> Invariant.violation list;
+}
+
+(* {1 State-injection scaffolding}
+
+   A small healthy SASOS: two μprocesses with their initial images
+   eagerly mapped, nothing running. Built outside any engine thread —
+   the event bus counts the setup but charges no cycles. *)
+
+let sas_machine () =
+  let engine = Engine.create ~cores:1 () in
+  let k =
+    Kernel.create ~engine ~costs:Costs.ufork ~config:Config.ufork_fast
+      ~multi_address_space:false ()
+  in
+  let u1 = Kernel.create_uproc k ~image:Image.hello () in
+  Kernel.map_initial_image k u1;
+  let u2 = Kernel.create_uproc k ~image:Image.hello () in
+  Kernel.map_initial_image k u2;
+  (k, u1, u2)
+
+let data_pte (u : Uproc.t) =
+  Page_table.lookup_exn u.Uproc.pt
+    ~vpn:(Addr.vpn_of_addr u.Uproc.regions.Uproc.data_base)
+
+(* An address above every allocated area: mapped or pointed-to, nothing
+   live can legitimately own it. *)
+let beyond_areas k =
+  List.fold_left (fun m (b, s, _) -> max m (b + s)) 0 (Kernel.areas k)
+  + (2 * Addr.page_size)
+
+let user_cap k ~base ~length =
+  Capability.mint ~parent:(Kernel.root_cap k) ~base ~length
+    ~perms:Perms.user_data
+
+let state name expected inject =
+  {
+    name;
+    expected;
+    detect =
+      (fun () ->
+        let k, u1, u2 = sas_machine () in
+        inject k u1 u2;
+        Checker.sweep k);
+  }
+
+(* {1 Protocol-injection scaffolding} *)
+
+let r ~t ~pid event =
+  {
+    Trace.t = Int64.of_int t;
+    core = 0;
+    tid = 0;
+    pid;
+    event;
+    cycles = 0L;
+  }
+
+let stream evs = List.mapi (fun t (pid, ev) -> r ~t ~pid ev) evs
+
+let protocol name expected evs =
+  { name; expected; detect = (fun () -> Lint.run (stream evs)) }
+
+let scenarios =
+  [
+    state "S1-leaked-retain" Invariant.Refcount_mismatch (fun k u1 _ ->
+        (* An extra reference nothing maps: the census cannot explain it. *)
+        Phys.retain (Kernel.phys k) (data_pte u1).Pte.frame);
+    state "S2-tag-on-free-frame" Invariant.Free_frame_state (fun k u1 _ ->
+        (* Use-after-free of the tag side table: a capability materializes
+           in a frame that is back in the pool. *)
+        let phys = Kernel.phys k in
+        let f = Phys.alloc phys in
+        Phys.release phys f;
+        Page.store_cap (Phys.page f) ~off:0
+          (user_cap k ~base:u1.Uproc.regions.Uproc.data_base ~length:16));
+    state "S3-wild-cap" Invariant.Cap_bounds (fun k u1 _ ->
+        (* A stored capability pointing at unowned address space. *)
+        Page.store_cap
+          (Phys.page (data_pte u1).Pte.frame)
+          ~off:0
+          (user_cap k ~base:(beyond_areas k) ~length:64));
+    state "S4-writable-cow" Invariant.Cow_writable (fun _ u1 _ ->
+        (* A CoW mapping that never lost its write bit: the "shared"
+           frame is silently mutable. *)
+        let pte = data_pte u1 in
+        pte.Pte.share <- Pte.Cow_shared;
+        pte.Pte.write <- true);
+    state "S5-copa-without-trap" Invariant.Share_perms (fun _ u1 _ ->
+        (* CoPA sharing whose cap-load trap is missing: the child could
+           load unrelocated parent capabilities. *)
+        let pte = data_pte u1 in
+        pte.Pte.write <- false;
+        pte.Pte.share <- Pte.Copa_shared;
+        pte.Pte.cap_load_fault <- false);
+    state "S6-shm-of-anonymous-frame" Invariant.Shm_coherence (fun _ u1 _ ->
+        (* A mapping claims deliberate sharing but its frame belongs to
+           no named segment. *)
+        let pte = data_pte u1 in
+        pte.Pte.write <- false;
+        pte.Pte.share <- Pte.Shm_shared);
+    state "S7-private-alias" Invariant.Private_aliased (fun _ u1 _ ->
+        (* The same frame mapped twice, both sides believing they own it
+           privately. *)
+        let pte = data_pte u1 in
+        Page_table.map_shared u1.Uproc.pt
+          ~vpn:(Addr.vpn_of_addr u1.Uproc.regions.Uproc.heap_base)
+          (Pte.make pte.Pte.frame));
+    state "S8-orphan-mapping" Invariant.Orphan_mapping (fun k u1 _ ->
+        (* A mapping outside every live or zombie area. *)
+        Page_table.map u1.Uproc.pt
+          ~vpn:(Addr.vpn_of_addr (beyond_areas k))
+          (Pte.make (Phys.alloc (Kernel.phys k))));
+    state "S9-skewed-accounting" Invariant.Phys_accounting (fun k _ _ ->
+        Phys.chaos_skew_in_use (Kernel.phys k) 3);
+    state "S10-cross-area-cap" Invariant.Cross_area_cap (fun k u1 u2 ->
+        (* A capability in pid 1's memory granting access to pid 2's
+           area — the isolation breach μFork's relocation must prevent. *)
+        Page.store_cap
+          (Phys.page (data_pte u1).Pte.frame)
+          ~off:0
+          (user_cap k ~base:u2.Uproc.area_base ~length:64));
+    protocol "L1-unresolved-cow" Invariant.Cow_protocol
+      [ (1, Event.Page_fault); (1, Event.Cow_write_fault) ];
+    protocol "L2-unresolved-copa" Invariant.Copa_protocol
+      [ (1, Event.Page_fault); (1, Event.Copa_write_fault) ];
+    protocol "L3-unresolved-coa" Invariant.Coa_protocol
+      [ (1, Event.Page_fault); (1, Event.Coa_access_fault) ];
+    protocol "L4-missing-shootdown" Invariant.Tlb_flush_protocol
+      [
+        (1, Event.Fork_fixed);
+        (2, Event.Pte_copy);
+        (* Fault traffic from the forking process with no Tlb_shootdown
+           in between; the fault itself is well-formed so only L4
+           fires. *)
+        (1, Event.Page_fault);
+        (1, Event.Cow_write_fault);
+        (1, Event.Page_copy_cow);
+      ];
+    protocol "L5-missing-relocation" Invariant.Copa_relocation
+      [
+        (1, Event.Page_fault);
+        (1, Event.Copa_cap_load_fault);
+        (* Copied but never tag-scanned: the child runs with unrelocated
+           capabilities. *)
+        (1, Event.Claim_in_place);
+      ];
+  ]
+
+let clean_machine () =
+  let k, _, _ = sas_machine () in
+  Checker.sweep k
+
+let clean_protocol () =
+  Lint.run
+    (stream
+       [
+         (* A fork: downgrade batch sealed by the shootdown. *)
+         (1, Event.Fork_fixed);
+         (2, Event.Pte_copy);
+         (1, Event.Tlb_shootdown);
+         (* Parent CoW write, copy resolution. *)
+         (1, Event.Page_fault);
+         (1, Event.Cow_write_fault);
+         (1, Event.Page_copy_cow);
+         (* Child CoPA capability load: copy then relocate. *)
+         (2, Event.Page_fault);
+         (2, Event.Copa_cap_load_fault);
+         (2, Event.Page_copy_child);
+         (2, Event.Granule_scan 256);
+         (2, Event.Cap_relocate 3);
+         (* Child CoPA write: in-place claim (relocation follows anyway). *)
+         (2, Event.Page_fault);
+         (2, Event.Copa_write_fault);
+         (2, Event.Claim_in_place);
+         (2, Event.Granule_scan 256);
+         (* CoA access fault. *)
+         (2, Event.Page_fault);
+         (2, Event.Coa_access_fault);
+         (2, Event.Page_copy_child);
+         (2, Event.Granule_scan 256);
+         (* A kernel-simulated touch: bare page fault, direct resolution,
+            no classifier — legal. *)
+         (1, Event.Page_fault);
+         (1, Event.Cow_claim_in_place);
+       ])

@@ -1,0 +1,29 @@
+(** Fault injection: prove the sanitizer and linter actually detect.
+
+    Each scenario builds a small healthy machine (or a well-formed event
+    stream), injects exactly one corruption, and runs the matching
+    analysis. The contract — asserted by the test suite — is
+    {e precision}: every scenario's violations are non-empty and all
+    carry the scenario's [expected] invariant, so each invariant's
+    detector fires on its own fault class and never misfires on a
+    neighbouring one. The [clean_*] functions are the control group:
+    the same construction without the injection reports nothing. *)
+
+type scenario = {
+  name : string;  (** ["S1-leaked-retain"], ["L4-missing-shootdown"], … *)
+  expected : Invariant.t;  (** The one invariant the injection violates. *)
+  detect : unit -> Invariant.violation list;
+      (** Build, inject, analyse; the violations found. *)
+}
+
+val scenarios : scenario list
+(** One injection per invariant: S1–S10 against {!Checker.sweep} on a
+    live kernel, L1–L5 against {!Lint.run} on a hand-built stream. *)
+
+val clean_machine : unit -> Invariant.violation list
+(** The uninjected two-process machine the S-scenarios start from;
+    expected [[]]. *)
+
+val clean_protocol : unit -> Invariant.violation list
+(** A well-formed stream exercising every protocol (CoW, CoPA write and
+    cap-load, CoA, fork downgrade + shootdown); expected [[]]. *)

@@ -1,0 +1,128 @@
+type severity = Critical | Error | Warning
+
+type t =
+  | Refcount_mismatch
+  | Free_frame_state
+  | Cap_bounds
+  | Cow_writable
+  | Share_perms
+  | Shm_coherence
+  | Private_aliased
+  | Orphan_mapping
+  | Phys_accounting
+  | Cross_area_cap
+  | Cow_protocol
+  | Copa_protocol
+  | Coa_protocol
+  | Tlb_flush_protocol
+  | Copa_relocation
+
+let all =
+  [
+    Refcount_mismatch;
+    Free_frame_state;
+    Cap_bounds;
+    Cow_writable;
+    Share_perms;
+    Shm_coherence;
+    Private_aliased;
+    Orphan_mapping;
+    Phys_accounting;
+    Cross_area_cap;
+    Cow_protocol;
+    Copa_protocol;
+    Coa_protocol;
+    Tlb_flush_protocol;
+    Copa_relocation;
+  ]
+
+let id = function
+  | Refcount_mismatch -> "S1"
+  | Free_frame_state -> "S2"
+  | Cap_bounds -> "S3"
+  | Cow_writable -> "S4"
+  | Share_perms -> "S5"
+  | Shm_coherence -> "S6"
+  | Private_aliased -> "S7"
+  | Orphan_mapping -> "S8"
+  | Phys_accounting -> "S9"
+  | Cross_area_cap -> "S10"
+  | Cow_protocol -> "L1"
+  | Copa_protocol -> "L2"
+  | Coa_protocol -> "L3"
+  | Tlb_flush_protocol -> "L4"
+  | Copa_relocation -> "L5"
+
+let name = function
+  | Refcount_mismatch -> "refcount-mismatch"
+  | Free_frame_state -> "free-frame-state"
+  | Cap_bounds -> "cap-bounds"
+  | Cow_writable -> "cow-writable"
+  | Share_perms -> "share-perms"
+  | Shm_coherence -> "shm-coherence"
+  | Private_aliased -> "private-aliased"
+  | Orphan_mapping -> "orphan-mapping"
+  | Phys_accounting -> "phys-accounting"
+  | Cross_area_cap -> "cross-area-cap"
+  | Cow_protocol -> "cow-protocol"
+  | Copa_protocol -> "copa-protocol"
+  | Coa_protocol -> "coa-protocol"
+  | Tlb_flush_protocol -> "tlb-flush-protocol"
+  | Copa_relocation -> "copa-relocation"
+
+let severity = function
+  | Refcount_mismatch -> Error
+  | Free_frame_state -> Critical
+  | Cap_bounds -> Critical
+  | Cow_writable -> Critical
+  | Share_perms -> Critical
+  | Shm_coherence -> Error
+  | Private_aliased -> Error
+  | Orphan_mapping -> Critical
+  | Phys_accounting -> Warning
+  | Cross_area_cap -> Critical
+  | Cow_protocol -> Error
+  | Copa_protocol -> Error
+  | Coa_protocol -> Error
+  | Tlb_flush_protocol -> Critical
+  | Copa_relocation -> Critical
+
+let describe = function
+  | Refcount_mismatch ->
+      "a live frame's refcount equals its mappings (+1 for named segments)"
+  | Free_frame_state -> "a free frame is unmapped and carries no tags"
+  | Cap_bounds -> "loadable stored capabilities stay inside the owner's area"
+  | Cow_writable -> "CoW-shared mappings are never writable"
+  | Share_perms -> "CoPA traps cap loads and writes; CoA traps every access"
+  | Shm_coherence -> "Shm mappings and named-segment frames coincide"
+  | Private_aliased -> "an aliased anonymous frame has a sharing-aware mapping"
+  | Orphan_mapping -> "every mapping belongs to a live or zombie area"
+  | Phys_accounting -> "frames-in-use equals the live-frame census"
+  | Cross_area_cap -> "no stored capability reaches another process's area"
+  | Cow_protocol -> "CoW write fault: classified under a fault, then resolved"
+  | Copa_protocol -> "CoPA fault resolved by child copy or in-place claim"
+  | Coa_protocol -> "CoA fault resolved by child copy or in-place claim"
+  | Tlb_flush_protocol -> "no fault traffic between PTE downgrade and shootdown"
+  | Copa_relocation -> "cap-load fault relocates (tag scan) before running on"
+
+type violation = { invariant : t; subject : string; detail : string }
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Critical -> "critical"
+    | Error -> "error"
+    | Warning -> "warning")
+
+let pp ppf t = Format.fprintf ppf "%s:%s" (id t) (name t)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%a] %a: %s — %s" pp v.invariant pp_severity
+    (severity v.invariant) v.subject v.detail
+
+let report = function
+  | [] -> ""
+  | vs ->
+      Format.asprintf "%d invariant violation(s):@.%a" (List.length vs)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_violation)
+        vs

@@ -1,0 +1,87 @@
+(** The catalogue of machine-state and trace-protocol invariants.
+
+    Every property the sanitizer ({!Checker}) or the protocol linter
+    ({!Lint}) can report is one constructor here, with a stable short id
+    ([S1]–[S10] for state invariants swept over a live machine, [L1]–[L5]
+    for temporal rules checked over the mechanism-event stream), a
+    severity, and a one-line description. Fault-injection tests
+    ({!Chaos}) are built so that each injected corruption trips exactly
+    one of these — the catalogue doubles as the sanitizer's coverage
+    map. *)
+
+type severity =
+  | Critical  (** Memory safety is gone: wild capability, frame misuse. *)
+  | Error  (** Protocol or bookkeeping broken; results untrustworthy. *)
+  | Warning  (** Suspicious but survivable. *)
+
+type t =
+  (* State invariants: Checker.sweep. *)
+  | Refcount_mismatch
+      (** S1: a live frame's refcount equals its number of page-table
+          mappings (plus one kernel reference for named segments). *)
+  | Free_frame_state
+      (** S2: a free frame is mapped nowhere and holds no tagged
+          granules. *)
+  | Cap_bounds
+      (** S3: every loadable stored capability stays inside its owning
+          μprocess area (wild pointer otherwise). *)
+  | Cow_writable  (** S4: a CoW-shared mapping is never writable. *)
+  | Share_perms
+      (** S5: CoPA mappings trap capability loads and never writes
+          through; CoA mappings trap every access. *)
+  | Shm_coherence
+      (** S6: [Shm_shared] mappings and named-segment frames coincide. *)
+  | Private_aliased
+      (** S7: a multiply-mapped anonymous frame has at least one mapping
+          that knows it is shared. *)
+  | Orphan_mapping
+      (** S8: every mapping belongs to a live or zombie process area. *)
+  | Phys_accounting
+      (** S9: the pool's in-use counter equals the live-frame census. *)
+  | Cross_area_cap
+      (** S10: no stored capability grants access to another μprocess's
+          area (single address space, isolation on). *)
+  (* Trace-protocol rules: Lint.run. *)
+  | Cow_protocol
+      (** L1: a CoW write fault is classified under a page fault and
+          resolved by a parent-side copy or in-place claim before the
+          process faults again. *)
+  | Copa_protocol
+      (** L2: a CoPA write/capability-load fault is resolved by a child
+          copy or in-place claim. *)
+  | Coa_protocol
+      (** L3: a CoA access fault is resolved by a child copy or in-place
+          claim. *)
+  | Tlb_flush_protocol
+      (** L4: after fork downgrades live PTEs, no fault traffic from the
+          parent until the TLB shootdown closes the downgrade batch. *)
+  | Copa_relocation
+      (** L5: a capability-load fault triggers a tag scan (relocation)
+          before the faulting process runs on. *)
+
+val all : t list
+(** Catalogue order: S1–S10 then L1–L5. *)
+
+val id : t -> string
+(** ["S1"].."( S10"], ["L1"]..["L5"] — stable across releases. *)
+
+val name : t -> string
+(** Stable kebab-case slug, e.g. ["refcount-mismatch"]. *)
+
+val severity : t -> severity
+val describe : t -> string
+
+(** {1 Violations} *)
+
+type violation = {
+  invariant : t;
+  subject : string;  (** What is broken: ["frame 17"], ["pid 3 vpn 0x41"]. *)
+  detail : string;  (** The counterexample: observed vs expected. *)
+}
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit
+
+val report : violation list -> string
+(** Human-readable multi-line report; [""] when the list is empty. *)

@@ -59,6 +59,9 @@ let do_fork k (parent : Uproc.t) child_main =
         end
       end);
   child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta:0;
+  (* The fold write-protected live parent PTEs; flush stale TLB entries
+     before either side relies on the CoW downgrades. *)
+  Kernel.emit ~proc:parent k Event.Tlb_shootdown;
   (* Parent immediately re-dirties its stack working set (CoW copies). *)
   Kernel.touch_pages_for_write k parent
     (stack_touch_vpns parent config.Config.parent_touch_pages);
@@ -70,7 +73,7 @@ let do_fork k (parent : Uproc.t) child_main =
   in
   Kernel.spawn_process k child child_body;
   let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) "gauge.last_fork_latency" (Int64.to_int dt);
+  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
   child.Uproc.pid
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
@@ -154,7 +157,6 @@ let start t ?affinity ~image main =
 
 let run ?until t = Engine.run ?until t.engine
 
-let last_fork_latency t =
-  Int64.of_int (Meter.get (Kernel.meter t.kernel) "gauge.last_fork_latency")
+let last_fork_latency t = Kernel.last_fork_latency t.kernel
 
 let trace t = Kernel.trace t.kernel

@@ -56,7 +56,7 @@ let do_fork k (parent : Uproc.t) child_main =
   Kernel.emit ~proc:parent k Event.Thread_create;
   Kernel.spawn_process k child child_main;
   let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) "gauge.last_fork_latency" (Int64.to_int dt);
+  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
   child.Uproc.pid
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
@@ -103,7 +103,6 @@ let start t ?affinity ~image main =
 
 let run ?until t = Engine.run ?until t.engine
 
-let last_fork_latency t =
-  Int64.of_int (Meter.get (Kernel.meter t.kernel) "gauge.last_fork_latency")
+let last_fork_latency t = Kernel.last_fork_latency t.kernel
 
 let trace t = Kernel.trace t.kernel

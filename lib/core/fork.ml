@@ -17,8 +17,7 @@ module Tinyalloc = Ufork_sas.Tinyalloc
 
 exception Segfault of string
 
-let last_fork_latency k =
-  Int64.of_int (Meter.get (Kernel.meter k) "gauge.last_fork_latency")
+let last_fork_latency = Kernel.last_fork_latency
 
 (* Approximate size of the capability register file relocated at fork
    (§3.5 step 2: "any absolute memory references contained in registers are
@@ -83,7 +82,7 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
     * Addr.granule_size
   in
   let meta_used_limit = parent.Uproc.regions.Uproc.meta_base + meta_used_bytes in
-  let pte_before = Meter.get meter "pte_copy" in
+  let pte_before = Meter.get meter Event.pte_copy_key in
   iter_mapped_pages parent (fun pvpn pte region ->
       let eager =
         proactive
@@ -125,11 +124,19 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
         end
       done
   | Strategy.Coa | Strategy.Copa -> ());
+  (* The sharing strategies downgraded live parent PTEs; stale TLB entries
+     on every core must be invalidated before anyone relies on the new
+     permissions (the protocol the trace linter checks). Full copy never
+     touches the parent's permissions, so there is nothing to flush. *)
+  (match strategy with
+  | Strategy.Coa | Strategy.Copa ->
+      Kernel.emit ~proc:parent k Event.Tlb_shootdown
+  | Strategy.Full_copy -> ());
   (* TOCTTOU hardening revalidates the duplicated mappings against the
      (copied) fork arguments, adding per-entry work (§5.1: "The cost of
      TOCTTOU protection is relatively minor (2.6% at 100 MB)"). *)
   if config.Config.toctou then begin
-    let ptes = Meter.get meter "pte_copy" - pte_before in
+    let ptes = Meter.get meter Event.pte_copy_key - pte_before in
     Kernel.emit ~proc:parent k (Event.Toctou_revalidate ptes)
   end;
   (* Clone the allocator mirror — the bookkeeping twin of the metadata
@@ -169,7 +176,7 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
   in
   Kernel.spawn_process k ~reloc child child_body;
   let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) "gauge.last_fork_latency" (Int64.to_int dt);
+  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
   child.Uproc.pid
 
 (* Fault resolution: CoW/CoA/CoPA plus demand-zero heap. *)

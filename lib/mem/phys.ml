@@ -6,12 +6,20 @@ type t = {
   mutable peak : int;
   mutable total : int;
   mutable next_id : int;
+  registry : (int, frame) Hashtbl.t;
 }
 
 exception Out_of_memory
 
 let create ?limit_frames () =
-  { limit_frames; in_use = 0; peak = 0; total = 0; next_id = 0 }
+  {
+    limit_frames;
+    in_use = 0;
+    peak = 0;
+    total = 0;
+    next_id = 0;
+    registry = Hashtbl.create 1024;
+  }
 
 let alloc t =
   (match t.limit_frames with
@@ -21,7 +29,9 @@ let alloc t =
   t.total <- t.total + 1;
   if t.in_use > t.peak then t.peak <- t.in_use;
   t.next_id <- t.next_id + 1;
-  { fid = t.next_id; refcount = 1; page = Page.create () }
+  let f = { fid = t.next_id; refcount = 1; page = Page.create () } in
+  Hashtbl.replace t.registry f.fid f;
+  f
 
 let retain _t f =
   if f.refcount <= 0 then invalid_arg "Phys.retain: frame is free";
@@ -30,7 +40,14 @@ let retain _t f =
 let release t f =
   if f.refcount <= 0 then invalid_arg "Phys.release: frame is free";
   f.refcount <- f.refcount - 1;
-  if f.refcount = 0 then t.in_use <- t.in_use - 1
+  if f.refcount = 0 then begin
+    t.in_use <- t.in_use - 1;
+    (* Reclamation hygiene: a frame returning to the pool must not carry
+       valid capabilities — the tag bits are invalidated with the frame
+       (what CHERI hardware guarantees on reuse, and what the state
+       sanitizer's free-frame invariant checks). *)
+    Page.clear_all_tags f.page
+  end
 
 let refcount f = f.refcount
 let page f = f.page
@@ -39,3 +56,14 @@ let frames_in_use t = t.in_use
 let peak_frames t = t.peak
 let total_allocated t = t.total
 let reset_peak t = t.peak <- t.in_use
+
+let iter_frames t f =
+  let ids = Hashtbl.fold (fun fid _ acc -> fid :: acc) t.registry [] in
+  List.iter (fun fid -> f (Hashtbl.find t.registry fid)) (List.sort compare ids)
+
+let fold_frames t ~init ~f =
+  let acc = ref init in
+  iter_frames t (fun frame -> acc := f !acc frame);
+  !acc
+
+let chaos_skew_in_use t delta = t.in_use <- t.in_use + delta

@@ -22,8 +22,10 @@ val retain : t -> frame -> unit
 (** Increment the refcount (a new mapping shares the frame). *)
 
 val release : t -> frame -> unit
-(** Decrement the refcount; the frame returns to the pool at zero.
-    Raises [Invalid_argument] if already free. *)
+(** Decrement the refcount; the frame returns to the pool at zero, and
+    its page's capability tags are wiped (reclamation hygiene — CHERI
+    invalidates tags with the frame, so a later reuse can never yield a
+    stale valid capability). Raises [Invalid_argument] if already free. *)
 
 val refcount : frame -> int
 val page : frame -> Page.t
@@ -38,3 +40,20 @@ val total_allocated : t -> int
 (** Cumulative number of [alloc] calls. *)
 
 val reset_peak : t -> unit
+
+(** {1 Frame registry}
+
+    The pool remembers every frame it ever allocated, free ones included,
+    so a state sanitizer can sweep physical memory exhaustively: check
+    refcounts against the mappings that alias each frame, and check that
+    free frames are unmapped and tag-free. *)
+
+val iter_frames : t -> (frame -> unit) -> unit
+(** Every frame ever allocated, free ones included, in allocation order. *)
+
+val fold_frames : t -> init:'a -> f:('a -> frame -> 'a) -> 'a
+
+val chaos_skew_in_use : t -> int -> unit
+(** Fault injection only: desynchronize the [frames_in_use] counter from
+    the registry by [delta], to prove the sanitizer catches accounting
+    corruption. Never call this outside a chaos test. *)

@@ -845,6 +845,28 @@ and spawn_process t ?affinity ?reloc (u : Uproc.t) main =
          | exception Killed_signal -> finish 137))
 
 let total_frames_in_use t = Phys.frames_in_use t.phys
+let last_fork_latency t = Trace.last_fork_latency t.trace
+
+(* {1 Introspection for the state sanitizer} *)
+
+let fold_uprocs t ~init ~f =
+  let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] in
+  List.fold_left
+    (fun acc pid -> f acc (Hashtbl.find t.procs pid))
+    init
+    (List.sort compare pids)
+
+let iter_uprocs t f = fold_uprocs t ~init:() ~f:(fun () u -> f u)
+
+let areas t = t.areas
+
+let named_segment_frames t =
+  let collect prefix table acc =
+    Hashtbl.fold
+      (fun name frames acc -> (prefix ^ name, frames) :: acc)
+      table acc
+  in
+  List.sort compare (collect "shm:" t.shms (collect "lib:" t.libs []))
 
 (* Virtual-arena accounting for the fragmentation study (§6). *)
 let arena_span t = t.next_area - user_arena_base

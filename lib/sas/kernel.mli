@@ -187,4 +187,30 @@ val live_area_bytes : t -> int
 (** Sum of the areas of live and zombie processes — the "useful" part of
     {!arena_span}; the difference is fragmentation. *)
 
+val last_fork_latency : t -> int64
+(** Cycles spent inside the most recent fork on this kernel (the
+    {!Ufork_sim.Trace.last_fork_latency} gauge; 0 before the first
+    fork). *)
+
+(** {1 Introspection}
+
+    Read-only views of the machine state for the
+    {!Ufork_analysis.Checker} sanitizer sweep. Deterministic orders (by
+    pid / sorted name) so violation reports are stable. *)
+
+val fold_uprocs : t -> init:'a -> f:('a -> Uproc.t -> 'a) -> 'a
+(** Every registered μprocess — running, zombie and reaped — in pid
+    order. *)
+
+val iter_uprocs : t -> (Uproc.t -> unit) -> unit
+
+val areas : t -> (int * int * int) list
+(** The [(base, bytes, pid)] areas of live and zombie processes (reaped
+    areas leave this list and become reusable holes). *)
+
+val named_segment_frames : t -> (string * Ufork_mem.Phys.frame array) list
+(** The frames backing named shared-memory segments (["shm:<name>"]) and
+    shared-library text (["lib:<name>"]). The kernel's table holds one
+    reference per frame on top of any mappings. Sorted by name. *)
+
 val pp_meter : Format.formatter -> t -> unit

@@ -21,6 +21,7 @@ type t =
   | Domain_create
   | Pte_copy
   | Pte_protect
+  | Tlb_shootdown
   | Page_alloc of int
   | Page_copy_eager
   | Page_copy_child
@@ -63,6 +64,7 @@ let to_key = function
   | Domain_create -> "domain_create"
   | Pte_copy -> "pte_copy"
   | Pte_protect -> "pte_protect"
+  | Tlb_shootdown -> "tlb_shootdown"
   | Page_alloc _ -> "page_alloc"
   | Page_copy_eager -> "page_copy_eager"
   | Page_copy_child -> "page_copy_child"
@@ -90,7 +92,7 @@ let count = function
   | Address_space_switch | Page_fault | Soft_fault | Demand_zero
   | Cow_write_fault | Copa_write_fault | Copa_cap_load_fault
   | Coa_access_fault | Fork_fixed | Spawn | Thread_create | Exit | Kill
-  | Domain_create | Pte_copy | Pte_protect | Page_copy_eager
+  | Domain_create | Pte_copy | Pte_protect | Tlb_shootdown | Page_copy_eager
   | Page_copy_child | Page_copy_cow | Claim_in_place | Cow_claim_in_place
   | Shm_share | Malloc | Free | File_op | Pipe_op | Shm_open | Map_library
   | Compute _ ->
@@ -126,6 +128,9 @@ let cost ~(costs : Costs.t) = function
   | Domain_create -> costs.Costs.domain_create
   | Pte_copy -> costs.Costs.pte_copy
   | Pte_protect -> costs.Costs.pte_protect
+  (* Protocol marker: the flush batch closing a downgrade sequence. The
+     cycles live on the Pte_protect/Pte_copy entries themselves. *)
+  | Tlb_shootdown -> 0L
   | Page_alloc n -> Int64.mul costs.Costs.page_alloc (Int64.of_int n)
   | Page_copy_eager | Page_copy_child | Page_copy_cow -> costs.Costs.page_copy
   | Claim_in_place | Cow_claim_in_place | Shm_share -> 0L
@@ -154,6 +159,11 @@ let linear_unit ~(costs : Costs.t) event =
   | Cap_relocate _ -> Some costs.Costs.cap_relocate
   | Arena_pretouch _ -> Some 0L
   | e -> Some (cost ~costs e)
+
+(* Counter keys callers read back by name. Deriving them from [to_key]
+   keeps the string in exactly one place. *)
+let fault_key = to_key Page_fault
+let pte_copy_key = to_key Pte_copy
 
 let pp ppf e =
   match count e with
@@ -201,6 +211,7 @@ let samples =
     Domain_create;
     Pte_copy;
     Pte_protect;
+    Tlb_shootdown;
     Page_alloc 1;
     Page_copy_eager;
     Page_copy_child;

@@ -53,6 +53,12 @@ type t =
   (* Page tables and page movement. *)
   | Pte_copy
   | Pte_protect
+  | Tlb_shootdown
+      (** The flush/shootdown batch closing a sequence of PTE permission
+          downgrades (fork's CoW/CoA/CoPA sharing loop): stale TLB entries
+          on every core are invalidated before the downgraded mappings can
+          be relied upon. Zero direct cost (a protocol marker, like the
+          fault classifiers); the linter checks its ordering. *)
   | Page_alloc of int  (** [n] fresh physical frames. *)
   | Page_copy_eager  (** Eager 4 KiB copy at fork (proactive or full). *)
   | Page_copy_child  (** Fault-driven copy into the child (CoA/CoPA). *)
@@ -98,6 +104,13 @@ val linear_unit : costs:Costs.t -> t -> int64 option
     the preset (and, for [Syscall]/[Entry_validation], the payload) — the
     per-key invariant {!Trace.audit} re-checks. [None] for byte-scaled
     costs (per-call rounding), [Toctou_revalidate] and [Compute]. *)
+
+val fault_key : string
+(** [to_key Page_fault] — for callers that read the fault counter back
+    from the {!Meter} view instead of hard-coding ["fault"]. *)
+
+val pte_copy_key : string
+(** [to_key Pte_copy], likewise. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -129,6 +129,11 @@ let emit t ?(pid = -1) event =
 
 let gauge t key v = Meter.set t.meter key v
 
+let last_fork_latency_key = "gauge.last_fork_latency"
+
+let last_fork_latency t =
+  Int64.of_int (Meter.get t.meter last_fork_latency_key)
+
 let records t =
   let cap = Array.length t.ring in
   List.init t.ring_len (fun i ->

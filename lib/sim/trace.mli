@@ -43,8 +43,15 @@ val emit : t -> ?pid:int -> Event.t -> unit
 
 val gauge : t -> string -> int -> unit
 (** Overwrite a "last observed value" gauge in the derived view (e.g.
-    ["gauge.last_fork_latency"]). Gauges carry no cycles and are exempt
+    {!last_fork_latency_key}). Gauges carry no cycles and are exempt
     from {!audit}. *)
+
+val last_fork_latency_key : string
+(** The gauge every fork hook sets to the cycles spent inside the most
+    recent fork call. *)
+
+val last_fork_latency : t -> int64
+(** Typed read of that gauge (0 before the first fork). *)
 
 val total_charged : t -> int64
 (** Simulated cycles charged through this bus since creation/{!reset}. *)

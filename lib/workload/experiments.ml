@@ -20,6 +20,7 @@ module Faas = Ufork_apps.Faas
 module Httpd = Ufork_apps.Httpd
 module Unixbench = Ufork_apps.Unixbench
 module Hello = Ufork_apps.Hello
+module Checker = Ufork_analysis.Checker
 
 type system =
   | Ufork of Strategy.t
@@ -66,7 +67,14 @@ let set_trace_out ?(format = Jsonl) path =
   trace_sink := Option.map (fun p -> (p, format)) path;
   traced := []
 
+(* Force event recording on every machine booted from here on, even with
+   no trace sink — the [check] front end needs the stream for the
+   protocol linter. *)
+let record_always = ref false
+let set_record_always on = record_always := on
+
 let register_trace tr =
+  if !record_always then Trace.set_recording tr true;
   if Option.is_some !trace_sink then begin
     Trace.set_recording tr true;
     traced := !traced @ [ tr ]
@@ -96,6 +104,10 @@ let audit_booted b =
 
 let finish_run b =
   audit_booted b;
+  (* The state sanitizer next to the accounting audit: a run that
+     corrupted machine state must not report numbers. The lint half sees
+     the recorded stream, so it is active whenever recording is. *)
+  Checker.assert_safe b.kernel;
   flush_trace ()
 
 let boot_raw ~cores ?config system =
@@ -399,7 +411,10 @@ let zygote_fork_faults ~proactive =
         ignore (api.Api.wait ()))
   in
   Os.run os;
-  let faults = Ufork_sim.Meter.get (Kernel.meter kernel) "fault" in
+  Checker.assert_safe kernel;
+  let faults =
+    Ufork_sim.Meter.get (Kernel.meter kernel) Ufork_sim.Event.fault_key
+  in
   (Units.us_of_cycles !latency, float_of_int faults)
 
 let ablate_proactive () =
@@ -420,6 +435,7 @@ let context1_with_config config =
         out := Some (Unixbench.context1 api ~iterations:10_000))
   in
   Os.run os;
+  Checker.assert_safe (Os.kernel os);
   match !out with
   | Some r -> r.Unixbench.per_switch_cycles /. Units.clock_hz *. 1e6
   | None -> failwith "context1 never completed"
@@ -508,6 +524,7 @@ let fragmentation_run ?(fit = Config.First_fit) ~mixed ~churn () =
              done)))
     images;
   Os.run os;
+  Checker.assert_safe kernel;
   {
     scenario =
       Printf.sprintf "%s, %s"

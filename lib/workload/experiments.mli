@@ -32,12 +32,25 @@ val set_trace_out : ?format:trace_format -> string option -> unit
     set, oldest first; rewritten after each run). [None] disables
     tracing. Default format: [Jsonl]. *)
 
-(** {1 Accounting audit}
+val set_record_always : bool -> unit
+(** Record mechanism events on every machine booted from now on even
+    without a trace sink, so the protocol linter
+    ({!Ufork_analysis.Lint}) has a stream to check. Used by the [check]
+    front end. *)
+
+(** {1 Accounting audit and state sanitizer}
 
     Every experiment run checks {!Ufork_sim.Trace.audit} before returning:
     the engine's busy cycles must equal the cycles charged through the
     event bus, with zero tolerance. A failure raises
-    {!Ufork_sim.Trace.Audit_failure}. *)
+    {!Ufork_sim.Trace.Audit_failure}.
+
+    Alongside the audit, every run ends with
+    {!Ufork_analysis.Checker.assert_safe}: the machine-state sanitizer
+    sweeps frames, page tables, stored capabilities and the process
+    table (invariants S1–S10), and — when recording is on — the
+    protocol linter replays the event stream (L1–L5). A violation
+    raises {!Ufork_analysis.Checker.Unsafe} with the full report. *)
 
 (** {1 Redis (Fig. 3, 4, 5)} *)
 

@@ -1,0 +1,95 @@
+(* The sanitizer/linter test suite has three legs:
+   - catalogue sanity: stable ids, one chaos scenario per invariant;
+   - precision via fault injection: every Chaos scenario is detected, and
+     every violation it reports carries exactly the intended invariant;
+   - zero false positives: the uninjected machine and stream are clean,
+     and real experiment runs (which call [Checker.assert_safe] on every
+     machine before returning) complete across systems. *)
+
+module Invariant = Ufork_analysis.Invariant
+module Chaos = Ufork_analysis.Chaos
+module Strategy = Ufork_core.Strategy
+module E = Ufork_workload.Experiments
+
+let all_ids =
+  [ "S1"; "S2"; "S3"; "S4"; "S5"; "S6"; "S7"; "S8"; "S9"; "S10";
+    "L1"; "L2"; "L3"; "L4"; "L5" ]
+
+let test_catalogue () =
+  Alcotest.(check (list string)) "stable ids" all_ids
+    (List.map Invariant.id Invariant.all);
+  Alcotest.(check int) "ids unique" (List.length Invariant.all)
+    (List.length (List.sort_uniq compare (List.map Invariant.id Invariant.all)));
+  Alcotest.(check int) "names unique" (List.length Invariant.all)
+    (List.length
+       (List.sort_uniq compare (List.map Invariant.name Invariant.all)));
+  Alcotest.(check string) "empty report" "" (Invariant.report [])
+
+let test_scenarios_cover_catalogue () =
+  (* One injection per invariant, in catalogue order: the chaos suite is
+     the sanitizer's coverage map. *)
+  Alcotest.(check (list string)) "one scenario per invariant" all_ids
+    (List.map (fun s -> Invariant.id s.Chaos.expected) Chaos.scenarios)
+
+let test_clean_machine () =
+  Alcotest.(check string) "uninjected machine sweeps clean" ""
+    (Invariant.report (Chaos.clean_machine ()))
+
+let test_clean_protocol () =
+  Alcotest.(check string) "well-formed stream lints clean" ""
+    (Invariant.report (Chaos.clean_protocol ()))
+
+(* Each scenario must be detected, and detected precisely: all reported
+   violations carry the scenario's own invariant, proving the injected
+   fault does not bleed into neighbouring detectors. *)
+let scenario_case (s : Chaos.scenario) =
+  ( s.Chaos.name,
+    `Quick,
+    fun () ->
+      let vs = s.Chaos.detect () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s detected" s.Chaos.name)
+        true (vs <> []);
+      List.iter
+        (fun (v : Invariant.violation) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s trips only %s" s.Chaos.name
+               (Invariant.id s.Chaos.expected))
+            (Invariant.id s.Chaos.expected)
+            (Invariant.id v.Invariant.invariant))
+        vs )
+
+(* Real runs: every experiment driver ends with [Checker.assert_safe],
+   which raises on any S- or L-violation. Recording is forced on so the
+   protocol linter sees the genuine event stream, not an empty one. *)
+let test_clean_runs () =
+  E.set_record_always true;
+  Fun.protect
+    ~finally:(fun () -> E.set_record_always false)
+    (fun () ->
+      List.iter
+        (fun sys -> ignore (E.hello_run sys))
+        [
+          E.Ufork Strategy.Copa;
+          E.Ufork Strategy.Coa;
+          E.Ufork Strategy.Full_copy;
+          E.Ufork_toctou Strategy.Copa;
+          E.Cheribsd;
+          E.Nephele;
+        ];
+      ignore
+        (E.unixbench_run (E.Ufork Strategy.Copa) ~spawn_iters:20
+           ~context1_iters:200);
+      ignore
+        (E.redis_run (E.Ufork Strategy.Coa) ~entries:20 ~value_len:4096
+           ~db_label:"80 KB"))
+
+let suite =
+  [
+    ("invariant catalogue", `Quick, test_catalogue);
+    ("chaos covers catalogue", `Quick, test_scenarios_cover_catalogue);
+    ("clean machine", `Quick, test_clean_machine);
+    ("clean protocol", `Quick, test_clean_protocol);
+  ]
+  @ List.map scenario_case Chaos.scenarios
+  @ [ ("clean experiment runs", `Quick, test_clean_runs) ]

@@ -11,5 +11,6 @@ let () =
       ("apps", Test_apps.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);
+      ("analysis", Test_analysis.suite);
       ("integration", Test_integration.suite);
     ]

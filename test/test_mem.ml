@@ -211,6 +211,67 @@ let test_pt_range_ops () =
   Page_table.unmap_range pt ~vpn:0 ~count:4;
   Alcotest.(check int) "only vpn 5 left" 1 (Page_table.mapped_count pt)
 
+let test_pt_unmap_range_holes () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  (* A range with no mappings at all is a no-op, not an error. *)
+  Page_table.unmap_range pt ~vpn:0 ~count:16;
+  List.iter
+    (fun v -> Page_table.map pt ~vpn:v (Pte.make (Phys.alloc phys)))
+    [ 1; 4; 9 ];
+  Alcotest.(check int) "three live" 3 (Phys.frames_in_use phys);
+  (* [0,5) covers vpns 1 and 4 plus three holes. *)
+  Page_table.unmap_range pt ~vpn:0 ~count:5;
+  Alcotest.(check int) "two released" 1 (Phys.frames_in_use phys);
+  Alcotest.(check bool) "vpn 9 untouched" true (Page_table.is_mapped pt ~vpn:9);
+  Page_table.unmap_range pt ~vpn:9 ~count:1;
+  Alcotest.(check int) "all released" 0 (Phys.frames_in_use phys)
+
+let test_pt_remap_after_unmap () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  Page_table.map pt ~vpn:7 (Pte.make (Phys.alloc phys));
+  Page_table.unmap pt ~vpn:7;
+  (* The slot is free again: mapping it a second time must not raise. *)
+  Page_table.map pt ~vpn:7 (Pte.make (Phys.alloc phys));
+  Alcotest.(check int) "one mapping" 1 (Page_table.mapped_count pt);
+  Alcotest.(check int) "one frame" 1 (Phys.frames_in_use phys)
+
+let test_pt_replace_keeps_other_aliases () =
+  (* replace_frame hands the refcount over: the old frame survives as
+     long as other tables still alias it. *)
+  let phys = Phys.create () in
+  let pt1 = Page_table.create phys and pt2 = Page_table.create phys in
+  let f = Phys.alloc phys in
+  Page_table.map pt1 ~vpn:3 (Pte.make f);
+  Page_table.map_shared pt2 ~vpn:3 (Pte.make ~write:false f);
+  Page_table.map_shared pt1 ~vpn:8 (Pte.make ~write:false f);
+  Alcotest.(check int) "three aliases" 3 (Phys.refcount f);
+  Page_table.replace_frame pt2 ~vpn:3 (Phys.alloc phys);
+  Alcotest.(check int) "two aliases left" 2 (Phys.refcount f);
+  Page_table.unmap pt1 ~vpn:3;
+  Page_table.unmap pt1 ~vpn:8;
+  (* Only pt2's replacement frame remains live. *)
+  Alcotest.(check int) "replacement survives" 1 (Phys.frames_in_use phys)
+
+let test_pt_shared_alias_counts () =
+  (* map_shared retains once per alias and unmap releases symmetrically,
+     so the frame frees exactly when the last alias goes. *)
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  let f = Phys.alloc phys in
+  Page_table.map pt ~vpn:1 (Pte.make f);
+  List.iter
+    (fun v -> Page_table.map_shared pt ~vpn:v (Pte.make ~write:false f))
+    [ 2; 3; 4 ];
+  Alcotest.(check int) "four aliases" 4 (Phys.refcount f);
+  Alcotest.(check int) "one frame backs them" 1 (Phys.frames_in_use phys);
+  List.iter (fun v -> Page_table.unmap pt ~vpn:v) [ 1; 2; 3 ];
+  Alcotest.(check int) "last alias holds it" 1 (Phys.frames_in_use phys);
+  Alcotest.(check int) "rc 1" 1 (Phys.refcount f);
+  Page_table.unmap pt ~vpn:4;
+  Alcotest.(check int) "freed with last alias" 0 (Phys.frames_in_use phys)
+
 (* --- Vas --- *)
 
 let setup_vas () =
@@ -339,6 +400,10 @@ let suite =
     ("pt double map", `Quick, test_pt_double_map);
     ("pt share/replace", `Quick, test_pt_share_and_replace);
     ("pt range ops", `Quick, test_pt_range_ops);
+    ("pt unmap_range over holes", `Quick, test_pt_unmap_range_holes);
+    ("pt remap after unmap", `Quick, test_pt_remap_after_unmap);
+    ("pt replace keeps aliases", `Quick, test_pt_replace_keeps_other_aliases);
+    ("pt shared alias counts", `Quick, test_pt_shared_alias_counts);
     ("vas rw cross page", `Quick, test_vas_rw_cross_page);
     ("vas u64", `Quick, test_vas_u64);
     ("vas ro write fault", `Quick, test_vas_write_fault_on_ro);

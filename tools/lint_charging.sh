@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Cost-charging discipline lint.
+#
+# Every cycle charge and counter bump must flow through the typed event
+# bus (Trace.emit in lib/sim): a direct Engine.advance or Meter.incr
+# anywhere else bypasses the zero-tolerance accounting audit and the
+# sanitizer's invariants. Tests (test/) may exercise the primitives
+# directly; production code in lib/ and bin/ may not.
+set -eu
+cd "$(dirname "$0")/.."
+
+hits=$(grep -rnE '\bEngine\.advance\b|\bMeter\.incr\b' \
+  --include='*.ml' --include='*.mli' lib bin | grep -v '^lib/sim/' || true)
+
+if [ -n "$hits" ]; then
+  echo "charging lint: Engine.advance / Meter.incr outside lib/sim/ —" >&2
+  echo "route the charge through the event bus (Trace.emit):" >&2
+  echo "$hits" >&2
+  exit 1
+fi
+echo "charging lint: clean — all charging flows through the event bus"
