@@ -70,6 +70,7 @@ let r ~t ~pid event =
     Trace.t = Int64.of_int t;
     core = 0;
     tid = 0;
+    name = "";
     pid;
     event;
     cycles = 0L;
@@ -148,7 +149,7 @@ let scenarios =
     protocol "L4-missing-shootdown" Invariant.Tlb_flush_protocol
       [
         (1, Event.Fork_fixed);
-        (2, Event.Pte_copy);
+        (2, Event.Pte_copy 1);
         (* Fault traffic from the forking process with no Tlb_shootdown
            in between; the fault itself is well-formed so only L4
            fires. *)
@@ -176,7 +177,7 @@ let clean_protocol () =
        [
          (* A fork: downgrade batch sealed by the shootdown. *)
          (1, Event.Fork_fixed);
-         (2, Event.Pte_copy);
+         (2, Event.Pte_copy 1);
          (1, Event.Tlb_shootdown);
          (* Parent CoW write, copy resolution. *)
          (1, Event.Page_fault);

@@ -1,99 +1,78 @@
-module Capability = Ufork_cheri.Capability
 module Addr = Ufork_mem.Addr
 module Pte = Ufork_mem.Pte
 module Page_table = Ufork_mem.Page_table
 module Vas = Ufork_mem.Vas
-module Engine = Ufork_sim.Engine
 module Costs = Ufork_sim.Costs
-module Meter = Ufork_sim.Meter
 module Event = Ufork_sim.Event
-module Trace = Ufork_sim.Trace
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 module Config = Ufork_sas.Config
-module Fdesc = Ufork_sas.Fdesc
-module Tinyalloc = Ufork_sas.Tinyalloc
 module Copy_engine = Ufork_core.Copy_engine
-module Fork = Ufork_core.Fork
+module Fork_spine = Ufork_core.Fork_spine
+module Memops = Ufork_core.Memops
+module System = Ufork_core.System
 
-type t = { kernel : Kernel.t; engine : Engine.t }
+type t = System.t
 
-let stack_touch_vpns (u : Uproc.t) n =
-  let r = u.Uproc.regions in
-  let vpn0 = Addr.vpn_of_addr r.Uproc.stack_base in
-  let pages = Addr.bytes_to_pages r.Uproc.stack_bytes in
-  List.init (min n pages) (fun i -> vpn0 + pages - 1 - i)
+(* Same virtual layout in a fresh address space: copy the vm_map, share
+   every resident frame copy-on-write, and leave the child's pmap empty
+   (read=false: each first touch takes a soft fault). Returns whether any
+   live writable PTE was actually downgraded — only then is a TLB
+   shootdown owed. *)
+let duplicate k ~(parent : Uproc.t) ~(child : Uproc.t) =
+  let vpn0 = Addr.vpn_of_addr parent.Uproc.area_base in
+  let count = Addr.bytes_to_pages parent.Uproc.area_bytes in
+  let shm = ref [] and cow = ref [] in
+  Page_table.iter_range parent.Uproc.pt ~vpn:vpn0 ~count
+    (fun v (ppte : Pte.t) ->
+      if ppte.Pte.share = Pte.Shm_shared then shm := v :: !shm
+      else cow := v :: !cow);
+  (* MAP_SHARED segments keep pointing at the same frames. *)
+  Memops.share_range k ~parent ~child ~delta_pages:0 ~downgrade:false
+    ~child_pte:(fun (ppte : Pte.t) ->
+      Pte.make ~read:true ~write:ppte.Pte.write ~exec:false
+        ~share:Pte.Shm_shared ppte.Pte.frame)
+    (List.rev !shm)
+  |> ignore;
+  Memops.share_range k ~parent ~child ~delta_pages:0
+    ~child_pte:(fun (ppte : Pte.t) ->
+      Pte.make ~read:false ~write:false ~exec:false ~share:Pte.Cow_shared
+        ppte.Pte.frame)
+    (List.rev !cow)
 
 let do_fork k (parent : Uproc.t) child_main =
-  let config = Kernel.config k in
-  let t0 = Engine.now (Kernel.engine k) in
-  Kernel.emit ~proc:parent k Event.Fork_fixed;
-  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
-  let child =
-    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
+  let downgraded = ref false in
+  let hooks =
+    {
+      Fork_spine.default with
+      duplicate =
+        (fun k ~parent ~child -> downgraded := duplicate k ~parent ~child);
+      post_copy =
+        (fun k ~parent ~child:_ ~pte_copies:_ ->
+          (* The fold write-protected live parent PTEs; flush stale TLB
+             entries before either side relies on the CoW downgrades. A
+             walk that downgraded nothing (every entry already read-only
+             or shared) owes no shootdown. *)
+          if !downgraded then Kernel.emit ~proc:parent k Event.Tlb_shootdown;
+          (* Parent immediately re-dirties its stack working set (CoW
+             copies). *)
+          let config = Kernel.config k in
+          Kernel.touch_pages_for_write k parent
+            (Fork_spine.stack_touch_vpns parent
+               config.Config.parent_touch_pages));
+      child_prologue =
+        (fun k ~child ->
+          let config = Kernel.config k in
+          Kernel.touch_pages_for_write k child
+            (Fork_spine.stack_touch_vpns child config.Config.child_touch_pages));
+    }
   in
-  child.Uproc.forked <- true;
-  (* Same virtual layout in a fresh address space: copy the vm_map, share
-     every resident frame copy-on-write, and leave the child's pmap empty
-     (read=false: each first touch takes a soft fault). *)
-  Page_table.fold parent.Uproc.pt ~init:()
-    ~f:(fun vpn (ppte : Pte.t) () ->
-      if
-        Addr.addr_of_vpn vpn >= parent.Uproc.area_base
-        && Addr.addr_of_vpn vpn < parent.Uproc.area_base + parent.Uproc.area_bytes
-      then begin
-        Kernel.emit ~proc:child k Event.Pte_copy;
-        if ppte.Pte.share = Pte.Shm_shared then
-          (* MAP_SHARED segments keep pointing at the same frames. *)
-          Page_table.map_shared child.Uproc.pt ~vpn
-            (Pte.make ~read:true ~write:ppte.Pte.write ~exec:false
-               ~share:Pte.Shm_shared ppte.Pte.frame)
-        else begin
-          if ppte.Pte.write then begin
-            ppte.Pte.write <- false;
-            ppte.Pte.share <- Pte.Cow_shared
-          end;
-          Page_table.map_shared child.Uproc.pt ~vpn
-            (Pte.make ~read:false ~write:false ~exec:false
-               ~share:Pte.Cow_shared ppte.Pte.frame)
-        end
-      end);
-  child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta:0;
-  (* The fold write-protected live parent PTEs; flush stale TLB entries
-     before either side relies on the CoW downgrades. *)
-  Kernel.emit ~proc:parent k Event.Tlb_shootdown;
-  (* Parent immediately re-dirties its stack working set (CoW copies). *)
-  Kernel.touch_pages_for_write k parent
-    (stack_touch_vpns parent config.Config.parent_touch_pages);
-  Kernel.emit ~proc:parent k Event.Thread_create;
-  let child_body api =
-    Kernel.touch_pages_for_write k child
-      (stack_touch_vpns child config.Config.child_touch_pages);
-    child_main api
-  in
-  Kernel.spawn_process k child child_body;
-  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
-  child.Uproc.pid
+  Fork_spine.run k hooks parent child_main
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
-  | None -> (
-      match Uproc.region_of_addr u addr with
-      | Some ("heap" | "meta") ->
-          Kernel.emit ~proc:u k Event.Demand_zero;
-          Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
-            ~bytes:Addr.page_size ()
-      | Some r ->
-          raise
-            (Fork.Segfault
-               (Printf.sprintf "pid %d: %#x (%s) not mapped" u.Uproc.pid addr r))
-      | None ->
-          raise
-            (Fork.Segfault
-               (Printf.sprintf "pid %d: %#x outside process image" u.Uproc.pid
-                  addr)))
+  | None -> Fork_spine.resolve_unmapped k u ~addr ~outside:"process image"
   | Some pte -> (
       let first_touch = not pte.Pte.read in
       match access with
@@ -107,7 +86,7 @@ let handle_fault k (u : Uproc.t) ~addr ~access =
           end
           else
             raise
-              (Fork.Segfault
+              (Fork_spine.Segfault
                  (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
                     Vas.pp_access access addr))
       | Vas.Write | Vas.Cap_store -> (
@@ -124,7 +103,7 @@ let handle_fault k (u : Uproc.t) ~addr ~access =
               if pte.Pte.write then () (* resolved by the soft fault above *)
               else
                 raise
-                  (Fork.Segfault
+                  (Fork_spine.Segfault
                      (Printf.sprintf "pid %d: write to read-only %#x"
                         u.Uproc.pid addr))
           | Pte.Shm_shared ->
@@ -136,27 +115,20 @@ let handle_fault k (u : Uproc.t) ~addr ~access =
 
 let boot ?(cores = 4) ?(config = Config.cheribsd_default)
     ?(costs = Costs.cheribsd) () =
-  let engine = Engine.create ~cores () in
-  let kernel =
-    Kernel.create ~engine ~costs ~config ~multi_address_space:true ()
+  let sys =
+    System.make ~cores ~config ~costs ~multi_address_space:true ()
   in
+  let kernel = System.kernel sys in
   Kernel.set_fork_hook kernel (fun parent child_main ->
       do_fork kernel parent child_main);
   Kernel.set_fault_hook kernel (fun u ~addr ~access ->
       handle_fault kernel u ~addr ~access);
-  { kernel; engine }
+  sys
 
-let kernel t = t.kernel
-let engine t = t.engine
-
-let start t ?affinity ~image main =
-  let u = Kernel.create_uproc t.kernel ~image () in
-  Kernel.map_initial_image t.kernel u;
-  Kernel.spawn_process t.kernel ?affinity u main;
-  u
-
-let run ?until t = Engine.run ?until t.engine
-
-let last_fork_latency t = Kernel.last_fork_latency t.kernel
-
-let trace t = Kernel.trace t.kernel
+let system t = t
+let kernel = System.kernel
+let engine = System.engine
+let start = System.start
+let run = System.run
+let last_fork_latency = System.last_fork_latency
+let trace = System.trace

@@ -30,6 +30,9 @@ val boot :
 (** Defaults: 4 cores, {!Ufork_sas.Config.cheribsd_default},
     {!Ufork_sim.Costs.cheribsd}. *)
 
+val system : t -> Ufork_core.System.t
+(** The underlying {!Ufork_core.System.t} (engine + kernel + lifecycle). *)
+
 val kernel : t -> Ufork_sas.Kernel.t
 val engine : t -> Ufork_sim.Engine.t
 

@@ -1,21 +1,17 @@
-module Addr = Ufork_mem.Addr
-module Pte = Ufork_mem.Pte
-module Page_table = Ufork_mem.Page_table
-module Vas = Ufork_mem.Vas
-module Engine = Ufork_sim.Engine
 module Costs = Ufork_sim.Costs
-module Meter = Ufork_sim.Meter
 module Event = Ufork_sim.Event
-module Trace = Ufork_sim.Trace
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 module Config = Ufork_sas.Config
 module Image = Ufork_sas.Image
-module Fdesc = Ufork_sas.Fdesc
-module Tinyalloc = Ufork_sas.Tinyalloc
-module Fork = Ufork_core.Fork
+module Page_table = Ufork_mem.Page_table
+module Vas = Ufork_mem.Vas
+module Addr = Ufork_mem.Addr
+module Fork_spine = Ufork_core.Fork_spine
+module Memops = Ufork_core.Memops
+module System = Ufork_core.System
 
-type t = { kernel : Kernel.t; engine : Engine.t }
+type t = System.t
 
 (* The Unikraft kernel linked into every VM image: ~1.2 MiB text+rodata and
    ~0.2 MiB data, duplicated wholesale by a domain clone. *)
@@ -28,81 +24,64 @@ let unikernel_image (img : Image.t) =
   }
 
 let do_fork k (parent : Uproc.t) child_main =
-  let t0 = Engine.now (Kernel.engine k) in
-  Kernel.emit ~proc:parent k Event.Fork_fixed;
-  (* Creating the new domain dominates: hypercalls, event channels, grant
-     tables, device re-attachment. *)
-  Kernel.emit ~proc:parent k Event.Domain_create;
-  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
-  let child =
-    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
+  let hooks =
+    {
+      Fork_spine.default with
+      pre_create =
+        (fun k ~parent ->
+          (* Creating the new domain dominates: hypercalls, event channels,
+             grant tables, device re-attachment. *)
+          Kernel.emit ~proc:parent k Event.Domain_create);
+      duplicate =
+        (fun k ~parent ~child ->
+          (* The entire VM image — unikernel included — is copied
+             eagerly, verbatim: same permissions, no relocation (each
+             clone is its own address space). *)
+          let pvpns =
+            Page_table.fold parent.Uproc.pt ~init:[] ~f:(fun vpn _ acc ->
+                vpn :: acc)
+            |> List.rev
+          in
+          Memops.copy_range k ~parent ~child ~delta_pages:0
+            ~mode:Memops.Verbatim pvpns);
+    }
   in
-  child.Uproc.forked <- true;
-  (* The entire VM image — unikernel included — is copied eagerly. *)
-  Page_table.fold parent.Uproc.pt ~init:() ~f:(fun vpn (ppte : Pte.t) () ->
-      Kernel.emit ~proc:child k Event.Pte_copy;
-      Kernel.emit ~proc:child k Event.Page_copy_eager;
-      let fresh = Kernel.fresh_frame k child in
-      let src = Ufork_mem.Phys.page ppte.Pte.frame in
-      let dst = Ufork_mem.Phys.page fresh in
-      Ufork_mem.Page.write_bytes dst ~off:0
-        (Ufork_mem.Page.read_bytes src ~off:0 ~len:Addr.page_size);
-      Ufork_mem.Page.iter_caps src (fun g cap ->
-          Ufork_mem.Page.store_cap dst ~off:(g * Addr.granule_size) cap);
-      Page_table.map child.Uproc.pt ~vpn
-        (Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write ~exec:ppte.Pte.exec
-           fresh));
-  child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta:0;
-  Kernel.emit ~proc:parent k Event.Thread_create;
-  Kernel.spawn_process k child child_main;
-  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
-  child.Uproc.pid
+  Fork_spine.run k hooks parent child_main
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
   | None -> (
       match Uproc.region_of_addr u addr with
-      | Some ("heap" | "meta") ->
-          Kernel.emit ~proc:u k Event.Demand_zero;
-          Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
-            ~bytes:Addr.page_size ()
+      | Some ("heap" | "meta") -> Fork_spine.demand_zero k u ~addr
       | Some _ | None ->
           raise
-            (Fork.Segfault
+            (Fork_spine.Segfault
                (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
                   Vas.pp_access access addr)))
   | Some _ ->
       raise
-        (Fork.Segfault
+        (Fork_spine.Segfault
            (Format.asprintf "pid %d: invalid %a at %#x" u.Uproc.pid
               Vas.pp_access access addr))
 
 let boot ?(cores = 4) ?(config = Config.nephele_default)
     ?(costs = Costs.nephele) () =
-  let engine = Engine.create ~cores () in
-  let kernel =
-    Kernel.create ~engine ~costs ~config ~multi_address_space:true ()
+  let sys =
+    System.make ~prepare_image:unikernel_image ~cores ~config ~costs
+      ~multi_address_space:true ()
   in
+  let kernel = System.kernel sys in
   Kernel.set_fork_hook kernel (fun parent child_main ->
       do_fork kernel parent child_main);
   Kernel.set_fault_hook kernel (fun u ~addr ~access ->
       handle_fault kernel u ~addr ~access);
-  { kernel; engine }
+  sys
 
-let kernel t = t.kernel
-let engine t = t.engine
-
-let start t ?affinity ~image main =
-  let image = unikernel_image image in
-  let u = Kernel.create_uproc t.kernel ~image () in
-  Kernel.map_initial_image t.kernel u;
-  Kernel.spawn_process t.kernel ?affinity u main;
-  u
-
-let run ?until t = Engine.run ?until t.engine
-
-let last_fork_latency t = Kernel.last_fork_latency t.kernel
-
-let trace t = Kernel.trace t.kernel
+let system t = t
+let kernel = System.kernel
+let engine = System.engine
+let start = System.start
+let run = System.run
+let last_fork_latency = System.last_fork_latency
+let trace = System.trace

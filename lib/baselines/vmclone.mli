@@ -21,6 +21,9 @@ val boot :
   unit ->
   t
 
+val system : t -> Ufork_core.System.t
+(** The underlying {!Ufork_core.System.t} (engine + kernel + lifecycle). *)
+
 val kernel : t -> Ufork_sas.Kernel.t
 val engine : t -> Ufork_sim.Engine.t
 

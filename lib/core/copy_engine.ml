@@ -1,35 +1,14 @@
 module Capability = Ufork_cheri.Capability
 module Addr = Ufork_mem.Addr
-module Page = Ufork_mem.Page
 module Phys = Ufork_mem.Phys
 module Pte = Ufork_mem.Pte
 module Page_table = Ufork_mem.Page_table
-module Costs = Ufork_sim.Costs
 module Event = Ufork_sim.Event
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 
-let owner_area k addr = Kernel.find_area_of_addr k addr
-
-let natural_perms (u : Uproc.t) ~addr ~read ~write ~exec =
-  read := true;
-  exec := false;
-  write := true;
-  match Uproc.region_of_addr u addr with
-  | Some "code" ->
-      write := false;
-      exec := true
-  | Some _ | None -> ()
-
-let restore_perms (u : Uproc.t) ~vpn (pte : Pte.t) =
-  let addr = Addr.addr_of_vpn vpn in
-  let read = ref true and write = ref true and exec = ref false in
-  natural_perms u ~addr ~read ~write ~exec;
-  pte.Pte.read <- !read;
-  pte.Pte.write <- !write;
-  pte.Pte.exec <- !exec;
-  pte.Pte.cap_load_fault <- false;
-  pte.Pte.share <- Pte.Private
+let owner_area = Memops.owner_area
+let natural_perms = Memops.natural_perms
 
 (* Relocate the page now backing [vpn] for the child and make it private. *)
 let relocate_and_privatize k (child : Uproc.t) ~vpn (pte : Pte.t)
@@ -46,7 +25,7 @@ let relocate_and_privatize k (child : Uproc.t) ~vpn (pte : Pte.t)
   if already_private then
     (* The frame was claimed in place: it becomes child-private memory. *)
     Kernel.account_private k child ~bytes:Addr.page_size;
-  restore_perms child ~vpn pte
+  Memops.restore_perms child ~vpn pte
 
 let resolve_child_copy k (child : Uproc.t) ~vpn =
   let pte = Page_table.lookup_exn child.Uproc.pt ~vpn in
@@ -57,12 +36,7 @@ let resolve_child_copy k (child : Uproc.t) ~vpn =
   end
   else begin
     Kernel.emit ~proc:child k Event.Page_copy_child;
-    let fresh = Kernel.fresh_frame k child in
-    let src = Phys.page pte.Pte.frame in
-    let dst = Phys.page fresh in
-    Page.write_bytes dst ~off:0 (Page.read_bytes src ~off:0 ~len:Addr.page_size);
-    Page.iter_caps src (fun g cap ->
-        Page.store_cap dst ~off:(g * Addr.granule_size) cap);
+    let fresh = Memops.duplicate_frame k child pte.Pte.frame in
     Page_table.replace_frame child.Uproc.pt ~vpn fresh;
     relocate_and_privatize k child ~vpn pte ~already_private:false
   end
@@ -71,66 +45,14 @@ let resolve_parent_cow k (u : Uproc.t) ~vpn =
   let pte = Page_table.lookup_exn u.Uproc.pt ~vpn in
   if Phys.refcount pte.Pte.frame = 1 then begin
     Kernel.emit ~proc:u k Event.Cow_claim_in_place;
-    restore_perms u ~vpn pte
+    Memops.restore_perms u ~vpn pte
   end
   else begin
     Kernel.emit ~proc:u k Event.Page_copy_cow;
-    let fresh = Kernel.fresh_frame k u in
-    let src = Phys.page pte.Pte.frame in
-    let dst = Phys.page fresh in
-    Page.write_bytes dst ~off:0 (Page.read_bytes src ~off:0 ~len:Addr.page_size);
-    Page.iter_caps src (fun g cap ->
-        Page.store_cap dst ~off:(g * Addr.granule_size) cap);
+    let fresh = Memops.duplicate_frame k u pte.Pte.frame in
     Page_table.replace_frame u.Uproc.pt ~vpn fresh;
-    restore_perms u ~vpn pte
+    Memops.restore_perms u ~vpn pte
   end
-
-let delta_pages ~(parent : Uproc.t) ~(child : Uproc.t) =
-  (child.Uproc.area_base - parent.Uproc.area_base) / Addr.page_size
-
-let share_to_child k ~parent ~child ~strategy ~parent_vpn =
-  let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:parent_vpn in
-  let child_vpn = parent_vpn + delta_pages ~parent ~child in
-  Kernel.emit ~proc:child k Event.Pte_copy;
-  (* Parent side drops to copy-on-write (writes fault; reads — and, under
-     CoPA, capability loads — proceed: its own capabilities are valid). *)
-  if ppte.Pte.write then begin
-    ppte.Pte.write <- false;
-    ppte.Pte.share <- Pte.Cow_shared
-  end;
-  let cpte =
-    match strategy with
-    | Strategy.Coa ->
-        Pte.make ~read:false ~write:false ~exec:false ~share:Pte.Coa_shared
-          ppte.Pte.frame
-    | Strategy.Copa ->
-        Pte.make ~read:true ~write:false ~exec:ppte.Pte.exec
-          ~cap_load_fault:true ~share:Pte.Copa_shared ppte.Pte.frame
-    | Strategy.Full_copy ->
-        invalid_arg "share_to_child: full copy never shares"
-  in
-  Page_table.map_shared child.Uproc.pt ~vpn:child_vpn cpte
-
-let copy_to_child k ~parent ~child ~parent_vpn =
-  let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:parent_vpn in
-  let child_vpn = parent_vpn + delta_pages ~parent ~child in
-  Kernel.emit ~proc:child k Event.Pte_copy;
-  Kernel.emit ~proc:child k Event.Page_copy_eager;
-  let fresh = Kernel.fresh_frame k child in
-  let src = Phys.page ppte.Pte.frame in
-  let dst = Phys.page fresh in
-  Page.write_bytes dst ~off:0 (Page.read_bytes src ~off:0 ~len:Addr.page_size);
-  Page.iter_caps src (fun g cap ->
-      Page.store_cap dst ~off:(g * Addr.granule_size) cap);
-  let cpte =
-    Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write ~exec:ppte.Pte.exec
-      fresh
-  in
-  Page_table.map child.Uproc.pt ~vpn:child_vpn cpte;
-  relocate_and_privatize k child ~vpn:child_vpn cpte ~already_private:false;
-  (* relocate_and_privatize restored natural permissions and accounted the
-     claim case; eager copies were already attributed by fresh_frame. *)
-  ()
 
 let touch_write k (u : Uproc.t) ~vpn =
   match Page_table.lookup u.Uproc.pt ~vpn with
@@ -145,15 +67,3 @@ let touch_write k (u : Uproc.t) ~vpn =
             Kernel.emit ~proc:u k Event.Page_fault;
             resolve_parent_cow k u ~vpn
         | Pte.Shm_shared | Pte.Private -> ())
-
-
-(* Deliberately shared memory is mapped, not copied: the child's page at
-   the same area offset points at the very same frame (§3.7). *)
-let share_shm_to_child k ~parent ~child ~parent_vpn =
-  let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:parent_vpn in
-  let child_vpn = parent_vpn + delta_pages ~parent ~child in
-  Kernel.emit ~proc:child k Event.Pte_copy;
-  Kernel.emit ~proc:child k Event.Shm_share;
-  Page_table.map_shared child.Uproc.pt ~vpn:child_vpn
-    (Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write ~exec:ppte.Pte.exec
-       ~share:Pte.Shm_shared ppte.Pte.frame)

@@ -1,10 +1,11 @@
-(** Page copying and fault resolution for μFork.
+(** Fault-path copy resolution for μFork.
 
     Implements the three-step copy of §4.2 ("the child page table entry is
     changed to point to a free physical page ... the page is copied ...
     the copied page is scanned in 16-byte increments") plus the in-place
     claim optimization when the shared frame's refcount has already dropped
-    to one, and the demand-zero path for the lazily-materialized heap. *)
+    to one. These are the per-page singletons taken on CoW/CoA/CoPA
+    faults; the batched fork-time range operations live in {!Memops}. *)
 
 module Capability = Ufork_cheri.Capability
 
@@ -23,36 +24,6 @@ val resolve_parent_cow :
   Ufork_sas.Kernel.t -> Ufork_sas.Uproc.t -> vpn:int -> unit
 (** Classic CoW write resolution for the parent side: private copy, no
     relocation (its capabilities already target its own area). *)
-
-val share_to_child :
-  Ufork_sas.Kernel.t ->
-  parent:Ufork_sas.Uproc.t ->
-  child:Ufork_sas.Uproc.t ->
-  strategy:Strategy.t ->
-  parent_vpn:int ->
-  unit
-(** Map the child's page at [parent_vpn + delta] onto the parent's frame
-    with the strategy's permissions, and downgrade the parent's entry to
-    copy-on-write. Charges one PTE copy (+ protect). *)
-
-val copy_to_child :
-  Ufork_sas.Kernel.t ->
-  parent:Ufork_sas.Uproc.t ->
-  child:Ufork_sas.Uproc.t ->
-  parent_vpn:int ->
-  unit
-(** Eager copy + relocate of one parent page into the child (used for the
-    proactive GOT/allocator-metadata copies and by the full-copy
-    strategy). *)
-
-val share_shm_to_child :
-  Ufork_sas.Kernel.t ->
-  parent:Ufork_sas.Uproc.t ->
-  child:Ufork_sas.Uproc.t ->
-  parent_vpn:int ->
-  unit
-(** Map a deliberately shared page (§3.7) into the child at the same area
-    offset, pointing at the same frame: fork never copies shm. *)
 
 val touch_write : Ufork_sas.Kernel.t -> Ufork_sas.Uproc.t -> vpn:int -> unit
 (** Simulate a user write to a page: resolves any pending share exactly as

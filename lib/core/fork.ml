@@ -3,19 +3,13 @@ module Addr = Ufork_mem.Addr
 module Pte = Ufork_mem.Pte
 module Page_table = Ufork_mem.Page_table
 module Vas = Ufork_mem.Vas
-module Engine = Ufork_sim.Engine
-module Costs = Ufork_sim.Costs
-module Meter = Ufork_sim.Meter
 module Event = Ufork_sim.Event
-module Trace = Ufork_sim.Trace
 module Kernel = Ufork_sas.Kernel
 module Uproc = Ufork_sas.Uproc
 module Config = Ufork_sas.Config
-module Image = Ufork_sas.Image
-module Fdesc = Ufork_sas.Fdesc
 module Tinyalloc = Ufork_sas.Tinyalloc
 
-exception Segfault of string
+exception Segfault = Fork_spine.Segfault
 
 let last_fork_latency = Kernel.last_fork_latency
 
@@ -24,37 +18,6 @@ let last_fork_latency = Kernel.last_fork_latency
    relocated"). *)
 let register_file_caps = 31
 
-let region_vpns base bytes = (Addr.vpn_of_addr base, Addr.bytes_to_pages bytes)
-
-(* Iterate the parent's mapped pages region by region, in deterministic
-   ascending order, applying [f parent_vpn pte region]. *)
-let iter_mapped_pages (u : Uproc.t) f =
-  let r = u.Uproc.regions in
-  let regions =
-    [
-      ("got", r.Uproc.got_base, r.Uproc.got_bytes);
-      ("code", r.Uproc.code_base, r.Uproc.code_bytes);
-      ("data", r.Uproc.data_base, r.Uproc.data_bytes);
-      ("stack", r.Uproc.stack_base, r.Uproc.stack_bytes);
-      ("meta", r.Uproc.meta_base, r.Uproc.meta_bytes);
-      ("heap", r.Uproc.heap_base, r.Uproc.heap_bytes);
-    ]
-  in
-  List.iter
-    (fun (name, base, bytes) ->
-      let vpn, count = region_vpns base bytes in
-      Page_table.iter_range u.Uproc.pt ~vpn ~count (fun v pte ->
-          f v pte name))
-    regions
-
-(* The write working set a μprocess touches immediately around the fork:
-   its top-of-stack pages. *)
-let stack_touch_vpns (u : Uproc.t) n =
-  let r = u.Uproc.regions in
-  let vpn0 = Addr.vpn_of_addr r.Uproc.stack_base in
-  let pages = Addr.bytes_to_pages r.Uproc.stack_bytes in
-  List.init (min n pages) (fun i -> vpn0 + pages - 1 - i)
-
 (* Read working set for CoA's in-call parent faults: globals. *)
 let data_touch_vpns (u : Uproc.t) n =
   let r = u.Uproc.regions in
@@ -62,68 +25,111 @@ let data_touch_vpns (u : Uproc.t) n =
   let pages = Addr.bytes_to_pages r.Uproc.data_bytes in
   List.init (min n pages) (fun i -> vpn0 + i)
 
-let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
-  let meter = Kernel.meter k in
-  let config = Kernel.config k in
-  let t0 = Engine.now (Kernel.engine k) in
-  Kernel.emit ~proc:parent k Event.Fork_fixed;
-  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
-  let child =
-    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
-  in
-  child.Uproc.forked <- true;
-  let delta = Uproc.delta ~parent ~child in
-  let delta_pages = delta / Addr.page_size in
-  (* 1. Parent state duplication: walk the parent's mapped pages. GOT and
-     used allocator metadata are proactively copied + relocated; everything
-     else follows the strategy. *)
+let regions (u : Uproc.t) =
+  let r = u.Uproc.regions in
+  [
+    ("got", r.Uproc.got_base, r.Uproc.got_bytes);
+    ("code", r.Uproc.code_base, r.Uproc.code_bytes);
+    ("data", r.Uproc.data_base, r.Uproc.data_bytes);
+    ("stack", r.Uproc.stack_base, r.Uproc.stack_bytes);
+    ("meta", r.Uproc.meta_base, r.Uproc.meta_bytes);
+    ("heap", r.Uproc.heap_base, r.Uproc.heap_bytes);
+  ]
+
+(* 1. Parent state duplication: walk the parent's mapped pages region by
+   region, partition each region's pages by disposition, and hand each
+   partition to one batched {!Memops} range operation. GOT and used
+   allocator metadata are proactively copied + relocated; deliberate
+   shared memory stays shared (§3.7); everything else follows the
+   strategy. *)
+let duplicate k ~strategy ~proactive ~(parent : Uproc.t) ~(child : Uproc.t) =
+  let delta_pages = Uproc.delta ~parent ~child / Addr.page_size in
   let meta_used_bytes =
     Tinyalloc.high_water_meta_granules parent.Uproc.allocator
     * Addr.granule_size
   in
-  let meta_used_limit = parent.Uproc.regions.Uproc.meta_base + meta_used_bytes in
-  let pte_before = Meter.get meter Event.pte_copy_key in
-  iter_mapped_pages parent (fun pvpn pte region ->
-      let eager =
-        proactive
-        &&
-        match region with
-        | "got" -> true
-        | "meta" -> Addr.addr_of_vpn pvpn < meta_used_limit
-        | _ -> false
-      in
-      if pte.Pte.share = Pte.Shm_shared then
-        (* Deliberate shared memory stays shared across fork (§3.7). *)
-        Copy_engine.share_shm_to_child k ~parent ~child ~parent_vpn:pvpn
-      else if eager then
-        Copy_engine.copy_to_child k ~parent ~child ~parent_vpn:pvpn
-      else
-        match strategy with
-        | Strategy.Full_copy ->
-            Copy_engine.copy_to_child k ~parent ~child ~parent_vpn:pvpn
-        | Strategy.Coa | Strategy.Copa ->
-            Copy_engine.share_to_child k ~parent ~child ~strategy
-              ~parent_vpn:pvpn);
+  let meta_used_limit =
+    parent.Uproc.regions.Uproc.meta_base + meta_used_bytes
+  in
+  List.iter
+    (fun (name, base, bytes) ->
+      let vpn = Addr.vpn_of_addr base in
+      let count = Addr.bytes_to_pages bytes in
+      let shm = ref [] and eager = ref [] and lazily = ref [] in
+      Page_table.iter_range parent.Uproc.pt ~vpn ~count
+        (fun v (pte : Pte.t) ->
+          if pte.Pte.share = Pte.Shm_shared then shm := v :: !shm
+          else
+            let proactive_page =
+              proactive
+              &&
+              match name with
+              | "got" -> true
+              | "meta" -> Addr.addr_of_vpn v < meta_used_limit
+              | _ -> false
+            in
+            if proactive_page || strategy = Strategy.Full_copy then
+              eager := v :: !eager
+            else lazily := v :: !lazily);
+      Memops.share_range k ~parent ~child ~delta_pages ~downgrade:false
+        ~page_event:Event.Shm_share
+        ~child_pte:(fun (ppte : Pte.t) ->
+          Pte.make ~read:ppte.Pte.read ~write:ppte.Pte.write
+            ~exec:ppte.Pte.exec ~share:Pte.Shm_shared ppte.Pte.frame)
+        (List.rev !shm)
+      |> ignore;
+      Memops.copy_range k ~parent ~child ~delta_pages
+        ~mode:Memops.Relocate_to_child (List.rev !eager);
+      match strategy with
+      | Strategy.Full_copy -> assert (!lazily = [])
+      | Strategy.Coa | Strategy.Copa ->
+          (* Parent side drops to copy-on-write (writes fault; reads —
+             and, under CoPA, capability loads — proceed: its own
+             capabilities are valid). *)
+          Memops.share_range k ~parent ~child ~delta_pages
+            ~child_pte:(fun (ppte : Pte.t) ->
+              match strategy with
+              | Strategy.Coa ->
+                  Pte.make ~read:false ~write:false ~exec:false
+                    ~share:Pte.Coa_shared ppte.Pte.frame
+              | Strategy.Copa ->
+                  Pte.make ~read:true ~write:false ~exec:ppte.Pte.exec
+                    ~cap_load_fault:true ~share:Pte.Copa_shared
+                    ppte.Pte.frame
+              | Strategy.Full_copy -> assert false)
+            (List.rev !lazily)
+          |> ignore)
+    (regions parent);
   (* Under the full-copy strategy the entire static heap reservation is
      transferred, materializing even never-touched pages (§5.2: "the
      memory transferred by a full copy is correspondingly large"). *)
-  (match strategy with
+  match strategy with
   | Strategy.Full_copy ->
       let r = child.Uproc.regions in
       let vpn0 = Addr.vpn_of_addr r.Uproc.heap_base in
       let pages = Addr.bytes_to_pages r.Uproc.heap_bytes in
-      for v = vpn0 to vpn0 + pages - 1 do
-        if not (Page_table.is_mapped child.Uproc.pt ~vpn:v) then begin
-          (* Also materialize the parent side: the static heap exists in
-             full in a statically-allocated-heap build. *)
-          let pv = v - delta_pages in
-          if not (Page_table.is_mapped parent.Uproc.pt ~vpn:pv) then
-            Kernel.map_zero_pages k parent ~base:(Addr.addr_of_vpn pv)
-              ~bytes:Addr.page_size ();
-          Copy_engine.copy_to_child k ~parent ~child ~parent_vpn:pv
-        end
-      done
-  | Strategy.Coa | Strategy.Copa -> ());
+      let missing = ref [] in
+      for v = vpn0 + pages - 1 downto vpn0 do
+        if not (Page_table.is_mapped child.Uproc.pt ~vpn:v) then
+          missing := (v - delta_pages) :: !missing
+      done;
+      if !missing <> [] then begin
+        (* Also materialize the parent side: the static heap exists in
+           full in a statically-allocated-heap build. The walk above
+           copied every mapped parent page, so the child's heap holes are
+           exactly the parent's — one batched zero-fill covers them. *)
+        let pr = parent.Uproc.regions in
+        Memops.map_zero_range k parent ~base:pr.Uproc.heap_base
+          ~bytes:pr.Uproc.heap_bytes ();
+        Memops.copy_range k ~parent ~child ~delta_pages
+          ~mode:Memops.Relocate_to_child !missing
+      end
+  | Strategy.Coa | Strategy.Copa -> ()
+
+(* 2. Post-copy phase: flush downgraded mappings, revalidate, relocate
+   the register file, and re-touch the parent's working set. *)
+let post_copy k ~strategy ~(parent : Uproc.t) ~pte_copies =
+  let config = Kernel.config k in
   (* The sharing strategies downgraded live parent PTEs; stale TLB entries
      on every core must be invalidated before anyone relies on the new
      permissions (the protocol the trace linter checks). Full copy never
@@ -135,70 +141,58 @@ let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
   (* TOCTTOU hardening revalidates the duplicated mappings against the
      (copied) fork arguments, adding per-entry work (§5.1: "The cost of
      TOCTTOU protection is relatively minor (2.6% at 100 MB)"). *)
-  if config.Config.toctou then begin
-    let ptes = Meter.get meter Event.pte_copy_key - pte_before in
-    Kernel.emit ~proc:parent k (Event.Toctou_revalidate ptes)
-  end;
-  (* Clone the allocator mirror — the bookkeeping twin of the metadata
-     copy above. *)
-  child.Uproc.allocator <- Tinyalloc.clone parent.Uproc.allocator ~delta;
-  (* 2. Post-copy phase: relocate the register file. *)
+  if config.Config.toctou then
+    Kernel.emit ~proc:parent k (Event.Toctou_revalidate pte_copies);
   Kernel.emit ~proc:parent k (Event.Cap_relocate register_file_caps);
   (* The parent's return path re-touches its working set at once. Writes
      fault under every lazy strategy; under CoA even the reads of globals
      fault, which is why CoA fork latency is slightly worse (§5.2). *)
   List.iter
     (fun vpn -> Copy_engine.touch_write k parent ~vpn)
-    (stack_touch_vpns parent config.Config.parent_touch_pages);
-  (match strategy with
+    (Fork_spine.stack_touch_vpns parent config.Config.parent_touch_pages);
+  match strategy with
   | Strategy.Coa ->
       (* CoA makes even the parent's reads fault: globals and the hot end
          of the heap re-fault on the return path. *)
       List.iter
         (fun vpn -> Copy_engine.touch_write k parent ~vpn)
         (data_touch_vpns parent (4 * config.Config.parent_touch_pages))
-  | Strategy.Copa | Strategy.Full_copy -> ());
-  Kernel.emit ~proc:parent k Event.Thread_create;
-  (* The child's capability registers are displaced copies of the
-     parent's. *)
-  let reloc cap =
-    Relocate.relocate_cap
-      ~owner_area:(Copy_engine.owner_area k)
-      ~child_base:child.Uproc.area_base ~child_bytes:child.Uproc.area_bytes
-      cap
-  in
-  let child_body api =
-    (* The child starts by writing its own stack frames. *)
-    List.iter
-      (fun vpn -> Copy_engine.touch_write k child ~vpn)
-      (stack_touch_vpns child config.Config.child_touch_pages);
-    child_main api
-  in
-  Kernel.spawn_process k ~reloc child child_body;
-  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
-  child.Uproc.pid
+  | Strategy.Copa | Strategy.Full_copy -> ()
+
+let hooks ~strategy ~proactive =
+  {
+    Fork_spine.default with
+    duplicate =
+      (fun k ~parent ~child -> duplicate k ~strategy ~proactive ~parent ~child);
+    post_copy =
+      (fun k ~parent ~child:_ ~pte_copies ->
+        post_copy k ~strategy ~parent ~pte_copies);
+    child_prologue =
+      (fun k ~child ->
+        (* The child starts by writing its own stack frames. *)
+        let config = Kernel.config k in
+        List.iter
+          (fun vpn -> Copy_engine.touch_write k child ~vpn)
+          (Fork_spine.stack_touch_vpns child config.Config.child_touch_pages));
+    reloc =
+      Some
+        (fun k ~child cap ->
+          (* The child's capability registers are displaced copies of the
+             parent's. *)
+          Relocate.relocate_cap
+            ~owner_area:(Memops.owner_area k)
+            ~child_base:child.Uproc.area_base
+            ~child_bytes:child.Uproc.area_bytes cap);
+  }
+
+let do_fork k ~strategy ~proactive (parent : Uproc.t) child_main =
+  Fork_spine.run k (hooks ~strategy ~proactive) parent child_main
 
 (* Fault resolution: CoW/CoA/CoPA plus demand-zero heap. *)
 let handle_fault k (u : Uproc.t) ~addr ~access =
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
-  | None -> (
-      (* Demand-zero materialization inside the heap/metadata regions. *)
-      match Uproc.region_of_addr u addr with
-      | Some ("heap" | "meta") ->
-          Kernel.emit ~proc:u k Event.Demand_zero;
-          Kernel.map_zero_pages k u ~base:(Addr.addr_of_vpn vpn)
-            ~bytes:Addr.page_size ()
-      | Some r ->
-          raise
-            (Segfault
-               (Printf.sprintf "pid %d: %#x (%s) not mapped" u.Uproc.pid addr r))
-      | None ->
-          raise
-            (Segfault
-               (Printf.sprintf "pid %d: %#x outside μprocess area" u.Uproc.pid
-                  addr)))
+  | None -> Fork_spine.resolve_unmapped k u ~addr ~outside:"μprocess area"
   | Some pte -> (
       Kernel.emit ~proc:u k Event.Page_fault;
       match (pte.Pte.share, access) with

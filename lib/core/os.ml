@@ -1,32 +1,20 @@
-module Engine = Ufork_sim.Engine
 module Costs = Ufork_sim.Costs
-module Kernel = Ufork_sas.Kernel
 module Config = Ufork_sas.Config
 
-type t = {
-  kernel : Kernel.t;
-  engine : Engine.t;
-  strategy : Strategy.t;
-}
+type t = { sys : System.t; strategy : Strategy.t }
 
 let boot ?(cores = 4) ?(config = Config.ufork_fast) ?(costs = Costs.ufork)
     ?(strategy = Strategy.Copa) ?(proactive = true) () =
-  let engine = Engine.create ~cores () in
-  let kernel =
-    Kernel.create ~engine ~costs ~config ~multi_address_space:false ()
+  let sys =
+    System.make ~cores ~config ~costs ~multi_address_space:false ()
   in
-  Fork.install ~proactive kernel ~strategy;
-  { kernel; engine; strategy }
+  Fork.install ~proactive (System.kernel sys) ~strategy;
+  { sys; strategy }
 
-let kernel t = t.kernel
-let engine t = t.engine
-let trace t = Kernel.trace t.kernel
+let system t = t.sys
+let kernel t = System.kernel t.sys
+let engine t = System.engine t.sys
+let trace t = System.trace t.sys
 let strategy t = t.strategy
-
-let start t ?affinity ~image main =
-  let u = Kernel.create_uproc t.kernel ~image () in
-  Kernel.map_initial_image t.kernel u;
-  Kernel.spawn_process t.kernel ?affinity u main;
-  u
-
-let run ?until t = Engine.run ?until t.engine
+let start t ?affinity ~image main = System.start t.sys ?affinity ~image main
+let run ?until t = System.run ?until t.sys

@@ -18,6 +18,9 @@ val boot :
 (** Defaults: 4 cores, {!Ufork_sas.Config.ufork_fast},
     {!Ufork_sim.Costs.ufork}, {!Strategy.Copa}. *)
 
+val system : t -> System.t
+(** The underlying {!System.t} (engine + kernel + lifecycle). *)
+
 val kernel : t -> Ufork_sas.Kernel.t
 val engine : t -> Ufork_sim.Engine.t
 

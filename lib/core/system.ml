@@ -1,0 +1,33 @@
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Kernel = Ufork_sas.Kernel
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+
+type t = {
+  kernel : Kernel.t;
+  engine : Engine.t;
+  prepare_image : Image.t -> Image.t;
+}
+
+let make ?(prepare_image = Fun.id) ~cores ~config ~costs ~multi_address_space
+    () =
+  let engine = Engine.create ~cores () in
+  let kernel =
+    Kernel.create ~engine ~costs ~config ~multi_address_space ()
+  in
+  { kernel; engine; prepare_image }
+
+let kernel t = t.kernel
+let engine t = t.engine
+let trace t = Kernel.trace t.kernel
+let meter t = Kernel.meter t.kernel
+let last_fork_latency t = Kernel.last_fork_latency t.kernel
+
+let start t ?affinity ~image main =
+  let u = Kernel.create_uproc t.kernel ~image:(t.prepare_image image) () in
+  Kernel.map_initial_image t.kernel u;
+  Kernel.spawn_process t.kernel ?affinity u main;
+  u
+
+let run ?until t = Engine.run ?until t.engine

@@ -1,0 +1,50 @@
+(** A bootable simulated system, whatever the OS flavour.
+
+    One record ties together the pieces every flavour assembles the same
+    way — a simulated machine ({!Ufork_sim.Engine}), a kernel built from
+    the shared kit ({!Ufork_sas.Kernel}) and an image-preparation step —
+    and owns the boot/start/run lifecycle plus the accessors
+    (kernel/engine/trace/meter/last-fork-latency) that each OS module
+    and the workload driver used to re-implement. The flavour modules
+    ({!Os}, the baselines) wrap a [System.t] and add only their fork
+    policy. *)
+
+type t
+
+val make :
+  ?prepare_image:(Ufork_sas.Image.t -> Ufork_sas.Image.t) ->
+  cores:int ->
+  config:Ufork_sas.Config.t ->
+  costs:Ufork_sim.Costs.t ->
+  multi_address_space:bool ->
+  unit ->
+  t
+(** Assemble engine + kernel. [prepare_image] (default identity) rewrites
+    every image passed to {!start} — the VM-clone baseline uses it to
+    link the unikernel into each application image. Fork/fault hooks are
+    the caller's to install on {!kernel}. *)
+
+val kernel : t -> Ufork_sas.Kernel.t
+val engine : t -> Ufork_sim.Engine.t
+
+val trace : t -> Ufork_sim.Trace.t
+(** The kernel's mechanism-event bus. *)
+
+val meter : t -> Ufork_sim.Meter.t
+(** The bus's derived counter view (read-only). *)
+
+val last_fork_latency : t -> int64
+(** Cycles inside the most recent fork call (0 before the first). *)
+
+val start :
+  t ->
+  ?affinity:int ->
+  image:Ufork_sas.Image.t ->
+  (Ufork_sas.Api.t -> unit) ->
+  Ufork_sas.Uproc.t
+(** Create an initial process from the (prepared) image — mapped image,
+    fresh fd table — and schedule its main thread. Call {!run} to
+    execute. *)
+
+val run : ?until:int64 -> t -> unit
+(** Run the machine until quiescence (or the given simulated time). *)

@@ -47,6 +47,29 @@ let iter_range t ~vpn ~count f =
     | None -> ()
   done
 
+let map_range t ~vpn ~count f =
+  if count < 0 then invalid_arg "Page_table.map_range: negative count";
+  let mapped = ref 0 in
+  for v = vpn to vpn + count - 1 do
+    if not (Hashtbl.mem t.entries v) then
+      match f v with
+      | None -> ()
+      | Some pte ->
+          Hashtbl.replace t.entries v pte;
+          incr mapped
+  done;
+  !mapped
+
+let fold_range t ~vpn ~count ~init ~f =
+  if count < 0 then invalid_arg "Page_table.fold_range: negative count";
+  let acc = ref init in
+  for v = vpn to vpn + count - 1 do
+    match Hashtbl.find_opt t.entries v with
+    | Some pte -> acc := f v pte !acc
+    | None -> ()
+  done;
+  !acc
+
 let mapped_count t = Hashtbl.length t.entries
 
 let fold t ~init ~f =

@@ -41,5 +41,16 @@ val replace_frame : t -> vpn:int -> Phys.frame -> unit
 val iter_range : t -> vpn:int -> count:int -> (int -> Pte.t -> unit) -> unit
 (** Apply to each mapped page in the range, ascending vpn. *)
 
+val map_range : t -> vpn:int -> count:int -> (int -> Pte.t option) -> int
+(** Range fill: for every {e unmapped} vpn in [vpn, vpn+count), ascending,
+    install [f v] if it returns an entry (refcount discipline as {!map}).
+    Already-mapped pages are left untouched (never passed to [f]). Returns
+    how many entries were installed — the batch size callers charge. *)
+
+val fold_range : t -> vpn:int -> count:int -> init:'a -> f:(int -> Pte.t -> 'a -> 'a) -> 'a
+(** Fold over each mapped page in [vpn, vpn+count), ascending vpn. Unlike
+    {!fold} this never sorts the whole table: cost is proportional to the
+    range, not the table size. *)
+
 val mapped_count : t -> int
 val fold : t -> init:'a -> f:(int -> Pte.t -> 'a -> 'a) -> 'a

@@ -16,6 +16,12 @@ module Trace = Ufork_sim.Trace
 let kernel_region_bytes = 64 * 1024 * 1024
 let user_arena_base = kernel_region_bytes
 
+(* Sorted interval index over live+zombie μprocess areas: base → entries.
+   Live areas are disjoint in a single address space, so the predecessor
+   query answers containment in O(log areas); multi-AS kernels stack every
+   process at [user_arena_base], hence a list per base. *)
+module Area_index = Map.Make (Int)
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
@@ -33,7 +39,8 @@ type t = {
   mutable free_areas : (int * int) list; (* (base, bytes) of reaped areas *)
   mutable fork_hook : (Uproc.t -> (Api.t -> unit) -> int) option;
   mutable fault_hook : (Uproc.t -> addr:int -> access:Vas.access -> unit) option;
-  mutable areas : (int * int * int) list; (* (base, bytes, pid), live+zombie *)
+  mutable areas : (int * int) list Area_index.t;
+      (* base → (bytes, pid) entries, live+zombie, newest first *)
   shms : (string, Phys.frame array) Hashtbl.t; (* named shared memory *)
   libs : (string, Phys.frame array) Hashtbl.t; (* shared library text *)
   aslr : Ufork_util.Prng.t option;
@@ -74,7 +81,7 @@ let create ~engine ~costs ~config ~multi_address_space () =
     free_areas = [];
     fork_hook = None;
     fault_hook = None;
-    areas = [];
+    areas = Area_index.empty;
     shms = Hashtbl.create 8;
     libs = Hashtbl.create 8;
     aslr =
@@ -111,6 +118,17 @@ let fresh_frame t u =
   emit ~proc:u t (Event.Page_alloc 1);
   account_private t u ~bytes:Addr.page_size;
   Phys.alloc t.phys
+
+(* Batched allocation: one [Page_alloc n] emission and one accounting
+   update stand for [n] per-page calls — identical cycles and counts
+   (the cost is linear in [n]), far fewer trace records. *)
+let fresh_frames t u n =
+  if n <= 0 then []
+  else begin
+    emit ~proc:u t (Event.Page_alloc n);
+    account_private t u ~bytes:(n * Addr.page_size);
+    List.init n (fun _ -> Phys.alloc t.phys)
+  end
 
 (* {1 Areas} *)
 
@@ -192,14 +210,24 @@ let create_uproc t ?parent ?fds ~image () =
   | Some p -> p.Uproc.children <- pid :: p.Uproc.children
   | None -> ());
   Hashtbl.replace t.procs pid u;
-  t.areas <- (area_base, Image.area_bytes image, pid) :: t.areas;
+  (let entry = (Image.area_bytes image, pid) in
+   t.areas <-
+     Area_index.update area_base
+       (function None -> Some [ entry ] | Some es -> Some (entry :: es))
+       t.areas);
   u
 
 let find_area_of_addr t addr =
-  List.find_map
-    (fun (base, bytes, _pid) ->
-      if addr >= base && addr < base + bytes then Some (base, bytes) else None)
-    t.areas
+  (* Predecessor query on the sorted index: only the area with the
+     greatest base ≤ addr can contain it (areas are disjoint; multi-AS
+     stacks share one base and sit in that key's entry list). *)
+  match Area_index.find_last_opt (fun base -> base <= addr) t.areas with
+  | None -> None
+  | Some (base, entries) ->
+      List.find_map
+        (fun (bytes, _pid) ->
+          if addr < base + bytes then Some (base, bytes) else None)
+        entries
 
 let find_uproc t pid = Hashtbl.find_opt t.procs pid
 
@@ -213,12 +241,16 @@ let map_zero_pages t u ~base ~bytes ?(read = true) ?(write = true)
     ?(exec = false) () =
   let pages = Addr.bytes_to_pages bytes in
   let vpn0 = Addr.vpn_of_addr base in
-  for v = vpn0 to vpn0 + pages - 1 do
-    if not (Page_table.is_mapped u.Uproc.pt ~vpn:v) then begin
-      let frame = fresh_frame t u in
-      Page_table.map u.Uproc.pt ~vpn:v (Pte.make ~read ~write ~exec frame)
-    end
-  done
+  let mapped =
+    Page_table.map_range u.Uproc.pt ~vpn:vpn0 ~count:pages (fun _v ->
+        Some (Pte.make ~read ~write ~exec (Phys.alloc t.phys)))
+  in
+  (* One batched charge for the whole range (same cycles and counts as the
+     old per-page loop: page_alloc cost is linear). *)
+  if mapped > 0 then begin
+    emit ~proc:u t (Event.Page_alloc mapped);
+    account_private t u ~bytes:(mapped * Addr.page_size)
+  end
 
 let map_initial_image t u =
   let r = u.Uproc.regions in
@@ -485,7 +517,16 @@ let reap t (u : Uproc.t) (child : Uproc.t) =
   let count = Addr.bytes_to_pages child.Uproc.area_bytes in
   Page_table.unmap_range child.Uproc.pt ~vpn:vpn0 ~count;
   t.areas <-
-    List.filter (fun (_, _, pid) -> pid <> child.Uproc.pid) t.areas;
+    Area_index.update child.Uproc.area_base
+      (function
+        | None -> None
+        | Some es -> (
+            match
+              List.filter (fun (_, pid) -> pid <> child.Uproc.pid) es
+            with
+            | [] -> None
+            | es -> Some es))
+      t.areas;
   if not t.multi_as then
     t.free_areas <-
       (child.Uproc.area_base, child.Uproc.area_bytes) :: t.free_areas
@@ -620,12 +661,12 @@ let map_named_segment t (u : Uproc.t) ~table ~name ~bytes ~writable ~exec =
   in
   let base = Addr.align_up block.Tinyalloc.addr Addr.page_size in
   let vpn0 = Addr.vpn_of_addr base in
+  emit ~proc:u t (Event.Pte_copy (Array.length frames));
   Array.iteri
     (fun i frame ->
       let vpn = vpn0 + i in
       if Page_table.is_mapped u.Uproc.pt ~vpn then
         Page_table.unmap u.Uproc.pt ~vpn;
-      emit ~proc:u t Event.Pte_copy;
       Page_table.map_shared u.Uproc.pt ~vpn
         (Pte.make ~read:true ~write:writable ~exec ~share:Pte.Shm_shared frame))
     frames;
@@ -858,7 +899,14 @@ let fold_uprocs t ~init ~f =
 
 let iter_uprocs t f = fold_uprocs t ~init:() ~f:(fun () u -> f u)
 
-let areas t = t.areas
+let areas t =
+  Area_index.fold
+    (fun base entries acc ->
+      List.fold_left
+        (fun acc (bytes, pid) -> (base, bytes, pid) :: acc)
+        acc entries)
+    t.areas []
+  |> List.rev
 
 let named_segment_frames t =
   let collect prefix table acc =
@@ -872,5 +920,8 @@ let named_segment_frames t =
 let arena_span t = t.next_area - user_arena_base
 
 let live_area_bytes t =
-  List.fold_left (fun acc (_, bytes, _) -> acc + bytes) 0 t.areas
+  Area_index.fold
+    (fun _base entries acc ->
+      List.fold_left (fun acc (bytes, _) -> acc + bytes) acc entries)
+    t.areas 0
 let pp_meter ppf t = Meter.pp ppf (Trace.meter t.trace)

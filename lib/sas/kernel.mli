@@ -94,7 +94,9 @@ val live_process_count : t -> int
 val find_area_of_addr : t -> int -> (int * int) option
 (** The (base, bytes) of the live-or-zombie μprocess area containing an
     address; [None] once the owner has been reaped (a capability into it is
-    dangling and must not be relocated — its tag is cleared instead). *)
+    dangling and must not be relocated — its tag is cleared instead).
+    O(log areas): a predecessor query on a sorted interval index, not a
+    scan of the live-area list. *)
 
 (** {1 Kernel internals exposed to fork implementations} *)
 
@@ -108,6 +110,11 @@ val alloc_area : t -> bytes_needed:int -> int
 val fresh_frame : t -> Uproc.t -> Ufork_mem.Phys.frame
 (** Allocate a physical frame, charging [page_alloc] and attributing the
     memory to the process. *)
+
+val fresh_frames : t -> Uproc.t -> int -> Ufork_mem.Phys.frame list
+(** Allocate [n] frames with one batched [Page_alloc n] charge and one
+    accounting update — same cycles and counts as [n] {!fresh_frame}
+    calls (the cost is linear), one trace record. [n <= 0] is a no-op. *)
 
 val account_private : t -> Uproc.t -> bytes:int -> unit
 
@@ -206,7 +213,7 @@ val iter_uprocs : t -> (Uproc.t -> unit) -> unit
 
 val areas : t -> (int * int * int) list
 (** The [(base, bytes, pid)] areas of live and zombie processes (reaped
-    areas leave this list and become reusable holes). *)
+    areas leave this list and become reusable holes), sorted by base. *)
 
 val named_segment_frames : t -> (string * Ufork_mem.Phys.frame array) list
 (** The frames backing named shared-memory segments (["shm:<name>"]) and

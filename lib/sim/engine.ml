@@ -94,6 +94,7 @@ type _ Effect.t +=
   | Get_time : int64 Effect.t
   | Get_tid : tid Effect.t
   | Get_core : int Effect.t
+  | Get_name : string Effect.t
 
 let create ?(cores = 4) () =
   if cores <= 0 then invalid_arg "Engine.create: cores <= 0";
@@ -190,43 +191,45 @@ let exec t core thread resume =
                   Some
                     (fun k ->
                       Effect.Deep.continue k (occupied_core thread).index)
+              | Get_name -> Some (fun k -> Effect.Deep.continue k thread.name)
               | _ -> None);
         }
 
+let find_idle_core t affinity =
+  match affinity with
+  | Some a ->
+      let c = t.core_array.(a) in
+      if c.busy then None else Some c
+  | None ->
+      let n = Array.length t.core_array in
+      let rec go i =
+        if i >= n then None
+        else if not t.core_array.(i).busy then Some t.core_array.(i)
+        else go (i + 1)
+      in
+      go 0
+
 (* Dispatch ready threads to idle cores (FIFO, lowest-numbered compatible
-   idle core first). *)
+   idle core first). Single pass over the queue per round: each entry is
+   popped once and either executed or requeued in order. Continuing the
+   pass after an exec cannot starve an earlier skipped entry: exec only
+   ever occupies (and possibly hands back) a core that was already idle
+   when the earlier entry was skipped — so that core was incompatible with
+   it then and still is. A round that dispatched anything is followed by
+   another, which picks up threads the execs made ready. *)
 let dispatch t =
   let progress = ref true in
   while !progress do
     progress := false;
-    let idle =
-      Array.to_list t.core_array |> List.filter (fun c -> not c.busy)
-    in
-    if idle <> [] && not (Queue.is_empty t.ready) then begin
-      let n = Queue.length t.ready in
-      let picked = ref None in
-      let rest = Queue.create () in
-      for _ = 1 to n do
-        let ((thread, _) as entry) = Queue.pop t.ready in
-        match !picked with
-        | Some _ -> Queue.push entry rest
-        | None -> (
-            let compatible =
-              match thread.affinity with
-              | None -> List.nth_opt idle 0
-              | Some a -> List.find_opt (fun c -> c.index = a) idle
-            in
-            match compatible with
-            | Some core -> picked := Some (core, entry)
-            | None -> Queue.push entry rest)
-      done;
-      Queue.transfer rest t.ready;
-      match !picked with
-      | Some (core, (thread, resume)) ->
+    let n = Queue.length t.ready in
+    for _ = 1 to n do
+      let ((thread, resume) as entry) = Queue.pop t.ready in
+      match find_idle_core t thread.affinity with
+      | Some core ->
           exec t core thread resume;
           progress := true
-      | None -> ()
-    end
+      | None -> Queue.push entry t.ready
+    done
   done
 
 let enqueue_new t ?name ?affinity body =
@@ -235,7 +238,6 @@ let enqueue_new t ?name ?affinity body =
     match name with Some n -> n | None -> Printf.sprintf "t%d" t.next_tid
   in
   let thread = { tid = t.next_tid; name; affinity; finished = false; cur_core = None } in
-  ignore thread.name;
   t.live <- t.live + 1;
   Queue.push (thread, Start body) t.ready;
   thread.tid
@@ -273,6 +275,7 @@ let suspend register = Effect.perform (Suspend register)
 let current_time () = Effect.perform Get_time
 let current_tid () = Effect.perform Get_tid
 let current_core () = Effect.perform Get_core
+let current_name () = Effect.perform Get_name
 
 let waker_pending w = w.target <> None
 

@@ -64,6 +64,10 @@ val current_time : unit -> int64
 val current_tid : unit -> tid
 val current_core : unit -> int
 
+val current_name : unit -> string
+(** The current thread's name ([spawn]'s [?name], or ["t<tid>"] when none
+    was given). Trace records carry it so exports can label lanes. *)
+
 type waker
 (** One-shot handle that makes a suspended thread runnable again. *)
 

@@ -19,11 +19,11 @@ type t =
   | Exit
   | Kill
   | Domain_create
-  | Pte_copy
+  | Pte_copy of int
   | Pte_protect
   | Tlb_shootdown
   | Page_alloc of int
-  | Page_copy_eager
+  | Page_copy_eager of int
   | Page_copy_child
   | Page_copy_cow
   | Claim_in_place
@@ -62,11 +62,11 @@ let to_key = function
   | Exit -> "exit"
   | Kill -> "kill"
   | Domain_create -> "domain_create"
-  | Pte_copy -> "pte_copy"
+  | Pte_copy _ -> "pte_copy"
   | Pte_protect -> "pte_protect"
   | Tlb_shootdown -> "tlb_shootdown"
   | Page_alloc _ -> "page_alloc"
-  | Page_copy_eager -> "page_copy_eager"
+  | Page_copy_eager _ -> "page_copy_eager"
   | Page_copy_child -> "page_copy_child"
   | Page_copy_cow -> "page_copy_cow"
   | Claim_in_place -> "claim_in_place"
@@ -86,13 +86,14 @@ let to_key = function
 
 let count = function
   | Copy_bytes n | Toctou_bytes n | Page_alloc n | Granule_scan n
-  | Cap_relocate n | Toctou_revalidate n | Arena_pretouch n ->
+  | Cap_relocate n | Toctou_revalidate n | Arena_pretouch n | Pte_copy n
+  | Page_copy_eager n ->
       n
   | Syscall _ | Entry_validation _ | Toctou_setup | Context_switch
   | Address_space_switch | Page_fault | Soft_fault | Demand_zero
   | Cow_write_fault | Copa_write_fault | Copa_cap_load_fault
   | Coa_access_fault | Fork_fixed | Spawn | Thread_create | Exit | Kill
-  | Domain_create | Pte_copy | Pte_protect | Tlb_shootdown | Page_copy_eager
+  | Domain_create | Pte_protect | Tlb_shootdown
   | Page_copy_child | Page_copy_cow | Claim_in_place | Cow_claim_in_place
   | Shm_share | Malloc | Free | File_op | Pipe_op | Shm_open | Map_library
   | Compute _ ->
@@ -126,13 +127,14 @@ let cost ~(costs : Costs.t) = function
   | Exit -> costs.Costs.exit_fixed
   | Kill -> kill_cycles
   | Domain_create -> costs.Costs.domain_create
-  | Pte_copy -> costs.Costs.pte_copy
+  | Pte_copy n -> Int64.mul costs.Costs.pte_copy (Int64.of_int n)
   | Pte_protect -> costs.Costs.pte_protect
   (* Protocol marker: the flush batch closing a downgrade sequence. The
      cycles live on the Pte_protect/Pte_copy entries themselves. *)
   | Tlb_shootdown -> 0L
   | Page_alloc n -> Int64.mul costs.Costs.page_alloc (Int64.of_int n)
-  | Page_copy_eager | Page_copy_child | Page_copy_cow -> costs.Costs.page_copy
+  | Page_copy_eager n -> Int64.mul costs.Costs.page_copy (Int64.of_int n)
+  | Page_copy_child | Page_copy_cow -> costs.Costs.page_copy
   | Claim_in_place | Cow_claim_in_place | Shm_share -> 0L
   | Granule_scan n -> Int64.mul costs.Costs.granule_scan (Int64.of_int n)
   | Cap_relocate n -> Int64.mul costs.Costs.cap_relocate (Int64.of_int n)
@@ -157,13 +159,15 @@ let linear_unit ~(costs : Costs.t) event =
   | Page_alloc _ -> Some costs.Costs.page_alloc
   | Granule_scan _ -> Some costs.Costs.granule_scan
   | Cap_relocate _ -> Some costs.Costs.cap_relocate
+  | Pte_copy _ -> Some costs.Costs.pte_copy
+  | Page_copy_eager _ -> Some costs.Costs.page_copy
   | Arena_pretouch _ -> Some 0L
   | e -> Some (cost ~costs e)
 
 (* Counter keys callers read back by name. Deriving them from [to_key]
    keeps the string in exactly one place. *)
 let fault_key = to_key Page_fault
-let pte_copy_key = to_key Pte_copy
+let pte_copy_key = to_key (Pte_copy 1)
 
 let pp ppf e =
   match count e with
@@ -209,11 +213,11 @@ let samples =
     Exit;
     Kill;
     Domain_create;
-    Pte_copy;
+    Pte_copy 1;
     Pte_protect;
     Tlb_shootdown;
     Page_alloc 1;
-    Page_copy_eager;
+    Page_copy_eager 1;
     Page_copy_child;
     Page_copy_cow;
     Claim_in_place;

@@ -51,7 +51,11 @@ type t =
   | Kill
   | Domain_create  (** Nephele VM-clone domain creation. *)
   (* Page tables and page movement. *)
-  | Pte_copy
+  | Pte_copy of int
+      (** [n] page-table entries installed/duplicated at fork or mapping
+          time. Batched emission: one record for a whole range charges
+          exactly [n] times the per-entry cost, so cycle totals and meter
+          counts are independent of the batch split. *)
   | Pte_protect
   | Tlb_shootdown
       (** The flush/shootdown batch closing a sequence of PTE permission
@@ -60,7 +64,9 @@ type t =
           be relied upon. Zero direct cost (a protocol marker, like the
           fault classifiers); the linter checks its ordering. *)
   | Page_alloc of int  (** [n] fresh physical frames. *)
-  | Page_copy_eager  (** Eager 4 KiB copy at fork (proactive or full). *)
+  | Page_copy_eager of int
+      (** [n] eager 4 KiB copies at fork (proactive or full); batched like
+          {!Pte_copy}. *)
   | Page_copy_child  (** Fault-driven copy into the child (CoA/CoPA). *)
   | Page_copy_cow  (** Parent-side CoW copy. *)
   | Claim_in_place
@@ -94,7 +100,8 @@ val to_key : t -> string
 val count : t -> int
 (** Units represented by one emission: the payload for [Page_alloc],
     [Copy_bytes], [Toctou_bytes], [Granule_scan], [Cap_relocate],
-    [Toctou_revalidate] and [Arena_pretouch]; 1 otherwise. *)
+    [Toctou_revalidate], [Arena_pretouch], [Pte_copy] and
+    [Page_copy_eager]; 1 otherwise. *)
 
 val cost : costs:Costs.t -> t -> int64
 (** Simulated cycles one emission charges under the preset. *)
@@ -110,7 +117,7 @@ val fault_key : string
     from the {!Meter} view instead of hard-coding ["fault"]. *)
 
 val pte_copy_key : string
-(** [to_key Pte_copy], likewise. *)
+(** [to_key (Pte_copy 1)], likewise. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -2,6 +2,7 @@ type record = {
   t : int64;
   core : int;
   tid : int;
+  name : string;
   pid : int;
   event : Event.t;
   cycles : int64;
@@ -113,11 +114,17 @@ let emit t ?(pid = -1) event =
       | c -> c
       | exception Effect.Unhandled _ -> -1
     in
+    let name =
+      match Engine.current_name () with
+      | n -> n
+      | exception Effect.Unhandled _ -> ""
+    in
     push t
       {
         t = Engine.now t.engine;
         core;
         tid;
+        name;
         pid;
         event;
         cycles = (if charged then cost else 0L);
@@ -158,8 +165,10 @@ let reset t =
   t.dropped <- 0
 
 let record_to_json r =
-  Printf.sprintf "{\"t\":%Ld,\"core\":%d,\"tid\":%d,\"pid\":%d,\"event\":%s,\"cycles\":%Ld}"
-    r.t r.core r.tid r.pid (Event.to_json r.event) r.cycles
+  Printf.sprintf
+    "{\"t\":%Ld,\"core\":%d,\"tid\":%d,\"name\":\"%s\",\"pid\":%d,\"event\":%s,\"cycles\":%Ld}"
+    r.t r.core r.tid (Event.json_escape r.name) r.pid (Event.to_json r.event)
+    r.cycles
 
 let to_jsonl_string t =
   let b = Buffer.create 4096 in
@@ -174,17 +183,34 @@ let chrome_of_records recs =
   let us cycles = Ufork_util.Units.us_of_cycles cycles in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_char b ',';
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ','
+  in
+  (* Lanes are simulated threads; name each lane once via the Chrome
+     "thread_name" metadata event so the viewer shows e.g. "redis.1"
+     instead of a bare tid. *)
+  let named = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let pid = if r.pid >= 0 then r.pid else 0 in
+      let tid = if r.tid >= 0 then r.tid else 0 in
+      if r.name <> "" && not (Hashtbl.mem named (pid, tid)) then begin
+        Hashtbl.add named (pid, tid) ();
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             pid tid
+             (Event.json_escape r.name))
+      end;
+      sep ();
       Buffer.add_string b
         (Printf.sprintf
-           "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"n\":%d,\"cycles\":%Ld,\"sim_pid\":%d,\"sim_tid\":%d}}"
+           "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"n\":%d,\"cycles\":%Ld,\"core\":%d,\"sim_pid\":%d,\"sim_tid\":%d}}"
            (Event.json_escape (Event.to_key r.event))
-           (us r.t) (us r.cycles)
-           (if r.pid >= 0 then r.pid else 0)
-           (if r.core >= 0 then r.core else 0)
-           (Event.count r.event) r.cycles r.pid r.tid))
+           (us r.t) (us r.cycles) pid tid (Event.count r.event) r.cycles
+           r.core r.pid r.tid))
     recs;
   Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
   Buffer.contents b

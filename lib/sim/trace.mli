@@ -63,6 +63,7 @@ type record = {
   t : int64;  (** Simulated time at emission, cycles. *)
   core : int;  (** Executing core, [-1] outside an engine thread. *)
   tid : int;  (** Engine thread id, [-1] outside an engine thread. *)
+  name : string;  (** Engine thread name, [""] outside an engine thread. *)
   pid : int;  (** μprocess id, [-1] when not applicable. *)
   event : Event.t;
   cycles : int64;  (** Cycles this emission charged. *)
@@ -80,7 +81,7 @@ val reset : t -> unit
 
 val record_to_json : record -> string
 (** One JSONL line (no trailing newline):
-    [{"t":..,"core":..,"tid":..,"pid":..,"event":{..},"cycles":..}]. *)
+    [{"t":..,"core":..,"tid":..,"name":..,"pid":..,"event":{..},"cycles":..}]. *)
 
 val to_jsonl_string : t -> string
 (** All buffered records, one JSON object per line. *)
@@ -88,7 +89,9 @@ val to_jsonl_string : t -> string
 val chrome_of_records : record list -> string
 (** Chrome trace-event JSON ([about:tracing] / Perfetto): one complete
     ("ph":"X") event per record, timestamps in microseconds at the
-    simulated 2.5 GHz clock, cores as Chrome "tids". *)
+    simulated 2.5 GHz clock. Lanes are simulated threads (Chrome "tid" =
+    engine tid), labelled with their thread names via "thread_name"
+    metadata events; the executing core rides along in [args]. *)
 
 exception Audit_failure of string
 

@@ -10,6 +10,7 @@ module Kernel = Ufork_sas.Kernel
 module Vfs = Ufork_sas.Vfs
 module Fdesc = Ufork_sas.Fdesc
 module Strategy = Ufork_core.Strategy
+module System = Ufork_core.System
 module Os = Ufork_core.Os
 module Monolithic = Ufork_baselines.Monolithic
 module Vmclone = Ufork_baselines.Vmclone
@@ -110,57 +111,38 @@ let finish_run b =
   Checker.assert_safe b.kernel;
   flush_trace ()
 
+(* Every flavour boots down to the same {!Ufork_core.System.t}; the
+   uniform interface is one projection, not five hand-rolled records. *)
+let booted_of_system sys =
+  {
+    kernel = System.kernel sys;
+    engine = System.engine sys;
+    start = (fun ?affinity ~image main -> System.start sys ?affinity ~image main);
+    run = (fun ?until () -> System.run ?until sys);
+  }
+
 let boot_raw ~cores ?config system =
-  match system with
-  | Ufork strategy ->
-      let config = Option.value config ~default:Config.ufork_fast in
-      let os = Os.boot ~cores ~config ~strategy () in
-      {
-        kernel = Os.kernel os;
-        engine = Os.engine os;
-        start = (fun ?affinity ~image main -> Os.start os ?affinity ~image main);
-        run = (fun ?until () -> Os.run ?until os);
-      }
-  | Ufork_toctou strategy ->
-      let config = Option.value config ~default:Config.ufork_default in
-      let os = Os.boot ~cores ~config ~strategy () in
-      {
-        kernel = Os.kernel os;
-        engine = Os.engine os;
-        start = (fun ?affinity ~image main -> Os.start os ?affinity ~image main);
-        run = (fun ?until () -> Os.run ?until os);
-      }
-  | Cheribsd ->
-      let os = Monolithic.boot ~cores ?config () in
-      {
-        kernel = Monolithic.kernel os;
-        engine = Monolithic.engine os;
-        start =
-          (fun ?affinity ~image main -> Monolithic.start os ?affinity ~image main);
-        run = (fun ?until () -> Monolithic.run ?until os);
-      }
-  | Linux_ref ->
-      let os =
-        Monolithic.boot ~cores
-          ~config:(Option.value config ~default:Config.linux_default)
-          ~costs:Costs.linux_ref ()
-      in
-      {
-        kernel = Monolithic.kernel os;
-        engine = Monolithic.engine os;
-        start =
-          (fun ?affinity ~image main -> Monolithic.start os ?affinity ~image main);
-        run = (fun ?until () -> Monolithic.run ?until os);
-      }
-  | Nephele ->
-      let os = Vmclone.boot ~cores ?config () in
-      {
-        kernel = Vmclone.kernel os;
-        engine = Vmclone.engine os;
-        start =
-          (fun ?affinity ~image main -> Vmclone.start os ?affinity ~image main);
-        run = (fun ?until () -> Vmclone.run ?until os);
-      }
+  let sys =
+    match system with
+    | Ufork strategy ->
+        Os.system
+          (Os.boot ~cores
+             ~config:(Option.value config ~default:Config.ufork_fast)
+             ~strategy ())
+    | Ufork_toctou strategy ->
+        Os.system
+          (Os.boot ~cores
+             ~config:(Option.value config ~default:Config.ufork_default)
+             ~strategy ())
+    | Cheribsd -> Monolithic.system (Monolithic.boot ~cores ?config ())
+    | Linux_ref ->
+        Monolithic.system
+          (Monolithic.boot ~cores
+             ~config:(Option.value config ~default:Config.linux_default)
+             ~costs:Costs.linux_ref ())
+    | Nephele -> Vmclone.system (Vmclone.boot ~cores ?config ())
+  in
+  booted_of_system sys
 
 let boot ?(cores = 4) ?config system =
   let cores = Option.value !default_cores ~default:cores in

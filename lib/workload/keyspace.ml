@@ -31,3 +31,5 @@ let db_sizes_of_paper =
     ("10 MB", 100, 100 * 1024);
     ("100 MB", 1000, 100 * 1024);
   ]
+
+let db_sizes_extended = db_sizes_of_paper @ [ ("1 GB", 10_000, 100 * 1024) ]

@@ -22,3 +22,8 @@ val expected_entries :
 val db_sizes_of_paper : (string * int * int) list
 (** Fig. 3–5 sweep: (label, entries, value_len) from 100 KB to 100 MB of
     100 KB entries. *)
+
+val db_sizes_extended : (string * int * int) list
+(** {!db_sizes_of_paper} plus a 1 GB point. Affordable since fork-time
+    page-range work charges one batched trace record per region instead
+    of ~25k singletons per 100 MB. *)

@@ -1,0 +1,153 @@
+(* Golden-trace regression for the System/Fork_spine/Memops refactor.
+
+   The refactor batches fork-time page-range events (one [Pte_copy n]
+   per region instead of n singletons) and reorders event-silent steps,
+   but must leave the *accounting* bit-identical: every meter counter
+   and the engine's total advanced cycles must match pre-refactor
+   recordings exactly.
+
+   The expected values live in golden/golden_seed.txt, recorded from the
+   seed tree (commit 52edf5c) by golden/golden_dump.exe. Regenerate the
+   file with that tool only for an *intentional* accounting change, and
+   say so in the commit message. *)
+
+module Engine = Ufork_sim.Engine
+module Meter = Ufork_sim.Meter
+module Trace = Ufork_sim.Trace
+module Kernel = Ufork_sas.Kernel
+module Config = Ufork_sas.Config
+module Image = Ufork_sas.Image
+module Strategy = Ufork_core.Strategy
+module Os = Ufork_core.Os
+module System = Ufork_core.System
+module Monolithic = Ufork_baselines.Monolithic
+module Vmclone = Ufork_baselines.Vmclone
+module Hello = Ufork_apps.Hello
+module Kvstore = Ufork_apps.Kvstore
+module Rdb = Ufork_apps.Rdb
+module Keyspace = Ufork_workload.Keyspace
+module Checker = Ufork_analysis.Checker
+module Lint = Ufork_analysis.Lint
+module Invariant = Ufork_analysis.Invariant
+
+let boot = function
+  | "ufork-copa" ->
+      Os.system
+        (Os.boot ~cores:4 ~config:Config.ufork_fast ~strategy:Strategy.Copa ())
+  | "cheribsd" -> Monolithic.system (Monolithic.boot ~cores:4 ())
+  | "nephele" -> Vmclone.system (Vmclone.boot ~cores:4 ())
+  | s -> invalid_arg s
+
+(* Audit the bus, sweep machine state, and lint the recorded protocol:
+   the golden comparison is only meaningful on a machine that is itself
+   clean. *)
+let finish sys =
+  let k = System.kernel sys in
+  Trace.audit (Kernel.trace k) ~costs:(Kernel.costs k)
+    ~elapsed:(Engine.advanced (System.engine sys));
+  Checker.assert_safe k;
+  match Lint.of_trace (Kernel.trace k) with
+  | [] -> ()
+  | vs -> Alcotest.failf "lint violations:\n%s" (Invariant.report vs)
+
+let dump_lines label sys =
+  Printf.sprintf "SCENARIO %s" label
+  :: Printf.sprintf "advanced %Ld" (Engine.advanced (System.engine sys))
+  :: Printf.sprintf "charged %Ld"
+       (Trace.total_charged (System.trace sys))
+  :: List.map
+       (fun (k, v) -> Printf.sprintf "METER %s %d" k v)
+       (Meter.to_list (System.meter sys))
+
+let hello label =
+  let sys = boot label in
+  Trace.set_recording (System.trace sys) true;
+  ignore
+    (System.start sys ~image:Image.hello (fun api ->
+         ignore (Hello.fork_once api);
+         Hello.reap api));
+  System.run sys;
+  finish sys;
+  dump_lines ("hello/" ^ label) sys
+
+let redis label =
+  let entries = 100 and value_len = 100 * 1024 in
+  let db_bytes = entries * value_len in
+  let heap_bytes = max (4 * 1024 * 1024) (db_bytes * 137 / 100) in
+  let sys = boot label in
+  Trace.set_recording (System.trace sys) true;
+  let result = ref None in
+  ignore
+    (System.start sys ~image:(Image.redis ~heap_bytes) (fun api ->
+         let store = Kvstore.create api ~buckets:1024 () in
+         Keyspace.populate store ~entries ~value_len ~seed:0x5eedL;
+         result := Some (Rdb.bgsave api store ~path:"/dump.rdb")));
+  System.run sys;
+  finish sys;
+  Alcotest.(check bool) "bgsave completed" true (!result <> None);
+  dump_lines ("redis10mb/" ^ label) sys
+
+(* golden/golden_seed.txt parsed into scenario -> expected lines
+   (each block includes its own SCENARIO header line). *)
+let golden_path = "../golden/golden_seed.txt"
+
+let expected_scenarios =
+  lazy
+    (let ic = open_in golden_path in
+     let lines = ref [] in
+     (try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> close_in ic);
+     let blocks = ref [] and current = ref [] in
+     let flush () =
+       match List.rev !current with
+       | [] -> ()
+       | header :: _ as block ->
+           blocks :=
+             (String.sub header 9 (String.length header - 9), block) :: !blocks
+     in
+     List.iter
+       (fun line ->
+         if String.length line > 9 && String.sub line 0 9 = "SCENARIO " then (
+           flush ();
+           current := [ line ])
+         else if !current <> [] then current := line :: !current)
+       (List.rev !lines);
+     flush ();
+     List.rev !blocks)
+
+let check_scenario scenario run () =
+  let expected =
+    match List.assoc_opt scenario (Lazy.force expected_scenarios) with
+    | Some lines -> lines
+    | None -> Alcotest.failf "scenario %s missing from %s" scenario golden_path
+  in
+  Alcotest.(check (list string)) scenario expected (run ())
+
+let scenarios =
+  [
+    ("hello/ufork-copa", fun () -> hello "ufork-copa");
+    ("hello/cheribsd", fun () -> hello "cheribsd");
+    ("hello/nephele", fun () -> hello "nephele");
+    ("redis10mb/ufork-copa", fun () -> redis "ufork-copa");
+    ("redis10mb/cheribsd", fun () -> redis "cheribsd");
+    ("redis10mb/nephele", fun () -> redis "nephele");
+  ]
+
+(* Every block in the recording must have a live check — a scenario
+   silently dropped from this file would hollow out the regression. *)
+let covers_recording () =
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name scenarios) then
+        Alcotest.failf "recorded scenario %s has no golden test" name)
+    (Lazy.force expected_scenarios)
+
+let suite =
+  List.map
+    (fun (name, run) ->
+      Alcotest.test_case name `Slow (check_scenario name run))
+    scenarios
+  @ [ Alcotest.test_case "recording fully covered" `Quick covers_recording ]

@@ -13,4 +13,5 @@ let () =
       ("properties", Test_props.suite);
       ("analysis", Test_analysis.suite);
       ("integration", Test_integration.suite);
+      ("golden", Test_golden.suite);
     ]

@@ -272,6 +272,99 @@ let test_pt_shared_alias_counts () =
   Page_table.unmap pt ~vpn:4;
   Alcotest.(check int) "freed with last alias" 0 (Phys.frames_in_use phys)
 
+let test_pt_map_range () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  (* Pre-existing mappings survive a range fill untouched. *)
+  let keep = Phys.alloc phys in
+  Page_table.map pt ~vpn:3 (Pte.make keep);
+  let offered = ref [] in
+  let installed =
+    Page_table.map_range pt ~vpn:1 ~count:5 (fun v ->
+        offered := v :: !offered;
+        if v = 4 then None else Some (Pte.make (Phys.alloc phys)))
+  in
+  Alcotest.(check int) "installed = offered minus declined" 3 installed;
+  (* vpn 3 was already mapped: never passed to f. *)
+  Alcotest.(check (list int)) "holes offered ascending" [ 1; 2; 4; 5 ]
+    (List.rev !offered);
+  Alcotest.(check bool) "declined vpn stays unmapped" false
+    (Page_table.is_mapped pt ~vpn:4);
+  (match Page_table.lookup pt ~vpn:3 with
+  | Some pte ->
+      Alcotest.(check int) "existing frame kept" (Phys.id keep)
+        (Phys.id pte.Pte.frame)
+  | None -> Alcotest.fail "vpn 3 lost");
+  Alcotest.(check int) "refcount discipline" 4 (Phys.frames_in_use phys)
+
+let test_pt_fold_range () =
+  let phys = Phys.create () in
+  let pt = Page_table.create phys in
+  List.iter
+    (fun v -> Page_table.map pt ~vpn:v (Pte.make (Phys.alloc phys)))
+    [ 2; 3; 5; 40 ];
+  let seen =
+    Page_table.fold_range pt ~vpn:0 ~count:10 ~init:[] ~f:(fun v _ acc ->
+        v :: acc)
+  in
+  Alcotest.(check (list int)) "ascending, holes skipped, range bounded"
+    [ 2; 3; 5 ] (List.rev seen);
+  Alcotest.(check int) "empty range" 0
+    (Page_table.fold_range pt ~vpn:6 ~count:30 ~init:0 ~f:(fun _ _ n -> n + 1))
+
+(* map_range over a random hole pattern agrees with per-vpn map: same
+   final mapped set, and the return value counts exactly the holes. *)
+let prop_pt_map_range_fills_holes =
+  QCheck.Test.make ~name:"map_range fills exactly the holes" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 12) (int_range 0 15)) (int_range 0 8))
+    (fun (pre, vpn0) ->
+      let count = 8 in
+      let phys = Phys.create () in
+      let pt = Page_table.create phys in
+      List.iter
+        (fun v ->
+          if not (Page_table.is_mapped pt ~vpn:v) then
+            Page_table.map pt ~vpn:v (Pte.make (Phys.alloc phys)))
+        pre;
+      let before = Page_table.mapped_count pt in
+      let holes =
+        List.filter
+          (fun v -> not (Page_table.is_mapped pt ~vpn:v))
+          (List.init count (fun i -> vpn0 + i))
+      in
+      let installed =
+        Page_table.map_range pt ~vpn:vpn0 ~count (fun _ ->
+            Some (Pte.make (Phys.alloc phys)))
+      in
+      installed = List.length holes
+      && Page_table.mapped_count pt = before + installed
+      && List.for_all (fun v -> Page_table.is_mapped pt ~vpn:v) holes)
+
+(* fold_range is fold restricted to the window. *)
+let prop_pt_fold_range_matches_fold =
+  QCheck.Test.make ~name:"fold_range = fold restricted to range" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 12) (int_range 0 31))
+        (int_range 0 31) (int_range 0 16))
+    (fun (vpns, vpn0, count) ->
+      let phys = Phys.create () in
+      let pt = Page_table.create phys in
+      List.iter
+        (fun v ->
+          if not (Page_table.is_mapped pt ~vpn:v) then
+            Page_table.map pt ~vpn:v (Pte.make (Phys.alloc phys)))
+        vpns;
+      let ranged =
+        Page_table.fold_range pt ~vpn:vpn0 ~count ~init:[] ~f:(fun v _ acc ->
+            v :: acc)
+      in
+      let whole =
+        Page_table.fold pt ~init:[] ~f:(fun v _ acc ->
+            if v >= vpn0 && v < vpn0 + count then v :: acc else acc)
+      in
+      ranged = whole)
+
 (* --- Vas --- *)
 
 let setup_vas () =
@@ -404,6 +497,8 @@ let suite =
     ("pt remap after unmap", `Quick, test_pt_remap_after_unmap);
     ("pt replace keeps aliases", `Quick, test_pt_replace_keeps_other_aliases);
     ("pt shared alias counts", `Quick, test_pt_shared_alias_counts);
+    ("pt map_range", `Quick, test_pt_map_range);
+    ("pt fold_range", `Quick, test_pt_fold_range);
     ("vas rw cross page", `Quick, test_vas_rw_cross_page);
     ("vas u64", `Quick, test_vas_u64);
     ("vas ro write fault", `Quick, test_vas_write_fault_on_ro);
@@ -415,4 +510,6 @@ let suite =
     qt prop_align;
     qt prop_page_write_preserves_other_bytes;
     qt prop_vas_roundtrip;
+    qt prop_pt_map_range_fills_holes;
+    qt prop_pt_fold_range_matches_fold;
   ]

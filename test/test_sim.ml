@@ -332,7 +332,7 @@ let test_emit_charges_and_counts () =
   let _ =
     Engine.spawn e (fun () ->
         Trace.emit tr Event.Context_switch;
-        Trace.emit tr ~pid:7 Event.Pte_copy;
+        Trace.emit tr ~pid:7 (Event.Pte_copy 1);
         Trace.emit tr (Event.Page_alloc 3))
   in
   Engine.run e;
@@ -356,7 +356,7 @@ let test_emit_outside_thread_counts_without_charging () =
      kernel directly) count in the meter but charge nothing. *)
   let e = Engine.create ~cores:1 () in
   let tr = Trace.create ~engine:e ~costs:Costs.ufork () in
-  Trace.emit tr Event.Pte_copy;
+  Trace.emit tr (Event.Pte_copy 1);
   Alcotest.(check int) "counted" 1 (Meter.get (Trace.meter tr) "pte_copy");
   Alcotest.(check int64) "not charged" 0L (Trace.total_charged tr);
   Trace.audit tr ~costs:Costs.ufork ~elapsed:(Engine.advanced e)

@@ -18,4 +18,39 @@ if [ -n "$hits" ]; then
   echo "$hits" >&2
   exit 1
 fi
-echo "charging lint: clean — all charging flows through the event bus"
+
+# Physical-page duplication discipline.
+#
+# Raw byte/capability copy loops over Page outside the memory kit belong
+# in Memops (lib/core/memops.ml), the single home for page duplication:
+# a loop elsewhere will forget granule accounting or batched event
+# emission. lib/mem itself implements Page, and Vas is the user-visible
+# load/store path (charged per access by the kernel), so both are exempt.
+copy_hits=$(grep -rnE '\bPage\.(read_bytes|write_bytes)\b' \
+  --include='*.ml' lib | grep -vE '^lib/(mem|core/memops\.ml)' || true)
+
+if [ -n "$copy_hits" ]; then
+  echo "memops lint: raw Page byte copy outside lib/mem / Memops —" >&2
+  echo "use Memops.copy_range / Memops.duplicate_frame:" >&2
+  echo "$copy_hits" >&2
+  exit 1
+fi
+
+# File-table duplication discipline.
+#
+# Fork's descriptor-table duplication is part of the shared fork spine
+# (Fork_spine.run); a second dup_all call site is a second fork skeleton
+# growing back. The kernel itself may call it for spawn-like paths, and
+# lib/sas/fdesc.ml defines it.
+dup_hits=$(grep -rnE '\bFdtable\.dup_all\b' \
+  --include='*.ml' lib bin \
+  | grep -vE '^lib/(sas/(fdesc|kernel)\.ml|core/fork_spine\.ml)' || true)
+
+if [ -n "$dup_hits" ]; then
+  echo "fork-spine lint: Fdtable.dup_all outside Fork_spine / kernel —" >&2
+  echo "fork-path duplication belongs in Fork_spine.run:" >&2
+  echo "$dup_hits" >&2
+  exit 1
+fi
+echo "charging lint: clean — all charging flows through the event bus,"
+echo "page duplication through Memops, fork dup through Fork_spine"
