@@ -613,13 +613,14 @@ let run_target = function
       Printf.eprintf "unknown bench target %S\n" other;
       exit 2
 
-let main targets quick_flag cores trace_out =
+let main targets quick_flag cores trace_out profile_out =
   (* "quick" as a positional target is the historic spelling of --quick:
      it sets the flag and is dropped from the target list, so a bare
      `bench quick` runs the full reduced suite rather than nothing. *)
   if quick_flag || List.mem "quick" targets then quick := true;
   E.set_default_cores cores;
   E.set_trace_out trace_out;
+  E.set_profile_out profile_out;
   let targets = List.filter (fun t -> t <> "quick") targets in
   let targets = if targets = [] then [ "all" ] else targets in
   List.iter run_target targets;
@@ -651,9 +652,17 @@ let cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let profile_out =
+    let doc =
+      "Write folded-stack flamegraph text (span phase attribution across \
+       every machine the run boots) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+  in
   let doc = "μFork reproduction benchmark harness" in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const main $ targets $ quick_flag $ cores $ trace_out)
+    Term.(const main $ targets $ quick_flag $ cores $ trace_out $ profile_out)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

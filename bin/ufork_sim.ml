@@ -241,6 +241,34 @@ let meter_cmd =
        ~doc:"Audit the mechanism-event counters behind the numbers")
     Term.(const run $ system_arg)
 
+(* Shared by the trace/check/profile/stats front ends: one small run of
+   a representative workload, with its one-line result printed. *)
+let small_experiment_arg ~verb =
+  Arg.(
+    value
+    & pos 0
+        (enum [ ("hello", `Hello); ("redis", `Redis); ("unixbench", `Unixbench) ])
+        `Hello
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          (Printf.sprintf "Experiment to %s: hello (default), redis, or \
+                           unixbench." verb))
+
+let run_small_experiment system = function
+  | `Hello ->
+      let r = E.hello_run system in
+      Printf.printf "%s: fork %.1f us, child memory %.2f MB\n"
+        (E.system_label r.E.system) r.E.fork_latency_us r.E.child_memory_mb
+  | `Redis ->
+      let entries = 50 and value_len = 100 * 1024 in
+      let r = E.redis_run system ~entries ~value_len ~db_label:"5 MB" in
+      Printf.printf "%s: save %.2f ms, fork %.1f us\n" (E.system_label system)
+        r.E.save_ms r.E.fork_us
+  | `Unixbench ->
+      let r = E.unixbench_run system ~spawn_iters:50 ~context1_iters:500 in
+      Printf.printf "%s: Spawn(50) %.2f ms, Context1(500) %.2f ms\n"
+        (E.system_label system) r.E.spawn_ms r.E.context1_ms
+
 (* trace: run an experiment with the event bus recording and write the
    trace out as JSONL (one record per line) or a Chrome about:tracing
    file. *)
@@ -261,37 +289,14 @@ let trace_cmd =
             "Trace encoding: jsonl (default; one JSON record per line) or \
              chrome (load in chrome://tracing or Perfetto).")
   in
-  let experiment =
-    Arg.(
-      value
-      & pos 0 (enum [ ("hello", `Hello); ("redis", `Redis); ("unixbench", `Unixbench) ]) `Hello
-      & info [] ~docv:"EXPERIMENT"
-          ~doc:"Experiment to trace: hello (default), redis, or unixbench.")
-  in
+  let experiment = small_experiment_arg ~verb:"trace" in
   let run system out format experiment =
     E.set_trace_out ~format (Some out);
     Fun.protect
       ~finally:(fun () -> E.set_trace_out None)
-      (fun () ->
-        match experiment with
-        | `Hello ->
-            let r = E.hello_run system in
-            Printf.printf "%s: fork %.1f us, child memory %.2f MB\n"
-              (E.system_label r.E.system) r.E.fork_latency_us
-              r.E.child_memory_mb
-        | `Redis ->
-            let entries = 50 and value_len = 100 * 1024 in
-            let r =
-              E.redis_run system ~entries ~value_len ~db_label:"5 MB"
-            in
-            Printf.printf "%s: save %.2f ms, fork %.1f us\n"
-              (E.system_label system) r.E.save_ms r.E.fork_us
-        | `Unixbench ->
-            let r =
-              E.unixbench_run system ~spawn_iters:50 ~context1_iters:500
-            in
-            Printf.printf "%s: Spawn(50) %.2f ms, Context1(500) %.2f ms\n"
-              (E.system_label system) r.E.spawn_ms r.E.context1_ms);
+      (fun () -> run_small_experiment system experiment);
+    (* Ring overflow, if any, was reported to stderr by the flush (the
+       JSONL header line carries the same count). *)
     Printf.printf "trace written to %s\n" out
   in
   Cmd.v
@@ -356,6 +361,142 @@ let check_cmd =
           protocol linter; non-zero exit on any violation")
     Term.(const run $ system_arg $ experiment)
 
+(* profile: run an experiment with span attribution and print/export the
+   folded-stack flamegraph plus per-span latency histograms. *)
+let profile_cmd =
+  let module Trace = Ufork_sim.Trace in
+  let module Histogram = Ufork_sim.Histogram in
+  let flame_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame-out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the folded flamegraph stacks to $(docv) instead of \
+             stdout (feed to flamegraph.pl or inferno-flamegraph).")
+  in
+  let experiment = small_experiment_arg ~verb:"profile" in
+  let run system flame_out experiment =
+    E.set_collect_profiles true;
+    Fun.protect
+      ~finally:(fun () -> E.set_collect_profiles false)
+      (fun () ->
+        run_small_experiment system experiment;
+        let traces = E.profiled_traces () in
+        let folded =
+          String.concat "" (List.map Trace.folded_stacks traces)
+        in
+        if String.trim folded = "" then begin
+          Printf.eprintf "profile: no cycles attributed (empty flamegraph)\n";
+          exit 1
+        end;
+        (match flame_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc folded;
+            close_out oc;
+            Printf.printf "flamegraph stacks written to %s\n" path
+        | None ->
+            print_newline ();
+            print_string folded);
+        (* Merge each span name's duration histogram across the machines
+           this experiment booted (comparative runs boot several). *)
+        let merged = Hashtbl.create 16 in
+        List.iter
+          (fun tr ->
+            List.iter
+              (fun (name, h) ->
+                Hashtbl.replace merged name
+                  (match Hashtbl.find_opt merged name with
+                  | Some prev -> Histogram.merge prev h
+                  | None -> h))
+              (Trace.span_histograms tr))
+          traces;
+        let rows =
+          List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
+        in
+        Printf.printf "\n%-24s %8s %12s %12s %12s %12s\n" "span" "count"
+          "p50(us)" "p90(us)" "p99(us)" "max(us)";
+        List.iter
+          (fun (name, h) ->
+            let us q = Units.us_of_cycles (Histogram.quantile h q) in
+            Printf.printf "%-24s %8d %12.2f %12.2f %12.2f %12.2f\n" name
+              (Histogram.count h) (us 0.5) (us 0.9) (us 0.99)
+              (Units.us_of_cycles (Histogram.max_value h)))
+          rows)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an experiment with phase-attribution spans and emit a \
+          folded-stack flamegraph plus per-span latency histograms \
+          (p50/p90/p99/max)")
+    Term.(const run $ system_arg $ flame_out $ experiment)
+
+(* stats: run an experiment with virtual-time gauge sampling and dump a
+   Prometheus-style snapshot plus the time series as CSV. *)
+let stats_cmd =
+  let module Trace = Ufork_sim.Trace in
+  let interval =
+    Arg.(
+      value & opt int 250_000
+      & info [ "interval"; "i" ] ~docv:"CYCLES"
+          ~doc:
+            "Gauge-sampling interval in simulated cycles (default 250000 \
+             = 100 us at the simulated 2.5 GHz clock).")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the sampled time series as CSV to $(docv) (one block \
+             per booted machine, blocks separated by a blank line).")
+  in
+  let experiment = small_experiment_arg ~verb:"sample" in
+  let run system interval csv_out experiment =
+    if interval <= 0 then begin
+      Printf.eprintf "stats: --interval must be positive\n";
+      exit 1
+    end;
+    E.set_collect_profiles true;
+    E.set_sample_interval (Some (Int64.of_int interval));
+    Fun.protect
+      ~finally:(fun () ->
+        E.set_collect_profiles false;
+        E.set_sample_interval None)
+      (fun () ->
+        run_small_experiment system experiment;
+        let traces = E.profiled_traces () in
+        print_newline ();
+        List.iter (fun tr -> print_string (Trace.to_prometheus_string tr)) traces;
+        match csv_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            List.iteri
+              (fun i tr ->
+                if i > 0 then output_char oc '\n';
+                output_string oc (Trace.samples_csv tr))
+              traces;
+            close_out oc;
+            let samples =
+              List.fold_left
+                (fun acc tr -> acc + List.length (Trace.samples tr))
+                0 traces
+            in
+            Printf.printf "%d sample(s) written to %s\n" samples path)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an experiment with virtual-time gauge sampling (frames in \
+          use, CoW-pending pages, per-process RSS) and dump a \
+          Prometheus-style snapshot plus the time series as CSV")
+    Term.(const run $ system_arg $ interval $ csv_out $ experiment)
+
 (* ablate *)
 let ablate_cmd =
   let run () =
@@ -396,5 +537,6 @@ let () =
        (Cmd.group ~default info
           [
             redis_cmd; hello_cmd; faas_cmd; nginx_cmd; unixbench_cmd;
-            meter_cmd; trace_cmd; check_cmd; ablate_cmd;
+            meter_cmd; trace_cmd; check_cmd; profile_cmd; stats_cmd;
+            ablate_cmd;
           ]))

@@ -63,7 +63,15 @@ let dump label b =
   Printf.printf "charged %Ld\n" (Trace.total_charged (Kernel.trace b.kernel));
   List.iter
     (fun (k, v) -> Printf.printf "METER %s %d\n" k v)
-    (Meter.to_list (Kernel.meter b.kernel))
+    (Meter.to_list (Kernel.meter b.kernel));
+  (* Per-phase attribution: a change that moves cycles between phases
+     without changing the totals is still a regression. *)
+  List.iter
+    (fun (st : Trace.span_total) ->
+      Printf.printf "SPAN %s self %Ld total %Ld n %d\n"
+        (String.concat ";" st.Trace.span_path)
+        st.Trace.span_self st.Trace.span_cycles st.Trace.span_count)
+    (Trace.span_totals (Kernel.trace b.kernel))
 
 let hello label =
   let b = boot label in

@@ -70,6 +70,7 @@ let do_fork k (parent : Uproc.t) child_main =
   Fork_spine.run k hooks parent child_main
 
 let handle_fault k (u : Uproc.t) ~addr ~access =
+  Kernel.with_span k ~name:"fault.service" @@ fun () ->
   let vpn = Addr.vpn_of_addr addr in
   match Page_table.lookup u.Uproc.pt ~vpn with
   | None -> Fork_spine.resolve_unmapped k u ~addr ~outside:"process image"

@@ -19,9 +19,10 @@ let relocate_and_privatize k (child : Uproc.t) ~vpn (pte : Pte.t)
       ~child_base:child.Uproc.area_base ~child_bytes:child.Uproc.area_bytes
       page
   in
-  Kernel.emit ~proc:child k
-    (Event.Granule_scan outcome.Relocate.granules_scanned);
-  Kernel.emit ~proc:child k (Event.Cap_relocate outcome.Relocate.relocated);
+  Kernel.with_span k ~name:"reloc.scan" (fun () ->
+      Kernel.emit ~proc:child k
+        (Event.Granule_scan outcome.Relocate.granules_scanned);
+      Kernel.emit ~proc:child k (Event.Cap_relocate outcome.Relocate.relocated));
   if already_private then
     (* The frame was claimed in place: it becomes child-private memory. *)
     Kernel.account_private k child ~bytes:Addr.page_size;
@@ -35,8 +36,11 @@ let resolve_child_copy k (child : Uproc.t) ~vpn =
     relocate_and_privatize k child ~vpn pte ~already_private:true
   end
   else begin
-    Kernel.emit ~proc:child k Event.Page_copy_child;
-    let fresh = Memops.duplicate_frame k child pte.Pte.frame in
+    let fresh =
+      Kernel.with_span k ~name:"page_copy" (fun () ->
+          Kernel.emit ~proc:child k Event.Page_copy_child;
+          Memops.duplicate_frame k child pte.Pte.frame)
+    in
     Page_table.replace_frame child.Uproc.pt ~vpn fresh;
     relocate_and_privatize k child ~vpn pte ~already_private:false
   end
@@ -48,8 +52,11 @@ let resolve_parent_cow k (u : Uproc.t) ~vpn =
     Memops.restore_perms u ~vpn pte
   end
   else begin
-    Kernel.emit ~proc:u k Event.Page_copy_cow;
-    let fresh = Memops.duplicate_frame k u pte.Pte.frame in
+    let fresh =
+      Kernel.with_span k ~name:"page_copy" (fun () ->
+          Kernel.emit ~proc:u k Event.Page_copy_cow;
+          Memops.duplicate_frame k u pte.Pte.frame)
+    in
     Page_table.replace_frame u.Uproc.pt ~vpn fresh;
     Memops.restore_perms u ~vpn pte
   end

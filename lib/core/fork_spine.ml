@@ -39,32 +39,51 @@ let stack_touch_vpns (u : Uproc.t) n =
 
 let run k hooks (parent : Uproc.t) child_main =
   let meter = Kernel.meter k in
-  let t0 = Engine.now (Kernel.engine k) in
-  Kernel.emit ~proc:parent k Event.Fork_fixed;
-  hooks.pre_create k ~parent;
-  let fds = Fdesc.Fdtable.dup_all parent.Uproc.fds in
-  let child =
-    Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ()
-  in
-  child.Uproc.forked <- true;
-  let pte_before = Meter.get meter Event.pte_copy_key in
-  hooks.duplicate k ~parent ~child;
-  let pte_copies = Meter.get meter Event.pte_copy_key - pte_before in
-  (* The allocator mirror is cloned at a fixed point of the spine: the
-     clone emits no events, so its position cannot perturb the stream. *)
-  child.Uproc.allocator <-
-    Tinyalloc.clone parent.Uproc.allocator ~delta:(Uproc.delta ~parent ~child);
-  hooks.post_copy k ~parent ~child ~pte_copies;
-  Kernel.emit ~proc:parent k Event.Thread_create;
-  let reloc = Option.map (fun f -> f k ~child) hooks.reloc in
-  let child_body api =
-    hooks.child_prologue k ~child;
-    child_main api
-  in
-  Kernel.spawn_process k ?reloc child child_body;
-  let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-  Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key (Int64.to_int dt);
-  child.Uproc.pid
+  let span name f = Kernel.with_span k ~name f in
+  (* The "fork" span nests inside "syscall.fork" on the parent's stack;
+     each spine step gets its own sub-span so the profiler decomposes a
+     fork the way the paper does (fixed trap costs vs. PTE copy vs.
+     relocation vs. spawn). The "fork" span's instance total feeds the
+     fork-latency histogram. *)
+  span "fork" (fun () ->
+      let t0 = Engine.now (Kernel.engine k) in
+      span "fork.fixed" (fun () ->
+          Kernel.emit ~proc:parent k Event.Fork_fixed;
+          hooks.pre_create k ~parent);
+      let fds =
+        span "fork.fd_dup" (fun () -> Fdesc.Fdtable.dup_all parent.Uproc.fds)
+      in
+      let child =
+        span "fork.uproc_create" (fun () ->
+            Kernel.create_uproc k ~parent ~fds ~image:parent.Uproc.image ())
+      in
+      child.Uproc.forked <- true;
+      let pte_before = Meter.get meter Event.pte_copy_key in
+      span "fork.duplicate" (fun () -> hooks.duplicate k ~parent ~child);
+      let pte_copies = Meter.get meter Event.pte_copy_key - pte_before in
+      (* The allocator mirror is cloned at a fixed point of the spine: the
+         clone emits no events, so its position cannot perturb the stream. *)
+      span "fork.alloc_clone" (fun () ->
+          child.Uproc.allocator <-
+            Tinyalloc.clone parent.Uproc.allocator
+              ~delta:(Uproc.delta ~parent ~child));
+      span "fork.post_copy" (fun () ->
+          hooks.post_copy k ~parent ~child ~pte_copies);
+      span "fork.spawn" (fun () ->
+          Kernel.emit ~proc:parent k Event.Thread_create;
+          let reloc = Option.map (fun f -> f k ~child) hooks.reloc in
+          let child_body api =
+            (* Runs on the child's own thread: its span stack starts
+               empty, so the prologue shows up as a root span there. *)
+            Kernel.with_span k ~name:"fork.child_prologue" (fun () ->
+                hooks.child_prologue k ~child);
+            child_main api
+          in
+          Kernel.spawn_process k ?reloc child child_body);
+      let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
+      Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key
+        (Int64.to_int dt);
+      child.Uproc.pid)
 
 let demand_zero k (u : Uproc.t) ~addr =
   Kernel.emit ~proc:u k Event.Demand_zero;

@@ -48,7 +48,8 @@ let share_range k ~(parent : Uproc.t) ~(child : Uproc.t) ~delta_pages
   match pvpns with
   | [] -> false
   | _ ->
-      Kernel.emit ~proc:child k (Event.Pte_copy (List.length pvpns));
+      Kernel.with_span k ~name:"pte_copy" (fun () ->
+          Kernel.emit ~proc:child k (Event.Pte_copy (List.length pvpns)));
       List.fold_left
         (fun downgraded pvpn ->
           let ppte = Page_table.lookup_exn parent.Uproc.pt ~vpn:pvpn in
@@ -76,9 +77,13 @@ let copy_range k ~(parent : Uproc.t) ~(child : Uproc.t) ~delta_pages ~mode
   | [] -> ()
   | _ ->
       let n = List.length pvpns in
-      Kernel.emit ~proc:child k (Event.Pte_copy n);
-      Kernel.emit ~proc:child k (Event.Page_copy_eager n);
-      let frames = Kernel.fresh_frames k child n in
+      Kernel.with_span k ~name:"pte_copy" (fun () ->
+          Kernel.emit ~proc:child k (Event.Pte_copy n));
+      let frames =
+        Kernel.with_span k ~name:"page_copy" (fun () ->
+            Kernel.emit ~proc:child k (Event.Page_copy_eager n);
+            Kernel.fresh_frames k child n)
+      in
       let scanned = ref 0 and relocated = ref 0 in
       List.iter2
         (fun pvpn fresh ->
@@ -105,8 +110,9 @@ let copy_range k ~(parent : Uproc.t) ~(child : Uproc.t) ~delta_pages ~mode
         pvpns frames;
       (match mode with
       | Relocate_to_child ->
-          Kernel.emit ~proc:child k (Event.Granule_scan !scanned);
-          Kernel.emit ~proc:child k (Event.Cap_relocate !relocated)
+          Kernel.with_span k ~name:"reloc.scan" (fun () ->
+              Kernel.emit ~proc:child k (Event.Granule_scan !scanned);
+              Kernel.emit ~proc:child k (Event.Cap_relocate !relocated))
       | Verbatim -> ())
 
 let map_zero_range k u ~base ~bytes ?read ?write ?exec () =

@@ -111,6 +111,47 @@ let emit ?proc t event =
   let pid = Option.map (fun (u : Uproc.t) -> u.Uproc.pid) proc in
   Trace.emit t.trace ?pid event
 
+let with_span t ~name f = Trace.with_span t.trace ~name f
+
+(* {1 Virtual-time stat sampling}
+
+   Gauge snapshots for the profiler's time-series backend. The reader
+   runs inside Trace's sampler hook, so it must stay emission-free:
+   everything below is pure inspection of kernel state. *)
+
+let stat_gauges t () =
+  let frames = Phys.frames_in_use t.phys in
+  let count_pending (u : Uproc.t) =
+    Page_table.fold_range u.Uproc.pt
+      ~vpn:(Addr.vpn_of_addr u.Uproc.area_base)
+      ~count:(Addr.bytes_to_pages u.Uproc.area_bytes)
+      ~init:0
+      ~f:(fun _vpn pte acc ->
+        match pte.Pte.share with
+        | Pte.Cow_shared | Pte.Coa_shared | Pte.Copa_shared -> acc + 1
+        | Pte.Private | Pte.Shm_shared -> acc)
+  in
+  let cow, rss_rev =
+    Hashtbl.fold
+      (fun _pid (u : Uproc.t) (cow, rss) ->
+        match u.Uproc.state with
+        | Uproc.Running ->
+            ( cow + count_pending u,
+              ( Printf.sprintf "rss_bytes.%s.%d" u.Uproc.image.Image.name
+                  u.Uproc.pid,
+                u.Uproc.private_bytes )
+              :: rss )
+        | Uproc.Zombie _ -> (cow + count_pending u, rss)
+        | _ -> (cow, rss))
+      t.procs (0, [])
+  in
+  ("frames_in_use", frames)
+  :: ("cow_pending_pages", cow)
+  :: List.sort compare rss_rev
+
+let enable_stat_sampling t ~interval =
+  Trace.set_sampler t.trace ~interval (stat_gauges t)
+
 let account_private _t (u : Uproc.t) ~bytes =
   u.Uproc.private_bytes <- u.Uproc.private_bytes + bytes
 
@@ -348,27 +389,31 @@ let unlock_kernel t =
 
 let with_syscall t ?proc ?(bytes = 0) name f =
   (match proc with Some u -> check_killed u | None -> ());
-  emit ?proc t (syscall_entry_event t name);
-  (match validation_cost t with
-  | 0 -> ()
-  | c -> emit ?proc t (Event.Entry_validation c));
-  (* TOCTTOU hardening sets up the kernel-side shadow copies of
-     by-reference arguments on every entry (§4.4). *)
-  if t.config.Config.toctou then emit ?proc t Event.Toctou_setup;
-  if bytes > 0 then begin
-    (* copyin/copyout of the payload... *)
-    emit ?proc t (Event.Copy_bytes bytes);
-    (* ...plus the TOCTTOU double copy when protection is on. *)
-    if t.config.Config.toctou then emit ?proc t (Event.Toctou_bytes bytes)
-  end;
-  lock_kernel t;
-  match f () with
-  | v ->
-      unlock_kernel t;
-      v
-  | exception e ->
-      unlock_kernel t;
-      raise e
+  (* The span covers everything from kernel entry to return, so every
+     cycle a syscall charges — entry, validation, copies, body, faults it
+     services — attributes under "syscall.<name>". *)
+  Trace.with_span t.trace ~name:("syscall." ^ name) (fun () ->
+      emit ?proc t (syscall_entry_event t name);
+      (match validation_cost t with
+      | 0 -> ()
+      | c -> emit ?proc t (Event.Entry_validation c));
+      (* TOCTTOU hardening sets up the kernel-side shadow copies of
+         by-reference arguments on every entry (§4.4). *)
+      if t.config.Config.toctou then emit ?proc t Event.Toctou_setup;
+      if bytes > 0 then begin
+        (* copyin/copyout of the payload... *)
+        emit ?proc t (Event.Copy_bytes bytes);
+        (* ...plus the TOCTTOU double copy when protection is on. *)
+        if t.config.Config.toctou then emit ?proc t (Event.Toctou_bytes bytes)
+      end;
+      lock_kernel t;
+      match f () with
+      | v ->
+          unlock_kernel t;
+          v
+      | exception e ->
+          unlock_kernel t;
+          raise e)
 
 let kernel_wait ?proc t cond =
   unlock_kernel t;
@@ -811,7 +856,10 @@ and build_api t ?(reloc = fun c -> c) (u : Uproc.t) : Api.t =
             Vas.load_cap pt
               ~via:(Capability.with_cursor (area_cap t u) addr)
               ~addr));
-    compute = (fun cycles -> emit ~proc:u t (Event.Compute cycles));
+    compute =
+      (fun cycles ->
+        Trace.with_span t.trace ~name:"user.compute" (fun () ->
+            emit ~proc:u t (Event.Compute cycles)));
     now = (fun () -> Engine.now t.engine);
     open_ =
       (fun name mode -> with_syscall t ~proc:u "open" (fun () -> sys_open t u name mode));

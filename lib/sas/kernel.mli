@@ -124,6 +124,20 @@ val emit : ?proc:Uproc.t -> t -> Ufork_sim.Event.t -> unit
     during boot-time setup in unit tests). Fork implementations emit their
     page-copy/relocation events here. *)
 
+val with_span : t -> name:string -> (unit -> 'a) -> 'a
+(** Phase-attribution span on this kernel's trace: every cycle charged
+    while the span is innermost on the current engine thread counts as
+    its self time (see {!Ufork_sim.Trace.with_span}). Charges nothing
+    itself. *)
+
+val enable_stat_sampling : t -> interval:int64 -> unit
+(** Register the kernel's gauge snapshot as the trace's virtual-time
+    sampler: every [interval] simulated cycles (observed at the next
+    emission) record [frames_in_use], [cow_pending_pages] (PTEs still in
+    a CoW/CoA/CoPA shared state across live and zombie μprocesses) and
+    [rss_bytes.<image>.<pid>] per running μprocess. Read the series back
+    with {!Ufork_sim.Trace.samples} / {!Ufork_sim.Trace.samples_csv}. *)
+
 val map_zero_pages :
   t ->
   Uproc.t ->

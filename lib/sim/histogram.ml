@@ -1,0 +1,111 @@
+(* Fixed log2 bucket layout: bucket 0 = {0}, bucket i>=1 = [2^(i-1),
+   2^i - 1]. 65 buckets cover every non-negative int64, so two
+   histograms always share a layout and merge is exact. *)
+
+let buckets = 65
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int64;
+  mutable vmin : int64;
+  mutable vmax : int64;
+}
+
+let create () =
+  { counts = Array.make buckets 0; n = 0; sum = 0L; vmin = 0L; vmax = 0L }
+
+let index_of v =
+  if Int64.compare v 0L < 0 then
+    invalid_arg "Histogram: negative value"
+  else
+    let rec bits acc v =
+      if v = 0L then acc else bits (acc + 1) (Int64.shift_right_logical v 1)
+    in
+    bits 0 v
+
+let bounds_of_index i =
+  if i = 0 then (0L, 0L)
+  else
+    let lo = Int64.shift_left 1L (i - 1) in
+    let hi =
+      if i >= 64 then Int64.max_int else Int64.sub (Int64.shift_left 1L i) 1L
+    in
+    (lo, hi)
+
+let bucket_bounds v = bounds_of_index (index_of v)
+
+let record t v =
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sum <- Int64.add t.sum v;
+  if t.n = 0 then begin
+    t.vmin <- v;
+    t.vmax <- v
+  end
+  else begin
+    if Int64.compare v t.vmin < 0 then t.vmin <- v;
+    if Int64.compare v t.vmax > 0 then t.vmax <- v
+  end;
+  t.n <- t.n + 1
+
+let count t = t.n
+let is_empty t = t.n = 0
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0L else t.vmin
+let max_value t = if t.n = 0 then 0L else t.vmax
+let mean t = if t.n = 0 then 0. else Int64.to_float t.sum /. float_of_int t.n
+
+let quantile t p =
+  if p < 0. || p > 1. then invalid_arg "Histogram.quantile: p outside [0,1]";
+  if t.n = 0 then 0L
+  else begin
+    let rank = max 1 (min t.n (int_of_float (ceil (p *. float_of_int t.n)))) in
+    let cum = ref 0 and idx = ref (-1) in
+    (try
+       for i = 0 to buckets - 1 do
+         cum := !cum + t.counts.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let _, hi = bounds_of_index !idx in
+    let v = if Int64.compare hi t.vmax > 0 then t.vmax else hi in
+    if Int64.compare v t.vmin < 0 then t.vmin else v
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to buckets - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.n <- a.n + b.n;
+  t.sum <- Int64.add a.sum b.sum;
+  (match (a.n, b.n) with
+  | 0, 0 -> ()
+  | _, 0 ->
+      t.vmin <- a.vmin;
+      t.vmax <- a.vmax
+  | 0, _ ->
+      t.vmin <- b.vmin;
+      t.vmax <- b.vmax
+  | _ ->
+      t.vmin <- (if Int64.compare a.vmin b.vmin <= 0 then a.vmin else b.vmin);
+      t.vmax <- (if Int64.compare a.vmax b.vmax >= 0 then a.vmax else b.vmax));
+  t
+
+let to_buckets t =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bounds_of_index i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d p50=%Ld p90=%Ld p99=%Ld max=%Ld" t.n
+    (quantile t 0.5) (quantile t 0.9) (quantile t 0.99) (max_value t)

@@ -20,6 +20,34 @@ type entry = {
   mutable fixed : bool;
 }
 
+(* Per-path span aggregate. [self_cycles] accumulates at emission time
+   (so the audit invariant holds even while instances are still open);
+   [total_cycles]/[closed] only count completed instances. *)
+type span_agg = {
+  mutable self_cycles : int64;
+  mutable span_total : int64;
+  mutable closed : int;
+}
+
+(* One open span instance on some thread's stack. [path] is
+   outermost-first and ends with this span's own name; [agg] caches the
+   per-path aggregate so charging on the hot emit path is one mutable
+   add, not a hash lookup. *)
+type frame = {
+  path : string list;
+  agg : span_agg;
+  parent : frame option;
+  mutable self : int64;
+  mutable child_total : int64;
+}
+
+type span_total = {
+  span_path : string list;
+  span_self : int64;
+  span_cycles : int64;
+  span_count : int;
+}
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
@@ -31,6 +59,14 @@ type t = {
   mutable ring_len : int;
   mutable dropped : int;
   mutable recording : bool;
+  spans : (string list, span_agg) Hashtbl.t;
+  stacks : (int, frame) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+  mutable sampler : (unit -> (string * int) list) option;
+  mutable sample_interval : int64;
+  mutable next_sample : int64;
+  mutable samples_rev : (int64 * (string * int) list) list;
+  mutable in_sampler : bool;
 }
 
 let default_ring_capacity = 65536
@@ -47,6 +83,14 @@ let create ~engine ~costs ?(ring_capacity = default_ring_capacity) () =
     ring_len = 0;
     dropped = 0;
     recording = false;
+    spans = Hashtbl.create 64;
+    stacks = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+    sampler = None;
+    sample_interval = 0L;
+    next_sample = 0L;
+    samples_rev = [];
+    in_sampler = false;
   }
 
 let engine t = t.engine
@@ -79,7 +123,102 @@ let push t r =
     t.dropped <- t.dropped + 1
   end
 
+let current_tid () =
+  match Engine.current_tid () with
+  | tid -> tid
+  | exception Effect.Unhandled _ -> -1
+
+(* {2 Spans} *)
+
+let unattributed = [ "(unattributed)" ]
+
+let span_agg t path =
+  match Hashtbl.find_opt t.spans path with
+  | Some a -> a
+  | None ->
+      let a = { self_cycles = 0L; span_total = 0L; closed = 0 } in
+      Hashtbl.add t.spans path a;
+      a
+
+let hist_for t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.hists name h;
+      h
+
+let with_span t ~name f =
+  let tid = current_tid () in
+  let parent = Hashtbl.find_opt t.stacks tid in
+  let path =
+    match parent with Some p -> p.path @ [ name ] | None -> [ name ]
+  in
+  let frame =
+    { path; agg = span_agg t path; parent; self = 0L; child_total = 0L }
+  in
+  Hashtbl.replace t.stacks tid frame;
+  Fun.protect
+    ~finally:(fun () ->
+      (match parent with
+      | Some p -> Hashtbl.replace t.stacks tid p
+      | None -> Hashtbl.remove t.stacks tid);
+      let total = Int64.add frame.self frame.child_total in
+      (match parent with
+      | Some p -> p.child_total <- Int64.add p.child_total total
+      | None -> ());
+      frame.agg.span_total <- Int64.add frame.agg.span_total total;
+      frame.agg.closed <- frame.agg.closed + 1;
+      Histogram.record (hist_for t name) total)
+    f
+
+(* Attribute charged cycles to the innermost open span on this thread;
+   cycles charged with no span open land in the "(unattributed)" bucket
+   so the audit identity (sum of self = total charged) is total. *)
+let attribute t tid cost =
+  match Hashtbl.find_opt t.stacks tid with
+  | Some f ->
+      f.self <- Int64.add f.self cost;
+      f.agg.self_cycles <- Int64.add f.agg.self_cycles cost
+  | None ->
+      let a = span_agg t unattributed in
+      a.self_cycles <- Int64.add a.self_cycles cost
+
+(* {2 Virtual-time sampling}
+
+   Piggybacked on [emit]: a dedicated sampler green thread would keep
+   the engine from ever going quiescent, so instead the first emission
+   at-or-after each interval boundary snapshots the gauges. At most one
+   sample per emission; the boundary then skips past any gap so idle
+   stretches don't replay missed ticks. *)
+
+let maybe_sample t =
+  match t.sampler with
+  | Some read when not t.in_sampler ->
+      let now = Engine.now t.engine in
+      if Int64.compare now t.next_sample >= 0 then begin
+        t.in_sampler <- true;
+        Fun.protect
+          ~finally:(fun () -> t.in_sampler <- false)
+          (fun () -> t.samples_rev <- (now, read ()) :: t.samples_rev);
+        let rec bump next =
+          if Int64.compare next now <= 0 then
+            bump (Int64.add next t.sample_interval)
+          else next
+        in
+        t.next_sample <- bump t.next_sample
+      end
+  | _ -> ()
+
+let set_sampler t ~interval read =
+  if Int64.compare interval 0L <= 0 then
+    invalid_arg "Trace.set_sampler: interval must be positive";
+  t.sampler <- Some read;
+  t.sample_interval <- interval;
+  t.next_sample <- Int64.add (Engine.now t.engine) interval
+
 let emit t ?(pid = -1) event =
+  maybe_sample t;
   let key = Event.to_key event in
   let n = Event.count event in
   let cost = Event.cost ~costs:t.costs event in
@@ -90,11 +229,7 @@ let emit t ?(pid = -1) event =
   (* Outside an engine thread (boot, direct kernel poking in unit tests)
      there is no schedulable context to charge, mirroring the old
      boot-time charge path: count the event, skip the cycles. *)
-  let tid =
-    match Engine.current_tid () with
-    | tid -> tid
-    | exception Effect.Unhandled _ -> -1
-  in
+  let tid = current_tid () in
   let charged = tid >= 0 && cost > 0L in
   let e = entry t key in
   e.units <- e.units + n;
@@ -106,7 +241,8 @@ let emit t ?(pid = -1) event =
   if charged then begin
     e.charged_units <- e.charged_units + n;
     e.cycles <- Int64.add e.cycles cost;
-    t.total_cycles <- Int64.add t.total_cycles cost
+    t.total_cycles <- Int64.add t.total_cycles cost;
+    attribute t tid cost
   end;
   if t.recording then begin
     let core =
@@ -162,7 +298,13 @@ let reset t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.ring_start <- 0;
   t.ring_len <- 0;
-  t.dropped <- 0
+  t.dropped <- 0;
+  Hashtbl.reset t.spans;
+  Hashtbl.reset t.stacks;
+  Hashtbl.reset t.hists;
+  t.samples_rev <- [];
+  if t.sampler <> None then
+    t.next_sample <- Int64.add (Engine.now t.engine) t.sample_interval
 
 let record_to_json r =
   Printf.sprintf
@@ -172,6 +314,11 @@ let record_to_json r =
 
 let to_jsonl_string t =
   let b = Buffer.create 4096 in
+  (* Header line first: consumers that count lines or look for drops see
+     the ring's state without scanning the records. *)
+  Buffer.add_string b
+    (Printf.sprintf "{\"header\":{\"records\":%d,\"dropped\":%d}}\n" t.ring_len
+       t.dropped);
   List.iter
     (fun r ->
       Buffer.add_string b (record_to_json r);
@@ -215,6 +362,108 @@ let chrome_of_records recs =
   Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
   Buffer.contents b
 
+(* {2 Profiling exports} *)
+
+let span_totals t =
+  List.sort
+    (fun a b -> compare a.span_path b.span_path)
+    (Hashtbl.fold
+       (fun path a acc ->
+         {
+           span_path = path;
+           span_self = a.self_cycles;
+           span_cycles = a.span_total;
+           span_count = a.closed;
+         }
+         :: acc)
+       t.spans [])
+
+let folded_stacks t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun st ->
+      if Int64.compare st.span_self 0L > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%s %Ld\n"
+             (String.concat ";" st.span_path)
+             st.span_self))
+    (span_totals t);
+  Buffer.contents b
+
+let span_histograms t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists [])
+
+let span_histogram t name = Hashtbl.find_opt t.hists name
+let samples t = List.rev t.samples_rev
+
+let samples_csv t =
+  let samples = samples t in
+  let keys =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, gs) -> List.map fst gs) samples)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (String.concat "," ("cycles" :: keys));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (cycles, gs) ->
+      Buffer.add_string b (Int64.to_string cycles);
+      List.iter
+        (fun k ->
+          let v = match List.assoc_opt k gs with Some v -> v | None -> 0 in
+          Buffer.add_string b (Printf.sprintf ",%d" v))
+        keys;
+      Buffer.add_char b '\n')
+    samples;
+  Buffer.contents b
+
+let to_prometheus_string t =
+  let b = Buffer.create 4096 in
+  let esc = Event.json_escape in
+  Buffer.add_string b "# TYPE ufork_cycles_total counter\n";
+  Buffer.add_string b (Printf.sprintf "ufork_cycles_total %Ld\n" t.total_cycles);
+  Buffer.add_string b "# TYPE ufork_trace_dropped_records gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "ufork_trace_dropped_records %d\n" t.dropped);
+  Buffer.add_string b "# TYPE ufork_meter counter\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "ufork_meter{key=\"%s\"} %d\n" (esc k) v))
+    (Meter.to_list t.meter);
+  Buffer.add_string b "# TYPE ufork_span_self_cycles counter\n";
+  List.iter
+    (fun st ->
+      Buffer.add_string b
+        (Printf.sprintf "ufork_span_self_cycles{span=\"%s\"} %Ld\n"
+           (esc (String.concat ";" st.span_path))
+           st.span_self))
+    (span_totals t);
+  Buffer.add_string b "# TYPE ufork_span_cycles histogram\n";
+  List.iter
+    (fun (name, h) ->
+      let cum = ref 0 in
+      List.iter
+        (fun (_, hi, n) ->
+          cum := !cum + n;
+          Buffer.add_string b
+            (Printf.sprintf "ufork_span_cycles_bucket{span=\"%s\",le=\"%Ld\"} %d\n"
+               (esc name) hi !cum))
+        (Histogram.to_buckets h);
+      Buffer.add_string b
+        (Printf.sprintf "ufork_span_cycles_bucket{span=\"%s\",le=\"+Inf\"} %d\n"
+           (esc name) (Histogram.count h));
+      Buffer.add_string b
+        (Printf.sprintf "ufork_span_cycles_sum{span=\"%s\"} %Ld\n" (esc name)
+           (Histogram.sum h));
+      Buffer.add_string b
+        (Printf.sprintf "ufork_span_cycles_count{span=\"%s\"} %d\n" (esc name)
+           (Histogram.count h)))
+    (span_histograms t);
+  Buffer.contents b
+
 exception Audit_failure of string
 
 let audit t ~costs ~elapsed =
@@ -225,6 +474,19 @@ let audit t ~costs ~elapsed =
             "engine advanced %Ld cycles but the trace charged %Ld (delta %Ld)"
             elapsed t.total_cycles
             (Int64.sub elapsed t.total_cycles)));
+  (* Span attribution must be a partition of the charged cycles: every
+     charged cycle lands in exactly one span's self bucket (or the
+     "(unattributed)" bucket), so the sums must agree exactly. *)
+  let span_self_sum =
+    Hashtbl.fold (fun _ a acc -> Int64.add acc a.self_cycles) t.spans 0L
+  in
+  if span_self_sum <> t.total_cycles then
+    raise
+      (Audit_failure
+         (Printf.sprintf
+            "span self-cycles sum to %Ld but the trace charged %Ld (delta %Ld)"
+            span_self_sum t.total_cycles
+            (Int64.sub t.total_cycles span_self_sum)));
   Hashtbl.iter
     (fun key e ->
       match e.rep with

@@ -46,6 +46,64 @@ val gauge : t -> string -> int -> unit
     {!last_fork_latency_key}). Gauges carry no cycles and are exempt
     from {!audit}. *)
 
+val with_span : t -> name:string -> (unit -> 'a) -> 'a
+(** [with_span t ~name f] runs [f] inside a named span on the current
+    engine thread's span stack. Every cycle charged by {!emit} while the
+    span is innermost is attributed to its {i self} time; nested spans
+    accumulate into the parent's {i total} on close. Spans charge no
+    cycles and bump no counters — they are pure attribution. Aggregation
+    is by full stack path (outermost-first, [;]-joined in exports), and
+    each completed instance's total is recorded into a per-[name]
+    {!Histogram}. Exception- and effect-safe: the span closes when [f]
+    returns or raises; a fiber suspension keeps it open (the thread's
+    stack is keyed by engine tid). Cycles charged with no open span land
+    under the ["(unattributed)"] pseudo-span, so attribution is a
+    partition of {!total_charged} — {!audit} enforces the identity. *)
+
+type span_total = {
+  span_path : string list;  (** Stack path, outermost-first. *)
+  span_self : int64;  (** Cycles charged while innermost (incl. open). *)
+  span_cycles : int64;  (** Self + descendants, closed instances only. *)
+  span_count : int;  (** Closed instances. *)
+}
+
+val span_totals : t -> span_total list
+(** Per-path aggregates, sorted by path. *)
+
+val folded_stacks : t -> string
+(** Folded-stack flamegraph text: one [a;b;c self-cycles] line per stack
+    path with nonzero self time, sorted — ready for
+    [flamegraph.pl]/[inferno]. *)
+
+val span_histograms : t -> (string * Histogram.t) list
+(** Completed-instance duration histograms, one per span {i name}
+    (across all stack positions), sorted by name. *)
+
+val span_histogram : t -> string -> Histogram.t option
+(** The duration histogram for one span name, if any instance closed. *)
+
+val set_sampler : t -> interval:int64 -> (unit -> (string * int) list) -> unit
+(** Register a virtual-time gauge sampler: the first {!emit} at or after
+    each [interval]-cycle boundary calls the callback and snapshots the
+    returned [(gauge, value)] pairs. Sampling rides on emission (a
+    periodic thread would keep the engine from going quiescent), so
+    sample spacing is at least [interval] but lands on the next emission
+    after each boundary. The callback must not call {!emit} (re-entry is
+    ignored). Raises [Invalid_argument] if [interval <= 0]. *)
+
+val samples : t -> (int64 * (string * int) list) list
+(** Snapshots, oldest first: [(cycles, gauges)]. *)
+
+val samples_csv : t -> string
+(** Time-series CSV: header [cycles,<gauge>,...] (gauge columns sorted,
+    union over all snapshots), one row per snapshot, missing gauges 0. *)
+
+val to_prometheus_string : t -> string
+(** Prometheus text exposition: total charged cycles, dropped-record
+    count, every meter counter ([ufork_meter{key="..."}]), per-path span
+    self cycles, and per-name span-duration histograms with cumulative
+    log2 buckets. *)
+
 val last_fork_latency_key : string
 (** The gauge every fork hook sets to the cycles spent inside the most
     recent fork call. *)
@@ -76,15 +134,19 @@ val dropped : t -> int
 (** Records evicted by ring overflow since creation/{!reset}. *)
 
 val reset : t -> unit
-(** Zero all counters and aggregates and clear the ring. The key registry
-    of the derived view survives (see {!Meter.reset}). *)
+(** Zero all counters and aggregates, clear the ring, drop span
+    aggregates/histograms/samples, and re-arm the sampler from the
+    current simulated time. The key registry of the derived view
+    survives (see {!Meter.reset}). Do not call with spans still open. *)
 
 val record_to_json : record -> string
 (** One JSONL line (no trailing newline):
     [{"t":..,"core":..,"tid":..,"name":..,"pid":..,"event":{..},"cycles":..}]. *)
 
 val to_jsonl_string : t -> string
-(** All buffered records, one JSON object per line. *)
+(** A header line [{"header":{"records":..,"dropped":..}}] — so ring
+    overflow is visible in the artifact itself — followed by all
+    buffered records, one JSON object per line. *)
 
 val chrome_of_records : record list -> string
 (** Chrome trace-event JSON ([about:tracing] / Perfetto): one complete
@@ -101,6 +163,9 @@ val audit : t -> costs:Costs.t -> elapsed:int64 -> unit
     - [elapsed] (pass {!Engine.advanced}, the engine's lifetime busy
       cycles) equals {!total_charged} — every advanced cycle was a traced
       event and every traced event's cycles reached the engine;
+    - the span self-cycle sums ({!span_totals}, including the
+      ["(unattributed)"] pseudo-span) partition {!total_charged}: their
+      sum equals it exactly;
     - for each counter key whose events have a preset-derivable unit cost
       ({!Event.linear_unit}), the cycles charged under that key equal
       [charged units * unit] recomputed from [costs].

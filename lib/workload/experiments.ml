@@ -64,9 +64,14 @@ let trace_sink : (string * trace_format) option ref = ref None
    should hold them all. *)
 let traced : Trace.t list ref = ref []
 
+(* Drop count already reported on stderr, so a flush after every run
+   warns once per overflow rather than once per subsequent flush. *)
+let warned_dropped = ref 0
+
 let set_trace_out ?(format = Jsonl) path =
   trace_sink := Option.map (fun p -> (p, format)) path;
-  traced := []
+  traced := [];
+  warned_dropped := 0
 
 (* Force event recording on every machine booted from here on, even with
    no trace sink — the [check] front end needs the stream for the
@@ -74,17 +79,51 @@ let set_trace_out ?(format = Jsonl) path =
 let record_always = ref false
 let set_record_always on = record_always := on
 
+(* {2 Profiling options}
+
+   [profile_sink] mirrors [trace_sink] for folded flamegraph stacks;
+   [collect_profiles] keeps the trace registry populated without any
+   file output so front ends (the [profile]/[stats] subcommands) can
+   read span aggregates and histograms back after a run. *)
+
+let profile_sink : string option ref = ref None
+let collect_profiles = ref false
+
+(* Traces of every machine booted since a profile consumer was armed,
+   oldest first. *)
+let profiled : Trace.t list ref = ref []
+
+let set_profile_out path =
+  profile_sink := path;
+  profiled := []
+
+let set_collect_profiles on =
+  collect_profiles := on;
+  profiled := []
+
+let profiled_traces () = !profiled
+
+(* Stat-sampling interval in simulated cycles; applied to every machine
+   booted while set. *)
+let sample_interval : int64 option ref = ref None
+let set_sample_interval i = sample_interval := i
+
 let register_trace tr =
   if !record_always then Trace.set_recording tr true;
   if Option.is_some !trace_sink then begin
     Trace.set_recording tr true;
     traced := !traced @ [ tr ]
-  end
+  end;
+  if !collect_profiles || Option.is_some !profile_sink then
+    profiled := !profiled @ [ tr ]
+
+let traced_dropped () =
+  List.fold_left (fun acc tr -> acc + Trace.dropped tr) 0 !traced
 
 (* Rewrite the sink from all traces so far; called after every run so the
    file is complete whenever the harness stops. *)
 let flush_trace () =
-  match !trace_sink with
+  (match !trace_sink with
   | None -> ()
   | Some (path, format) ->
       let oc = open_out path in
@@ -94,6 +133,24 @@ let flush_trace () =
       | Chrome ->
           output_string oc
             (Trace.chrome_of_records (List.concat_map Trace.records !traced)));
+      close_out oc;
+      (* The ring drops oldest-first on overflow; a truncated artifact
+         must say so rather than pass for a complete recording. *)
+      let dropped = traced_dropped () in
+      if dropped > !warned_dropped then begin
+        warned_dropped := dropped;
+        Printf.eprintf
+          "warning: trace ring overflowed; %d oldest record%s dropped from %s\n\
+           %!"
+          dropped
+          (if dropped = 1 then "" else "s")
+          path
+      end);
+  match !profile_sink with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun tr -> output_string oc (Trace.folded_stacks tr)) !profiled;
       close_out oc
 
 (* The accounting invariant, checked after every experiment run: the
@@ -148,6 +205,9 @@ let boot ?(cores = 4) ?config system =
   let cores = Option.value !default_cores ~default:cores in
   let b = boot_raw ~cores ?config system in
   register_trace (Kernel.trace b.kernel);
+  (match !sample_interval with
+  | Some interval -> Kernel.enable_stat_sampling b.kernel ~interval
+  | None -> ());
   b
 
 let child_private_mb b pid =

@@ -38,6 +38,32 @@ val set_record_always : bool -> unit
     ({!Ufork_analysis.Lint}) has a stream to check. Used by the [check]
     front end. *)
 
+val traced_dropped : unit -> int
+(** Total records evicted by ring overflow across every trace registered
+    on the current sink — nonzero means the written file is truncated
+    (oldest records first). *)
+
+(** {1 Profiling options} *)
+
+val set_profile_out : string option -> unit
+(** Write the folded-stack flamegraph text of every subsequent
+    experiment's machines to the given file (rewritten after each run,
+    like the trace sink). [None] disables. *)
+
+val set_collect_profiles : bool -> unit
+(** Keep every subsequently booted machine's trace reachable through
+    {!profiled_traces} — no file output — so a front end can read span
+    totals, histograms and samples back after the run. *)
+
+val profiled_traces : unit -> Ufork_sim.Trace.t list
+(** Machines booted since a profile consumer was armed, oldest first. *)
+
+val set_sample_interval : int64 option -> unit
+(** Enable virtual-time stat sampling (see
+    {!Ufork_sas.Kernel.enable_stat_sampling}) with the given cycle
+    interval on every machine booted from now on. [None] disables for
+    subsequent boots. *)
+
 (** {1 Accounting audit and state sanitizer}
 
     Every experiment run checks {!Ufork_sim.Trace.audit} before returning:

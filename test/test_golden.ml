@@ -55,9 +55,15 @@ let dump_lines label sys =
   :: Printf.sprintf "advanced %Ld" (Engine.advanced (System.engine sys))
   :: Printf.sprintf "charged %Ld"
        (Trace.total_charged (System.trace sys))
-  :: List.map
-       (fun (k, v) -> Printf.sprintf "METER %s %d" k v)
-       (Meter.to_list (System.meter sys))
+  :: (List.map
+        (fun (k, v) -> Printf.sprintf "METER %s %d" k v)
+        (Meter.to_list (System.meter sys))
+     @ List.map
+         (fun (st : Trace.span_total) ->
+           Printf.sprintf "SPAN %s self %Ld total %Ld n %d"
+             (String.concat ";" st.Trace.span_path)
+             st.Trace.span_self st.Trace.span_cycles st.Trace.span_count)
+         (Trace.span_totals (System.trace sys)))
 
 let hello label =
   let sys = boot label in

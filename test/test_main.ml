@@ -12,6 +12,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);
       ("analysis", Test_analysis.suite);
+      ("profile", Test_profile.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
     ]

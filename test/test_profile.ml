@@ -1,0 +1,317 @@
+(* Phase-attribution profiler: histogram properties (qcheck), span
+   self/total accounting against the audit identity, the virtual-time
+   sampler, and the export surfaces (folded stacks, Prometheus, CSV,
+   JSONL header). *)
+
+module Engine = Ufork_sim.Engine
+module Costs = Ufork_sim.Costs
+module Event = Ufork_sim.Event
+module Trace = Ufork_sim.Trace
+module Histogram = Ufork_sim.Histogram
+module Image = Ufork_sas.Image
+module Api = Ufork_sas.Api
+module Kernel = Ufork_sas.Kernel
+module Strategy = Ufork_core.Strategy
+module Os = Ufork_core.Os
+module System = Ufork_core.System
+module Monolithic = Ufork_baselines.Monolithic
+module Vmclone = Ufork_baselines.Vmclone
+module Hello = Ufork_apps.Hello
+
+(* {1 Histogram properties} *)
+
+let of_values vs =
+  let h = Histogram.create () in
+  List.iter (fun v -> Histogram.record h (Int64.of_int v)) vs;
+  h
+
+(* The reference quantile: identical rank rule over the sorted multiset. *)
+let reference_quantile vs p =
+  let sorted = List.sort compare vs in
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (p *. float_of_int n)))) in
+  Int64.of_int (List.nth sorted (rank - 1))
+
+let values_gen = QCheck.(list_of_size Gen.(int_range 1 60) (int_bound 100_000))
+
+let ps = [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ]
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"histogram: quantile monotone in p" ~count:200
+    values_gen (fun vs ->
+      QCheck.assume (vs <> []);
+      let h = of_values vs in
+      let qs = List.map (Histogram.quantile h) ps in
+      List.for_all2
+        (fun a b -> Int64.compare a b <= 0)
+        (List.filteri (fun i _ -> i < List.length qs - 1) qs)
+        (List.tl qs))
+
+let prop_bucket_contains =
+  QCheck.Test.make ~name:"histogram: bucket bounds contain every value"
+    ~count:200 values_gen (fun vs ->
+      List.for_all
+        (fun v ->
+          let v = Int64.of_int v in
+          let lo, hi = Histogram.bucket_bounds v in
+          Int64.compare lo v <= 0 && Int64.compare v hi <= 0)
+        vs)
+
+let prop_quantile_vs_reference =
+  QCheck.Test.make
+    ~name:"histogram: quantile lands in the reference quantile's bucket"
+    ~count:200 values_gen (fun vs ->
+      QCheck.assume (vs <> []);
+      let h = of_values vs in
+      List.for_all
+        (fun p ->
+          let q = Histogram.quantile h p in
+          let r = reference_quantile vs p in
+          Histogram.bucket_bounds q = Histogram.bucket_bounds r)
+        ps)
+
+let hist_eq a b =
+  Histogram.count a = Histogram.count b
+  && Histogram.sum a = Histogram.sum b
+  && Histogram.min_value a = Histogram.min_value b
+  && Histogram.max_value a = Histogram.max_value b
+  && Histogram.to_buckets a = Histogram.to_buckets b
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"histogram: merge commutative" ~count:200
+    QCheck.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      let a = of_values xs and b = of_values ys in
+      hist_eq (Histogram.merge a b) (Histogram.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"histogram: merge associative" ~count:200
+    QCheck.(triple values_gen values_gen values_gen)
+    (fun (xs, ys, zs) ->
+      let a = of_values xs and b = of_values ys and c = of_values zs in
+      hist_eq
+        (Histogram.merge a (Histogram.merge b c))
+        (Histogram.merge (Histogram.merge a b) c))
+
+let prop_merge_vs_reference =
+  QCheck.Test.make
+    ~name:"histogram: merged quantiles match the pooled reference" ~count:200
+    QCheck.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] || ys <> []);
+      let m = Histogram.merge (of_values xs) (of_values ys) in
+      let pooled = xs @ ys in
+      List.for_all
+        (fun p ->
+          Histogram.bucket_bounds (Histogram.quantile m p)
+          = Histogram.bucket_bounds (reference_quantile pooled p))
+        ps)
+
+let test_histogram_exact () =
+  let h = of_values [ 0; 1; 2; 3; 1000 ] in
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int64) "sum" 1006L (Histogram.sum h);
+  Alcotest.(check int64) "min" 0L (Histogram.min_value h);
+  Alcotest.(check int64) "max" 1000L (Histogram.max_value h);
+  Alcotest.(check int64) "p0 = min" 0L (Histogram.quantile h 0.);
+  Alcotest.(check int64) "p100 = max" 1000L (Histogram.quantile h 1.);
+  let empty = Histogram.create () in
+  Alcotest.(check bool) "empty" true (Histogram.is_empty empty);
+  Alcotest.(check int64) "empty quantile" 0L (Histogram.quantile empty 0.5);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Histogram: negative value") (fun () ->
+      Histogram.record h (-1L))
+
+(* {1 Spans: attribution, nesting, the audit identity} *)
+
+let span_self tr path =
+  match
+    List.find_opt
+      (fun (st : Trace.span_total) -> st.Trace.span_path = path)
+      (Trace.span_totals tr)
+  with
+  | Some st -> st.Trace.span_self
+  | None -> Alcotest.failf "span %s missing" (String.concat ";" path)
+
+(* Run [f] on a fresh single-thread engine so emissions are charged. *)
+let on_engine costs f =
+  let engine = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine ~costs () in
+  ignore (Engine.spawn ~name:"t" engine (fun () -> f tr));
+  Engine.run engine;
+  (tr, Engine.advanced engine)
+
+let test_span_attribution () =
+  let costs = Costs.ufork in
+  let tr, elapsed =
+    on_engine costs (fun tr ->
+        Trace.emit tr (Event.Compute 10L);
+        Trace.with_span tr ~name:"outer" (fun () ->
+            Trace.emit tr (Event.Compute 100L);
+            Trace.with_span tr ~name:"inner" (fun () ->
+                Trace.emit tr (Event.Compute 7L));
+            Trace.emit tr (Event.Compute 30L)))
+  in
+  Alcotest.(check int64) "unattributed" 10L
+    (span_self tr [ "(unattributed)" ]);
+  Alcotest.(check int64) "outer self" 130L (span_self tr [ "outer" ]);
+  Alcotest.(check int64) "inner self" 7L (span_self tr [ "outer"; "inner" ]);
+  (* The audit's span clause: self cycles partition total_charged. *)
+  Trace.audit tr ~costs ~elapsed;
+  (match
+     List.find_opt
+       (fun (st : Trace.span_total) -> st.Trace.span_path = [ "outer" ])
+       (Trace.span_totals tr)
+   with
+  | Some st ->
+      Alcotest.(check int64) "outer total = self + inner" 137L
+        st.Trace.span_cycles;
+      Alcotest.(check int) "outer closed once" 1 st.Trace.span_count
+  | None -> Alcotest.fail "outer span missing");
+  match Trace.span_histogram tr "inner" with
+  | Some h ->
+      Alcotest.(check int) "inner hist count" 1 (Histogram.count h);
+      Alcotest.(check int64) "inner hist sum" 7L (Histogram.sum h)
+  | None -> Alcotest.fail "inner histogram missing"
+
+let test_span_exception_safety () =
+  let costs = Costs.ufork in
+  let tr, elapsed =
+    on_engine costs (fun tr ->
+        (try
+           Trace.with_span tr ~name:"raising" (fun () ->
+               Trace.emit tr (Event.Compute 5L);
+               failwith "boom")
+         with Failure _ -> ());
+        Trace.emit tr (Event.Compute 3L))
+  in
+  Alcotest.(check int64) "raising self" 5L (span_self tr [ "raising" ]);
+  Alcotest.(check int64) "post-raise unattributed" 3L
+    (span_self tr [ "(unattributed)" ]);
+  Trace.audit tr ~costs ~elapsed
+
+let test_folded_stacks () =
+  let tr, _ =
+    on_engine Costs.ufork (fun tr ->
+        Trace.with_span tr ~name:"a" (fun () ->
+            Trace.with_span tr ~name:"b" (fun () ->
+                Trace.emit tr (Event.Compute 42L))))
+  in
+  let folded = Trace.folded_stacks tr in
+  Alcotest.(check bool) "a;b line present" true
+    (String.length folded > 0
+    && List.mem "a;b 42" (String.split_on_char '\n' folded));
+  let prom = Trace.to_prometheus_string tr in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prometheus has span self" true
+    (contains prom "ufork_span_self_cycles{span=\"a;b\"} 42")
+
+let test_sampler () =
+  let ticks = ref 0 in
+  let tr, _ =
+    on_engine Costs.ufork (fun tr ->
+        Trace.set_sampler tr ~interval:100L (fun () ->
+            incr ticks;
+            [ ("g", !ticks) ]);
+        for _ = 1 to 10 do
+          Trace.emit tr (Event.Compute 60L)
+        done)
+  in
+  let samples = Trace.samples tr in
+  (* 600 cycles of emission at a 100-cycle interval: at least 4 samples
+     (exact count depends on emission alignment), strictly increasing
+     timestamps, at most one sample per interval window. A sample fires
+     at the first emit at-or-after its grid point, so two consecutive
+     samples can be closer than [interval] in absolute cycles — the
+     invariant is that they land in distinct windows. *)
+  Alcotest.(check bool) "several samples" true (List.length samples >= 4);
+  let rec distinct_windows = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+        Int64.compare t2 t1 > 0
+        && Int64.compare (Int64.div t2 100L) (Int64.div t1 100L) > 0
+        && distinct_windows rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "one sample per window" true
+    (distinct_windows samples);
+  let csv = Trace.samples_csv tr in
+  (match String.split_on_char '\n' csv with
+  | header :: _ -> Alcotest.(check string) "csv header" "cycles,g" header
+  | [] -> Alcotest.fail "empty csv")
+
+let test_jsonl_header () =
+  let engine = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine ~costs:Costs.ufork ~ring_capacity:4 () in
+  Trace.set_recording tr true;
+  for _ = 1 to 10 do
+    Trace.emit tr Event.Malloc
+  done;
+  Alcotest.(check int) "dropped" 6 (Trace.dropped tr);
+  match String.split_on_char '\n' (Trace.to_jsonl_string tr) with
+  | header :: _ ->
+      Alcotest.(check string) "header line"
+        "{\"header\":{\"records\":4,\"dropped\":6}}" header
+  | [] -> Alcotest.fail "no header"
+
+(* {1 Whole-system: every flavour's run satisfies the span clause and
+   feeds the fork histogram} *)
+
+let boot_sys = function
+  | "ufork-copa" ->
+      Os.system (Os.boot ~cores:4 ~strategy:Strategy.Copa ())
+  | "cheribsd" -> Monolithic.system (Monolithic.boot ~cores:4 ())
+  | "nephele" -> Vmclone.system (Vmclone.boot ~cores:4 ())
+  | s -> invalid_arg s
+
+let test_system_profile label () =
+  let sys = boot_sys label in
+  ignore
+    (System.start sys ~image:Image.hello (fun api ->
+         ignore (Hello.fork_once api);
+         Hello.reap api));
+  System.run sys;
+  let tr = System.trace sys in
+  (* The audit (span clause included) must pass... *)
+  Trace.audit tr
+    ~costs:(Kernel.costs (System.kernel sys))
+    ~elapsed:(Engine.advanced (System.engine sys));
+  (* ...the flamegraph must attribute something... *)
+  Alcotest.(check bool) "folded stacks non-empty" true
+    (String.length (Trace.folded_stacks tr) > 0);
+  (* ...and exactly one fork span must have closed, with its duration
+     histogram agreeing with the fork-latency gauge. *)
+  match Trace.span_histogram tr "fork" with
+  | Some h ->
+      Alcotest.(check int) "one fork" 1 (Histogram.count h);
+      Alcotest.(check int64) "fork histogram = latency gauge"
+        (Trace.last_fork_latency tr) (Histogram.sum h)
+  | None -> Alcotest.fail "no fork histogram"
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    qt prop_quantile_monotone;
+    qt prop_bucket_contains;
+    qt prop_quantile_vs_reference;
+    qt prop_merge_commutative;
+    qt prop_merge_associative;
+    qt prop_merge_vs_reference;
+    Alcotest.test_case "histogram exact stats" `Quick test_histogram_exact;
+    Alcotest.test_case "span attribution + audit" `Quick test_span_attribution;
+    Alcotest.test_case "span exception safety" `Quick
+      test_span_exception_safety;
+    Alcotest.test_case "folded stacks + prometheus" `Quick test_folded_stacks;
+    Alcotest.test_case "virtual-time sampler" `Quick test_sampler;
+    Alcotest.test_case "jsonl header reflects drops" `Quick test_jsonl_header;
+    Alcotest.test_case "profile: hello on ufork-copa" `Quick
+      (test_system_profile "ufork-copa");
+    Alcotest.test_case "profile: hello on cheribsd" `Quick
+      (test_system_profile "cheribsd");
+    Alcotest.test_case "profile: hello on nephele" `Quick
+      (test_system_profile "nephele");
+  ]

@@ -52,5 +52,23 @@ if [ -n "$dup_hits" ]; then
   echo "$dup_hits" >&2
   exit 1
 fi
+# Gauge-key discipline.
+#
+# Trace.gauge with an ad-hoc string literal scatters the namespace of
+# the derived meter view: readers (benchmarks, the stats exporter) can
+# no longer find the value, and a typo silently forks the key. Gauge
+# keys must be declared constants (like Trace.last_fork_latency_key) in
+# lib/sim or lib/core, where call sites reference them by name.
+gauge_hits=$(grep -rnE 'Trace\.gauge[^"]*"' \
+  --include='*.ml' lib bin bench | grep -vE '^lib/(sim|core)/' || true)
+
+if [ -n "$gauge_hits" ]; then
+  echo "gauge lint: Trace.gauge with a string-literal key outside" >&2
+  echo "lib/sim / lib/core — declare the key as a named constant" >&2
+  echo "(like Trace.last_fork_latency_key) and reference it:" >&2
+  echo "$gauge_hits" >&2
+  exit 1
+fi
 echo "charging lint: clean — all charging flows through the event bus,"
-echo "page duplication through Memops, fork dup through Fork_spine"
+echo "page duplication through Memops, fork dup through Fork_spine,"
+echo "gauge keys are declared constants"
