@@ -318,13 +318,32 @@ let check_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"Workload to check: hello (default), redis, or unixbench.")
   in
-  let run system experiment =
+  let race =
+    Arg.(
+      value & flag
+      & info [ "race" ]
+          ~doc:
+            "Also arm the happens-before race detector: flag conflicting \
+             shared-state writes with no ordering edge (invariant R1).")
+  in
+  let chaos_no_bkl =
+    Arg.(
+      value & flag
+      & info [ "chaos-no-bkl" ]
+          ~doc:
+            "Fault injection: disable the big kernel lock and seed one \
+             deliberate unlocked shared-state write. With $(b,--race) the \
+             check must fail with R1.")
+  in
+  let run system experiment race chaos_no_bkl =
     let module Checker = Ufork_analysis.Checker in
     (* Record the event stream even without a trace sink so the protocol
        linter (L1-L5) has something to replay; the state sweep (S1-S10)
        and the cycle-accounting audit run at the end of every machine's
        run regardless. *)
     E.set_record_always true;
+    E.set_race_detect race;
+    E.set_chaos_no_bkl chaos_no_bkl;
     let name =
       match experiment with
       | `Hello -> "hello"
@@ -351,15 +370,16 @@ let check_cmd =
         exit 1);
     Printf.printf
       "check %s on %s: clean — state invariants S1-S10, protocol rules \
-       L1-L5, cycle accounting\n"
+       L1-L5%s, cycle accounting\n"
       name (E.system_label system)
+      (if race then ", race detection R1" else "")
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run a workload under the machine-state sanitizer and trace \
           protocol linter; non-zero exit on any violation")
-    Term.(const run $ system_arg $ experiment)
+    Term.(const run $ system_arg $ experiment $ race $ chaos_no_bkl)
 
 (* profile: run an experiment with span attribution and print/export the
    folded-stack flamegraph plus per-span latency histograms. *)
@@ -520,6 +540,46 @@ let ablate_cmd =
     (Cmd.info "ablate" ~doc:"Design-choice ablations beyond the paper")
     Term.(const run $ const ())
 
+(* lint: the AST-level discipline linter over the simulator's own
+   sources, exposed as a subcommand so one binary carries both the
+   dynamic checks (check) and the static ones. *)
+let lint_cmd =
+  let module Rules = Ufork_lint_core.Lint_rules in
+  let module Lint = Ufork_lint_core.Lint_engine in
+  let root =
+    Arg.(
+      value & pos 0 dir "."
+      & info [] ~docv:"ROOT"
+          ~doc:
+            "Repository root to lint; scans every .ml/.mli under \
+             $(docv)/lib, $(docv)/bin and $(docv)/bench.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit findings as a JSON array on stdout.")
+  in
+  let run root json =
+    let findings = Lint.lint_tree root in
+    if json then print_endline (Lint.to_json findings)
+    else begin
+      List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+      if findings = [] then
+        Printf.printf
+          "lint: clean — %d rules (D1-D8) over lib/, bin/, bench/ (%d files)\n"
+          (List.length Rules.all)
+          (List.length (Lint.tree_files root))
+    end;
+    if findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically lint the simulator sources against the discipline \
+          catalogue (charging, memops, fork spine, gauge keys, \
+          determinism); non-zero exit on any finding")
+    Term.(const run $ root $ json)
+
 let default =
   Term.(
     ret
@@ -537,6 +597,6 @@ let () =
        (Cmd.group ~default info
           [
             redis_cmd; hello_cmd; faas_cmd; nginx_cmd; unixbench_cmd;
-            meter_cmd; trace_cmd; check_cmd; profile_cmd; stats_cmd;
-            ablate_cmd;
+            meter_cmd; trace_cmd; check_cmd; lint_cmd; profile_cmd;
+            stats_cmd; ablate_cmd;
           ]))

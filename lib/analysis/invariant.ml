@@ -16,6 +16,7 @@ type t =
   | Coa_protocol
   | Tlb_flush_protocol
   | Copa_relocation
+  | Data_race
 
 let all =
   [
@@ -34,6 +35,7 @@ let all =
     Coa_protocol;
     Tlb_flush_protocol;
     Copa_relocation;
+    Data_race;
   ]
 
 let id = function
@@ -52,6 +54,7 @@ let id = function
   | Coa_protocol -> "L3"
   | Tlb_flush_protocol -> "L4"
   | Copa_relocation -> "L5"
+  | Data_race -> "R1"
 
 let name = function
   | Refcount_mismatch -> "refcount-mismatch"
@@ -69,6 +72,7 @@ let name = function
   | Coa_protocol -> "coa-protocol"
   | Tlb_flush_protocol -> "tlb-flush-protocol"
   | Copa_relocation -> "copa-relocation"
+  | Data_race -> "data-race"
 
 let severity = function
   | Refcount_mismatch -> Error
@@ -86,6 +90,7 @@ let severity = function
   | Coa_protocol -> Error
   | Tlb_flush_protocol -> Critical
   | Copa_relocation -> Critical
+  | Data_race -> Critical
 
 let describe = function
   | Refcount_mismatch ->
@@ -104,6 +109,8 @@ let describe = function
   | Coa_protocol -> "CoA fault resolved by child copy or in-place claim"
   | Tlb_flush_protocol -> "no fault traffic between PTE downgrade and shootdown"
   | Copa_relocation -> "cap-load fault relocates (tag scan) before running on"
+  | Data_race ->
+      "conflicting shared-state writes are ordered by a happens-before edge"
 
 type violation = { invariant : t; subject : string; detail : string }
 

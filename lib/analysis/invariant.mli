@@ -58,9 +58,15 @@ type t =
   | Copa_relocation
       (** L5: a capability-load fault triggers a tag scan (relocation)
           before the faulting process runs on. *)
+  (* Dynamic race detection: Race.violations. *)
+  | Data_race
+      (** R1: every pair of conflicting writes to shared kernel state
+          (page-table entries, trace gauges) is ordered by a
+          happens-before edge — big-kernel-lock hand-off, spawn, or
+          wakeup. Flagged by the vector-clock detector ({!Race}). *)
 
 val all : t list
-(** Catalogue order: S1–S10 then L1–L5. *)
+(** Catalogue order: S1–S10, L1–L5, then R1. *)
 
 val id : t -> string
 (** ["S1"].."( S10"], ["L1"]..["L5"] — stable across releases. *)

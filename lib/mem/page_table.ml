@@ -1,11 +1,28 @@
-type t = { phys : Phys.t; entries : (int, Pte.t) Hashtbl.t }
+module Hb = Ufork_util.Hb
 
-let create phys = { phys; entries = Hashtbl.create 1024 }
+type t = { id : int; phys : Phys.t; entries : (int, Pte.t) Hashtbl.t }
+
+(* Table identity for the happens-before bus: PTE mutations are
+   published per (table, vpn) so the race detector can pair conflicting
+   accesses. *)
+let next_id = ref 0
+
+let create phys =
+  incr next_id;
+  { id = !next_id; phys; entries = Hashtbl.create 1024 }
+
 let phys t = t.phys
+let id t = t.id
+
+let note t vpn site =
+  if Hb.on () then
+    Hb.emit
+      (Hb.Write { tid = Hb.tid (); loc = Hb.Pte { table = t.id; vpn }; site })
 
 let map t ~vpn pte =
   if Hashtbl.mem t.entries vpn then
     invalid_arg (Printf.sprintf "Page_table.map: vpn %#x already mapped" vpn);
+  note t vpn "Page_table.map";
   Hashtbl.replace t.entries vpn pte
 
 let map_shared t ~vpn pte =
@@ -17,6 +34,7 @@ let unmap t ~vpn =
   | None ->
       invalid_arg (Printf.sprintf "Page_table.unmap: vpn %#x not mapped" vpn)
   | Some pte ->
+      note t vpn "Page_table.unmap";
       Phys.release t.phys pte.Pte.frame;
       Hashtbl.remove t.entries vpn
 
@@ -37,6 +55,7 @@ let replace_frame t ~vpn frame =
       invalid_arg
         (Printf.sprintf "Page_table.replace_frame: vpn %#x not mapped" vpn)
   | Some pte ->
+      note t vpn "Page_table.replace_frame";
       Phys.release t.phys pte.Pte.frame;
       pte.Pte.frame <- frame
 
@@ -55,6 +74,7 @@ let map_range t ~vpn ~count f =
       match f v with
       | None -> ()
       | Some pte ->
+          note t v "Page_table.map_range";
           Hashtbl.replace t.entries v pte;
           incr mapped
   done;

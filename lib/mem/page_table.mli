@@ -10,6 +10,9 @@ type t
 val create : Phys.t -> t
 val phys : t -> Phys.t
 
+val id : t -> int
+(** Stable identity; names the table in happens-before events. *)
+
 val map : t -> vpn:int -> Pte.t -> unit
 (** Install an entry. The caller must have arranged the frame's refcount
     (a fresh [Phys.alloc] frame is ready to map once; use {!map_shared} to

@@ -1,4 +1,13 @@
+module Hb = Ufork_util.Hb
+
 type frame = { fid : int; mutable refcount : int; page : Page.t }
+
+(* Frame state (refcount, pool membership) is shared between every
+   thread that forks, faults or exits: publish each mutation so the
+   race detector can check that some happens-before edge orders it. *)
+let note fid site =
+  if Hb.on () then
+    Hb.emit (Hb.Write { tid = Hb.tid (); loc = Hb.Frame fid; site })
 
 type t = {
   limit_frames : int option;
@@ -31,14 +40,17 @@ let alloc t =
   t.next_id <- t.next_id + 1;
   let f = { fid = t.next_id; refcount = 1; page = Page.create () } in
   Hashtbl.replace t.registry f.fid f;
+  note f.fid "Phys.alloc";
   f
 
 let retain _t f =
   if f.refcount <= 0 then invalid_arg "Phys.retain: frame is free";
+  note f.fid "Phys.retain";
   f.refcount <- f.refcount + 1
 
 let release t f =
   if f.refcount <= 0 then invalid_arg "Phys.release: frame is free";
+  note f.fid "Phys.release";
   f.refcount <- f.refcount - 1;
   if f.refcount = 0 then begin
     t.in_use <- t.in_use - 1;

@@ -47,16 +47,20 @@ module Fdtable = struct
 
   let dup_all t =
     let t' = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun fd e ->
-        incr e.refcount;
-        Hashtbl.replace t' fd { desc = e.desc; refcount = e.refcount })
-      t;
+    (* Table-to-table copy: the destination is keyed the same way, so
+       traversal order cannot leak. *)
+    (Hashtbl.iter
+       (fun fd e ->
+         incr e.refcount;
+         Hashtbl.replace t' fd { desc = e.desc; refcount = e.refcount })
+       t [@ufork.order_independent]);
     t'
 
   let close_all t =
+    (* Close in ascending fd order: closing can emit pipe/vfs events, so
+       the order must not depend on Hashtbl internals. *)
     let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t [] in
-    List.iter (fun fd -> close t fd) fds
+    List.iter (fun fd -> close t fd) (List.sort compare fds)
 
   let open_count t = Hashtbl.length t
 end

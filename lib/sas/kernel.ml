@@ -29,7 +29,9 @@ type t = {
   trace : Trace.t;
   phys : Phys.t;
   vfs : Vfs.t;
-  biglock : Sync.Lock.t option;
+  mutable biglock : Sync.Lock.t option;
+  mutable lock_owner : int; (* engine tid holding the biglock, or no_owner *)
+  mutable lock_depth : int;
   procs : (int, Uproc.t) Hashtbl.t;
   mutable next_pid : int;
   root : Capability.t;
@@ -71,6 +73,8 @@ let create ~engine ~costs ~config ~multi_address_space () =
     biglock =
       (if config.Config.big_kernel_lock then Some (Sync.Lock.create ())
        else None);
+    lock_owner = min_int;
+    lock_depth = 0;
     procs = Hashtbl.create 64;
     next_pid = 0;
     root;
@@ -137,16 +141,16 @@ let stat_gauges t () =
         match u.Uproc.state with
         | Uproc.Running ->
             ( cow + count_pending u,
-              ( Printf.sprintf "rss_bytes.%s.%d" u.Uproc.image.Image.name
-                  u.Uproc.pid,
+              ( Trace.rss_bytes_key ~image:u.Uproc.image.Image.name
+                  ~pid:u.Uproc.pid,
                 u.Uproc.private_bytes )
               :: rss )
         | Uproc.Zombie _ -> (cow + count_pending u, rss)
         | _ -> (cow, rss))
       t.procs (0, [])
   in
-  ("frames_in_use", frames)
-  :: ("cow_pending_pages", cow)
+  (Trace.frames_in_use_key, frames)
+  :: (Trace.cow_pending_pages_key, cow)
   :: List.sort compare rss_rev
 
 let enable_stat_sampling t ~interval =
@@ -273,10 +277,11 @@ let find_area_of_addr t addr =
 let find_uproc t pid = Hashtbl.find_opt t.procs pid
 
 let live_process_count t =
-  Hashtbl.fold
-    (fun _ (u : Uproc.t) n ->
-      match u.Uproc.state with Uproc.Running -> n + 1 | _ -> n)
-    t.procs 0
+  (* Commutative count: traversal order cannot change the sum. *)
+  (Hashtbl.fold
+     (fun _ (u : Uproc.t) n ->
+       match u.Uproc.state with Uproc.Running -> n + 1 | _ -> n)
+     t.procs 0 [@ufork.order_independent])
 
 let map_zero_pages t u ~base ~bytes ?(read = true) ?(write = true)
     ?(exec = false) () =
@@ -381,11 +386,49 @@ let validation_cost t =
   | Config.Fault_isolation -> 20
   | Config.No_isolation -> 0
 
+(* The big kernel lock is recursive by owner tid: a fault raised inside a
+   syscall (e.g. copyout hitting a CoW page) re-enters the kernel on the
+   same thread, and Sync.Lock alone would self-deadlock the cooperative
+   engine. Depth counting keeps release balanced with the outermost
+   acquire. *)
+let no_owner = min_int
+
+let current_tid_opt () =
+  match Engine.current_tid () with
+  | tid -> tid
+  | exception Effect.Unhandled _ -> -1
+
 let lock_kernel t =
-  match t.biglock with Some l -> Sync.Lock.acquire l | None -> ()
+  match t.biglock with
+  | None -> ()
+  | Some l ->
+      let tid = current_tid_opt () in
+      if t.lock_depth > 0 && t.lock_owner = tid then
+        t.lock_depth <- t.lock_depth + 1
+      else begin
+        Sync.Lock.acquire l;
+        t.lock_owner <- tid;
+        t.lock_depth <- 1
+      end
 
 let unlock_kernel t =
-  match t.biglock with Some l -> Sync.Lock.release l | None -> ()
+  match t.biglock with
+  | None -> ()
+  | Some l ->
+      if t.lock_depth <= 0 then
+        invalid_arg "Kernel.unlock_kernel: lock not held";
+      t.lock_depth <- t.lock_depth - 1;
+      if t.lock_depth = 0 then begin
+        t.lock_owner <- no_owner;
+        Sync.Lock.release l
+      end
+
+let chaos_disable_biglock t =
+  (* Chaos-only: models a kernel whose fault path forgot the big lock.
+     The race detector's job is to notice what then goes unordered. *)
+  t.biglock <- None;
+  t.lock_owner <- no_owner;
+  t.lock_depth <- 0
 
 let with_syscall t ?proc ?(bytes = 0) name f =
   (match proc with Some u -> check_killed u | None -> ());
@@ -441,6 +484,11 @@ let kernel_wait ?proc t cond =
 
 (* {1 Faults} *)
 
+(* Fault service deliberately does not take the big lock: each handler
+   only writes its own process's page-table entries plus atomic frame
+   refcounts, so concurrent CoW/CoA service on different cores is safe —
+   and is where the multicore fork advantage (Fig. 6) comes from. The
+   happens-before race detector checks exactly this claim. *)
 let handle_fault t u ~addr ~access =
   match t.fault_hook with
   | Some h -> h u ~addr ~access

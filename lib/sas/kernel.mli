@@ -182,6 +182,11 @@ exception Killed_signal
 (** Unwinds a process that received SIGKILL; converted into the exit path
     by {!spawn_process}. *)
 
+val chaos_disable_biglock : t -> unit
+(** Chaos injection only: drop the big kernel lock so syscalls and fault
+    handlers run unserialized. The happens-before race detector must
+    flag the frame/PTE accesses that then go unordered. *)
+
 val syscall_entry_cap : t -> Capability.t
 (** The sealed kernel entry capability every μprocess holds: invocable
     (that is the system call), never dereferenceable or unsealable by

@@ -94,18 +94,20 @@ let free t addr =
 let block_of_addr t addr =
   (* Linear probe down to candidate starts would be slow; walk the table.
      Block counts are modest (thousands), and this is a test/debug path. *)
-  Hashtbl.fold
-    (fun _ b acc ->
-      match acc with
-      | Some _ -> acc
-      | None -> if addr >= b.addr && addr < b.addr + b.size then Some b else None)
-    t.blocks None
+  (* Blocks never overlap, so at most one matches: order-independent. *)
+  (Hashtbl.fold
+     (fun _ b acc ->
+       match acc with
+       | Some _ -> acc
+       | None -> if addr >= b.addr && addr < b.addr + b.size then Some b else None)
+     t.blocks None [@ufork.order_independent])
 
 let clone t ~delta =
   let blocks = Hashtbl.create (Hashtbl.length t.blocks) in
-  Hashtbl.iter
-    (fun a b -> Hashtbl.replace blocks (a + delta) { b with addr = b.addr + delta })
-    t.blocks;
+  (* Table-to-table copy with distinct keys: order cannot leak. *)
+  (Hashtbl.iter
+     (fun a b -> Hashtbl.replace blocks (a + delta) { b with addr = b.addr + delta })
+     t.blocks [@ufork.order_independent]);
   {
     base = t.base + delta;
     size = t.size;

@@ -1,3 +1,5 @@
+module Hb = Ufork_util.Hb
+
 type tid = int
 
 (* Min-heap of (time, seq, action); seq breaks ties FIFO so the schedule is
@@ -240,6 +242,8 @@ let enqueue_new t ?name ?affinity body =
   let thread = { tid = t.next_tid; name; affinity; finished = false; cur_core = None } in
   t.live <- t.live + 1;
   Queue.push (thread, Start body) t.ready;
+  if Hb.on () then
+    Hb.emit (Hb.Spawn { parent = Hb.tid (); child = thread.tid });
   thread.tid
 
 let spawn ?name ?affinity t body =
@@ -285,11 +289,21 @@ let wake w =
   | Some (t, thread, resume) ->
       w.target <- None;
       t.blocked <- t.blocked - 1;
+      if Hb.on () then Hb.emit (Hb.Wake { by = Hb.tid (); target = thread.tid });
       Queue.push (thread, resume) t.ready;
       (* A waker fired outside event processing (e.g. between runs) must
          kick the dispatcher itself; inside, the main loop dispatches after
          the current event completes. *)
       if not t.in_event then dispatch t
+
+(* The happens-before bus needs the current simulated thread wherever a
+   publisher sits (the frame pool in lib/mem cannot perform effects
+   itself); install the provider once at link time. *)
+let () =
+  Hb.set_tid_provider (fun () ->
+      match Effect.perform Get_tid with
+      | tid -> tid
+      | exception Effect.Unhandled _ -> -1)
 
 let sleep n =
   if n < 0L then invalid_arg "Engine.sleep: negative";

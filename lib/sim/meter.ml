@@ -13,7 +13,8 @@ let counter t name =
 let incr t name = Stdlib.incr (counter t name)
 let add t name n = counter t name := !(counter t name) + n
 let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+(* Zeroing every counter commutes: order-independent. *)
+let reset t = (Hashtbl.iter (fun _ r -> r := 0) t [@ufork.order_independent])
 
 let to_list t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []

@@ -1,14 +1,28 @@
-module Lock = struct
-  type t = { mutable held : bool; queue : Engine.waker Queue.t }
+module Hb = Ufork_util.Hb
 
-  let create () = { held = false; queue = Queue.create () }
+module Lock = struct
+  type t = { id : int; mutable held : bool; queue : Engine.waker Queue.t }
+
+  (* Lock identity for the happens-before bus: release-to-acquire edges
+     are drawn per lock, so each needs a stable id. *)
+  let next_id = ref 0
+
+  let create () =
+    incr next_id;
+    { id = !next_id; held = false; queue = Queue.create () }
+
+  let id t = t.id
 
   let acquire t =
-    if not t.held then t.held <- true
-    else Engine.suspend (fun w -> Queue.push w t.queue)
+    (if not t.held then t.held <- true
+     else Engine.suspend (fun w -> Queue.push w t.queue));
+    (* Emitted after the lock is really held (a contended acquire
+       suspends first): the detector joins the releaser's clock here. *)
+    if Hb.on () then Hb.emit (Hb.Acquire { tid = Hb.tid (); lock = t.id })
 
   let release t =
     if not t.held then invalid_arg "Lock.release: not held";
+    if Hb.on () then Hb.emit (Hb.Release { tid = Hb.tid (); lock = t.id });
     match Queue.take_opt t.queue with
     | Some w ->
         (* Ownership transfers directly to the woken thread. *)

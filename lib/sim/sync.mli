@@ -19,6 +19,9 @@ module Lock : sig
   (** [acquire]; run; [release] (also on exception). *)
 
   val locked : t -> bool
+
+  val id : t -> int
+  (** Stable identity; names the lock in happens-before events. *)
 end
 
 module Cond : sig

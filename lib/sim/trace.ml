@@ -270,9 +270,18 @@ let emit t ?(pid = -1) event =
      time even if a [~until] deadline truncates the advance. *)
   if charged then Engine.advance cost
 
-let gauge t key v = Meter.set t.meter key v
+let gauge t key v =
+  (* Gauges are shared scalar state (e.g. last-fork latency read by the
+     stats dump): publish the write so the race detector can order it. *)
+  let module Hb = Ufork_util.Hb in
+  if Hb.on () then
+    Hb.emit (Hb.Write { tid = Hb.tid (); loc = Hb.Gauge key; site = "Trace.gauge" });
+  Meter.set t.meter key v
 
 let last_fork_latency_key = "gauge.last_fork_latency"
+let frames_in_use_key = "frames_in_use"
+let cow_pending_pages_key = "cow_pending_pages"
+let rss_bytes_key ~image ~pid = Printf.sprintf "rss_bytes.%s.%d" image pid
 
 let last_fork_latency t =
   Int64.of_int (Meter.get t.meter last_fork_latency_key)
@@ -286,14 +295,15 @@ let records t =
 
 let reset t =
   Meter.reset t.meter;
-  Hashtbl.iter
-    (fun _ e ->
-      e.units <- 0;
-      e.charged_units <- 0;
-      e.cycles <- 0L;
-      e.rep <- None;
-      e.fixed <- true)
-    t.entries;
+  (* Resetting every entry commutes: order-independent. *)
+  (Hashtbl.iter
+     (fun _ e ->
+       e.units <- 0;
+       e.charged_units <- 0;
+       e.cycles <- 0L;
+       e.rep <- None;
+       e.fixed <- true)
+     t.entries [@ufork.order_independent]);
   t.total_cycles <- 0L;
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.ring_start <- 0;
@@ -478,7 +488,10 @@ let audit t ~costs ~elapsed =
      charged cycle lands in exactly one span's self bucket (or the
      "(unattributed)" bucket), so the sums must agree exactly. *)
   let span_self_sum =
-    Hashtbl.fold (fun _ a acc -> Int64.add acc a.self_cycles) t.spans 0L
+    (* Commutative sum: traversal order cannot change it. *)
+    (Hashtbl.fold
+       (fun _ a acc -> Int64.add acc a.self_cycles)
+       t.spans 0L [@ufork.order_independent])
   in
   if span_self_sum <> t.total_cycles then
     raise
@@ -487,20 +500,22 @@ let audit t ~costs ~elapsed =
             "span self-cycles sum to %Ld but the trace charged %Ld (delta %Ld)"
             span_self_sum t.total_cycles
             (Int64.sub t.total_cycles span_self_sum)));
-  Hashtbl.iter
-    (fun key e ->
-      match e.rep with
-      | Some rep when e.fixed -> (
-          match Event.linear_unit ~costs rep with
-          | None -> ()
-          | Some unit ->
-              let expected = Int64.mul unit (Int64.of_int e.charged_units) in
-              if e.cycles <> expected then
-                raise
-                  (Audit_failure
-                     (Printf.sprintf
-                        "key %S charged %Ld cycles; preset says %d units x %Ld \
-                         = %Ld"
-                        key e.cycles e.charged_units unit expected)))
-      | _ -> ())
-    t.entries
+  (* Pass/fail per entry is independent of the others; which failing key
+     gets reported first is diagnostic detail only. *)
+  (Hashtbl.iter
+     (fun key e ->
+       match e.rep with
+       | Some rep when e.fixed -> (
+           match Event.linear_unit ~costs rep with
+           | None -> ()
+           | Some unit ->
+               let expected = Int64.mul unit (Int64.of_int e.charged_units) in
+               if e.cycles <> expected then
+                 raise
+                   (Audit_failure
+                      (Printf.sprintf
+                         "key %S charged %Ld cycles; preset says %d units x \
+                          %Ld = %Ld"
+                         key e.cycles e.charged_units unit expected)))
+       | _ -> ())
+     t.entries [@ufork.order_independent])

@@ -108,6 +108,17 @@ val last_fork_latency_key : string
 (** The gauge every fork hook sets to the cycles spent inside the most
     recent fork call. *)
 
+val frames_in_use_key : string
+(** Sampler gauge: physical frames currently allocated. *)
+
+val cow_pending_pages_key : string
+(** Sampler gauge: pages still awaiting copy-on-write resolution. *)
+
+val rss_bytes_key : image:string -> pid:int -> string
+(** Sampler gauge key for one process's private bytes; the single
+    constructor keeps the [rss_bytes.<image>.<pid>] namespace in one
+    place. *)
+
 val last_fork_latency : t -> int64
 (** Typed read of that gauge (0 before the first fork). *)
 

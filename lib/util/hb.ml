@@ -1,0 +1,59 @@
+(* Happens-before instrumentation bus.
+
+   The concurrency layer (engine, locks), the memory kit (frame pool,
+   page tables) and the gauge surface publish ordering edges and
+   shared-state mutations here; the dynamic race detector in
+   lib/analysis subscribes for the duration of a checked run. With no
+   subscriber the publishers pay one mutable-bool read and build no
+   values, so production runs and the golden accounting are untouched.
+
+   This module lives at the bottom of the dependency stack (lib/util)
+   precisely so that both lib/sim and lib/mem can publish without a
+   dependency cycle: the detector, not the publishers, decides what the
+   events mean. *)
+
+type loc =
+  | Frame of int  (** a physical frame's refcount/pool state, by frame id *)
+  | Pte of { table : int; vpn : int }  (** one page-table entry *)
+  | Gauge of string  (** a derived-meter gauge key *)
+
+type event =
+  | Spawn of { parent : int; child : int }
+      (** thread creation: everything the parent did so far
+          happens-before everything the child does *)
+  | Wake of { by : int; target : int }
+      (** a suspended thread resumed by [by] (condition signal, waker
+          handoff): the signaller's past happens-before the wakee's
+          future *)
+  | Acquire of { tid : int; lock : int }
+  | Release of { tid : int; lock : int }
+  | Write of { tid : int; loc : loc; site : string }
+
+(* The engine installs the provider once at link time; outside any
+   simulated thread (boot, direct poking from unit tests) it returns a
+   negative tid, which subscribers treat as "not a concurrent context".
+   [enabled] is the only state the hot paths touch when no detector is
+   armed. *)
+
+let enabled = ref false
+let listener : (event -> unit) ref = ref ignore
+let tid_provider : (unit -> int) ref = ref (fun () -> -1)
+
+let set_tid_provider f = tid_provider := f
+let tid () = !tid_provider ()
+let on () = !enabled
+
+let subscribe f =
+  listener := f;
+  enabled := true
+
+let unsubscribe () =
+  enabled := false;
+  listener := ignore
+
+let emit ev = if !enabled then !listener ev
+
+let pp_loc ppf = function
+  | Frame fid -> Format.fprintf ppf "frame %d" fid
+  | Pte { table; vpn } -> Format.fprintf ppf "pt%d vpn %#x" table vpn
+  | Gauge key -> Format.fprintf ppf "gauge %s" key

@@ -1,0 +1,45 @@
+(** Happens-before instrumentation bus.
+
+    Publishers (the simulation engine, locks, the frame pool, page
+    tables, the gauge surface) report ordering edges and shared-state
+    mutations; a dynamic race detector subscribes for the duration of a
+    checked run. With no subscriber the publishers pay a single bool
+    read and allocate nothing, so golden accounting is untouched.
+
+    The module sits in lib/util so both lib/sim and lib/mem can publish
+    without a dependency cycle. *)
+
+type loc =
+  | Frame of int  (** a physical frame's refcount/pool state, by frame id *)
+  | Pte of { table : int; vpn : int }  (** one page-table entry *)
+  | Gauge of string  (** a derived-meter gauge key *)
+
+type event =
+  | Spawn of { parent : int; child : int }
+  | Wake of { by : int; target : int }
+  | Acquire of { tid : int; lock : int }
+  | Release of { tid : int; lock : int }
+  | Write of { tid : int; loc : loc; site : string }
+
+val set_tid_provider : (unit -> int) -> unit
+(** Installed once by the engine: the current simulated thread id, or a
+    negative value outside any simulated thread. *)
+
+val tid : unit -> int
+(** The current simulated thread id via the installed provider. *)
+
+val on : unit -> bool
+(** True while a subscriber is armed. Publishers guard event
+    construction behind this so the off state allocates nothing. *)
+
+val subscribe : (event -> unit) -> unit
+(** Arm the bus. One subscriber at a time; a second [subscribe]
+    replaces the first. *)
+
+val unsubscribe : unit -> unit
+
+val emit : event -> unit
+(** Deliver to the subscriber, if armed. Call under [if on () then ...]
+    when building the event allocates. *)
+
+val pp_loc : Format.formatter -> loc -> unit

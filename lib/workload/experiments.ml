@@ -22,6 +22,8 @@ module Httpd = Ufork_apps.Httpd
 module Unixbench = Ufork_apps.Unixbench
 module Hello = Ufork_apps.Hello
 module Checker = Ufork_analysis.Checker
+module Race = Ufork_analysis.Race
+module Invariant = Ufork_analysis.Invariant
 
 type system =
   | Ufork of Strategy.t
@@ -108,6 +110,22 @@ let profiled_traces () = !profiled
 let sample_interval : int64 option ref = ref None
 let set_sample_interval i = sample_interval := i
 
+(* {2 Race detection}
+
+   With [race_detect] set, every boot arms a fresh happens-before
+   detector on the instrumentation bus and [finish_run] raises
+   {!Checker.Unsafe} if any conflicting unordered writes were seen.
+   [chaos_no_bkl] is the matching fault injection: boot with the big
+   kernel lock disabled and spawn one rogue thread that performs a
+   deliberate unlocked write to shared state mid-run — the scenario the
+   detector exists to catch. *)
+
+let race_detect = ref false
+let set_race_detect on = race_detect := on
+let chaos_no_bkl = ref false
+let set_chaos_no_bkl on = chaos_no_bkl := on
+let race_detector : Race.t option ref = ref None
+
 let register_trace tr =
   if !record_always then Trace.set_recording tr true;
   if Option.is_some !trace_sink then begin
@@ -166,6 +184,12 @@ let finish_run b =
      corrupted machine state must not report numbers. The lint half sees
      the recorded stream, so it is active whenever recording is. *)
   Checker.assert_safe b.kernel;
+  (match !race_detector with
+  | Some d -> (
+      match Race.violations d with
+      | [] -> ()
+      | vs -> raise (Checker.Unsafe (Invariant.report vs)))
+  | None -> ());
   flush_trace ()
 
 (* Every flavour boots down to the same {!Ufork_core.System.t}; the
@@ -203,11 +227,34 @@ let boot_raw ~cores ?config system =
 
 let boot ?(cores = 4) ?config system =
   let cores = Option.value !default_cores ~default:cores in
+  (* Arm the detector before boot so image setup and process spawns are
+     already on its clocks. *)
+  if !race_detect then begin
+    let d = Race.create () in
+    race_detector := Some d;
+    Race.attach d
+  end
+  else begin
+    (* A detector from an earlier (possibly aborted) checked run must not
+       outlive it: disarm the bus and drop it. *)
+    Race.detach ();
+    race_detector := None
+  end;
   let b = boot_raw ~cores ?config system in
   register_trace (Kernel.trace b.kernel);
   (match !sample_interval with
   | Some interval -> Kernel.enable_stat_sampling b.kernel ~interval
   | None -> ());
+  if !chaos_no_bkl then begin
+    Kernel.chaos_disable_biglock b.kernel;
+    (* The seeded bug: one kernel-side write to shared state (the fork
+       latency gauge every fork also writes) from a thread that takes no
+       lock. With the big lock gone nothing orders it. *)
+    ignore
+      (Engine.spawn b.engine ~name:"chaos-unlocked" (fun () ->
+           Engine.sleep 1_000L;
+           Trace.gauge (Kernel.trace b.kernel) Trace.last_fork_latency_key 0))
+  end;
   b
 
 let child_private_mb b pid =

@@ -64,6 +64,21 @@ val set_sample_interval : int64 option -> unit
     interval on every machine booted from now on. [None] disables for
     subsequent boots. *)
 
+(** {1 Race detection} *)
+
+val set_race_detect : bool -> unit
+(** Arm the happens-before race detector ({!Ufork_analysis.Race}) on
+    every machine booted from now on; the end-of-run check raises
+    {!Ufork_analysis.Checker.Unsafe} with R1 violations if any
+    conflicting unordered writes were observed. *)
+
+val set_chaos_no_bkl : bool -> unit
+(** Fault injection for the race detector: boot every subsequent machine
+    with the big kernel lock chaos-disabled and spawn one rogue thread
+    that performs a deliberate unlocked write to shared state mid-run.
+    Meaningful together with {!set_race_detect}, which must then flag
+    R1. *)
+
 (** {1 Accounting audit and state sanitizer}
 
     Every experiment run checks {!Ufork_sim.Trace.audit} before returning:

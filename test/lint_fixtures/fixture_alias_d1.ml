@@ -1,0 +1,6 @@
+(* Alias-aware positive: the banned call hides behind a module alias.
+   Still exactly one D1 finding. *)
+
+module En = Engine
+
+let tick e = En.advance e 5L

@@ -1,0 +1,7 @@
+(* False-positive control: an alias that does NOT point at a banned
+   module. [Est.advance] resolves to Estimate.advance, which no rule
+   bans; a name-blind grep for ".advance" would flag it. *)
+
+module Est = Estimate
+
+let step e = Est.advance e

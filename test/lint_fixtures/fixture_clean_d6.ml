@@ -1,0 +1,8 @@
+(* False-positive controls for D6: a fold discharged by a sort in the
+   same top-level definition, and an iter carrying the
+   [@ufork.order_independent] marker. *)
+
+let sorted_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let reset t = (Hashtbl.iter (fun _ r -> r := 0) t [@ufork.order_independent])

@@ -1,0 +1,4 @@
+(* Seeds exactly one D1 (charging-discipline) violation: a direct
+   Engine.advance outside lib/sim bypasses the typed event bus. *)
+
+let tick engine = Ufork_sim.Engine.advance engine 5L

@@ -1,0 +1,4 @@
+(* Seeds exactly one D2 (memops-discipline) violation: a raw page byte
+   copy outside lib/mem / lib/core/memops.ml. *)
+
+let snoop page = Page.read_bytes page 0 16

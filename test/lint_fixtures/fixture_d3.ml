@@ -1,0 +1,4 @@
+(* Seeds exactly one D3 (fork-spine-discipline) violation: a second
+   descriptor-table duplication site outside the fork spine. *)
+
+let shadow_fork table = Fdtable.dup_all table

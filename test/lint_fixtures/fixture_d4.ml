@@ -1,0 +1,4 @@
+(* Seeds exactly one D4 (gauge-key-constant) violation: Trace.gauge
+   called with an ad-hoc string literal instead of a named constant. *)
+
+let record tr = Trace.gauge tr "my.adhoc.key" 3

@@ -1,0 +1,4 @@
+(* Seeds exactly one D5 (no-wall-clock) violation: a wall-clock read in
+   simulation code breaks golden replay. *)
+
+let now () = Unix.gettimeofday ()

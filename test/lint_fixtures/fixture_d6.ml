@@ -1,0 +1,5 @@
+(* Seeds exactly one D6 (hashtbl-order) violation: a Hashtbl.fold whose
+   top-level definition neither sorts the result nor carries the
+   [@ufork.order_independent] marker. *)
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

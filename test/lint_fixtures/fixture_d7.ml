@@ -1,0 +1,4 @@
+(* Seeds exactly one D7 (no-poly-compare-identity) violation:
+   polymorphic (=) on the identity-bearing [frame] field. *)
+
+let shares_frame a b = a.frame = b.frame

@@ -1,0 +1,4 @@
+(* Seeds exactly one D8 (no-obj) violation: Obj.magic defeats the type
+   system the simulation leans on. *)
+
+let coerce x = Obj.magic x

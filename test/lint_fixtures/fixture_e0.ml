@@ -1,0 +1,4 @@
+(* Seeds exactly one E0 (parse-error) finding: this file deliberately
+   does not parse. *)
+
+let = = (

@@ -1,0 +1,6 @@
+(* Open-aware positive: the banned call is a bare identifier made
+   visible by an [open]. Still exactly one D5 finding. *)
+
+open Random
+
+let roll () = int 6

@@ -12,6 +12,8 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);
       ("analysis", Test_analysis.suite);
+      ("race", Test_race.suite);
+      ("lint", Test_lint.suite);
       ("profile", Test_profile.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);

@@ -252,10 +252,29 @@ let test_jsonl_header () =
   done;
   Alcotest.(check int) "dropped" 6 (Trace.dropped tr);
   match String.split_on_char '\n' (Trace.to_jsonl_string tr) with
-  | header :: _ ->
+  | header :: body ->
       Alcotest.(check string) "header line"
-        "{\"header\":{\"records\":4,\"dropped\":6}}" header
+        "{\"header\":{\"records\":4,\"dropped\":6}}" header;
+      (* The header's record count is the number of record lines that
+         follow: line-counting consumers need no scan. *)
+      Alcotest.(check int) "body matches header" 4
+        (List.length (List.filter (fun l -> l <> "") body))
   | [] -> Alcotest.fail "no header"
+
+let test_ring_drops_oldest () =
+  (* Overflow evicts from the front: after 10 distinguishable emissions
+     on a 4-record ring, the survivors are the 4 newest, oldest first. *)
+  let engine = Engine.create ~cores:1 () in
+  let tr = Trace.create ~engine ~costs:Costs.ufork ~ring_capacity:4 () in
+  Trace.set_recording tr true;
+  for i = 1 to 10 do
+    Trace.emit tr (Event.Copy_bytes i)
+  done;
+  Alcotest.(check (list int)) "newest survive, in order" [ 7; 8; 9; 10 ]
+    (List.map
+       (fun (r : Trace.record) ->
+         match r.Trace.event with Event.Copy_bytes n -> n | _ -> -1)
+       (Trace.records tr))
 
 (* {1 Whole-system: every flavour's run satisfies the span clause and
    feeds the fork histogram} *)
@@ -308,6 +327,8 @@ let suite =
     Alcotest.test_case "folded stacks + prometheus" `Quick test_folded_stacks;
     Alcotest.test_case "virtual-time sampler" `Quick test_sampler;
     Alcotest.test_case "jsonl header reflects drops" `Quick test_jsonl_header;
+    Alcotest.test_case "ring overflow drops oldest" `Quick
+      test_ring_drops_oldest;
     Alcotest.test_case "profile: hello on ufork-copa" `Quick
       (test_system_profile "ufork-copa");
     Alcotest.test_case "profile: hello on cheribsd" `Quick

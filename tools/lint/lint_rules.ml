@@ -1,0 +1,141 @@
+(* The rule catalogue: stable ids, path scoping, and the qualified names
+   each rule bans. The engine (Lint_engine) owns the AST mechanics; this
+   module is the policy — what is banned where, and why.
+
+   Paths are repo-relative with '/' separators. A rule [applies] to a
+   file when the file is inside the rule's scanned roots and not in one
+   of its exempt homes: the exemption is always "the module that owns
+   the mechanism", never a blanket opt-out. *)
+
+type t = {
+  id : string;  (* stable short id: "D1".."D8" *)
+  name : string;  (* kebab-case slug *)
+  summary : string;  (* one line, shown next to findings *)
+  applies : string -> bool;
+}
+
+let under prefix path = String.length path >= String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix
+
+let in_scanned path =
+  under "lib/" path || under "bin/" path || under "bench/" path
+
+(* {1 The catalogue} *)
+
+let charging =
+  {
+    id = "D1";
+    name = "charging-discipline";
+    summary =
+      "every cycle charge and counter bump flows through the typed event \
+       bus (Trace.emit); direct Engine.advance / Meter mutation outside \
+       lib/sim bypasses the zero-tolerance accounting audit";
+    applies = (fun p -> in_scanned p && not (under "lib/sim/" p));
+  }
+
+let page_copy =
+  {
+    id = "D2";
+    name = "memops-discipline";
+    summary =
+      "raw Page byte/capability copies belong in lib/mem and Memops \
+       (lib/core/memops.ml), the single home for page duplication — a \
+       loop elsewhere forgets granule accounting or batched emission";
+    applies =
+      (fun p ->
+        in_scanned p
+        && (not (under "lib/mem/" p))
+        && p <> "lib/core/memops.ml");
+  }
+
+let fork_dup =
+  {
+    id = "D3";
+    name = "fork-spine-discipline";
+    summary =
+      "descriptor-table duplication is part of the shared fork spine \
+       (Fork_spine.run); a second Fdtable.dup_all call site is a second \
+       fork skeleton growing back";
+    applies =
+      (fun p ->
+        in_scanned p
+        && not
+             (List.mem p
+                [
+                  "lib/sas/fdesc.ml"; "lib/sas/kernel.ml";
+                  "lib/core/fork_spine.ml";
+                ]));
+  }
+
+let gauge_key =
+  {
+    id = "D4";
+    name = "gauge-key-constant";
+    summary =
+      "Trace.gauge with an ad-hoc string literal scatters the meter \
+       namespace and a typo silently forks the key; declare the key as a \
+       named constant in lib/sim or lib/core and reference it";
+    applies =
+      (fun p ->
+        in_scanned p && (not (under "lib/sim/" p))
+        && not (under "lib/core/" p));
+  }
+
+let wall_clock =
+  {
+    id = "D5";
+    name = "no-wall-clock";
+    summary =
+      "simulation code must be deterministic: wall-clock reads and the \
+       global self-seeding Random break golden replay — use Engine time \
+       and the seeded Prng";
+    applies = in_scanned;
+  }
+
+let hashtbl_order =
+  {
+    id = "D6";
+    name = "hashtbl-order";
+    summary =
+      "Hashtbl.iter/fold order is unspecified; results that feed golden \
+       traces or exports must be sorted (a List/Array sort in the same \
+       top-level definition) or the site marked \
+       [@ufork.order_independent]";
+    applies = in_scanned;
+  }
+
+let poly_compare =
+  {
+    id = "D7";
+    name = "no-poly-compare-identity";
+    summary =
+      "polymorphic compare/(=) on capability values or identity-bearing \
+       mutable records (frames, page tables) compares structure, not \
+       identity, and breaks when hidden fields change — use \
+       Capability.equal, Phys.id, or (==)";
+    applies = in_scanned;
+  }
+
+let obj_magic =
+  {
+    id = "D8";
+    name = "no-obj";
+    summary =
+      "Obj.* defeats the type system the whole simulation leans on \
+       (capability opacity, effect handlers); there is no sound use here";
+    applies = in_scanned;
+  }
+
+let parse_error =
+  {
+    id = "E0";
+    name = "parse-error";
+    summary = "the file does not parse with the pinned compiler front end";
+    applies = (fun _ -> true);
+  }
+
+let all =
+  [
+    charging; page_copy; fork_dup; gauge_key; wall_clock; hashtbl_order;
+    poly_compare; obj_magic;
+  ]

@@ -1,0 +1,45 @@
+(* ufork_lint: the AST-level discipline linter.
+
+     ufork_lint [--json] [ROOT]
+
+   Parses every .ml/.mli under ROOT/{lib,bin,bench} (ROOT defaults to
+   the current directory) and reports rule-catalogue findings; exits 1
+   if there are any. [--list-rules] prints the catalogue. *)
+
+module Lint_rules = Ufork_lint_core.Lint_rules
+module Lint_engine = Ufork_lint_core.Lint_engine
+
+let () =
+  let json = ref false in
+  let list_rules = ref false in
+  let root = ref "." in
+  let spec =
+    [
+      ("--json", Arg.Set json, " Emit findings as a JSON array");
+      ("--list-rules", Arg.Set list_rules, " Print the rule catalogue");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun d -> root := d)
+    "ufork_lint [--json] [--list-rules] [ROOT]";
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint_rules.t) ->
+        Printf.printf "%s %-28s %s\n" r.Lint_rules.id r.Lint_rules.name
+          r.Lint_rules.summary)
+      Lint_rules.all;
+    exit 0
+  end;
+  let findings = Lint_engine.lint_tree !root in
+  if !json then print_endline (Lint_engine.to_json findings)
+  else begin
+    List.iter
+      (fun f -> Format.printf "%a@." Lint_engine.pp_finding f)
+      findings;
+    if findings = [] then
+      Printf.printf
+        "ufork_lint: clean — %d rules over lib/, bin/, bench/ (%d files)\n"
+        (List.length Lint_rules.all)
+        (List.length (Lint_engine.tree_files !root))
+  end;
+  exit (if findings = [] then 0 else 1)

@@ -1,74 +1,15 @@
 #!/usr/bin/env sh
-# Cost-charging discipline lint.
+# Discipline lint — thin wrapper over the AST-level linter.
 #
-# Every cycle charge and counter bump must flow through the typed event
-# bus (Trace.emit in lib/sim): a direct Engine.advance or Meter.incr
-# anywhere else bypasses the zero-tolerance accounting audit and the
-# sanitizer's invariants. Tests (test/) may exercise the primitives
-# directly; production code in lib/ and bin/ may not.
+# The four grep rules that used to live here (charging, memops, fork
+# spine, gauge keys) are now D1-D4 of tools/lint/ufork_lint, which
+# parses the sources with the compiler front end: comments and string
+# literals are invisible, module aliases and opens are resolved, and
+# the catalogue also enforces the determinism rules D5-D8 (wall clock,
+# Hashtbl order, polymorphic compare on identity, Obj). Run it directly
+# for --json output or a rule listing (--list-rules).
 set -eu
 cd "$(dirname "$0")/.."
 
-hits=$(grep -rnE '\bEngine\.advance\b|\bMeter\.incr\b' \
-  --include='*.ml' --include='*.mli' lib bin | grep -v '^lib/sim/' || true)
-
-if [ -n "$hits" ]; then
-  echo "charging lint: Engine.advance / Meter.incr outside lib/sim/ —" >&2
-  echo "route the charge through the event bus (Trace.emit):" >&2
-  echo "$hits" >&2
-  exit 1
-fi
-
-# Physical-page duplication discipline.
-#
-# Raw byte/capability copy loops over Page outside the memory kit belong
-# in Memops (lib/core/memops.ml), the single home for page duplication:
-# a loop elsewhere will forget granule accounting or batched event
-# emission. lib/mem itself implements Page, and Vas is the user-visible
-# load/store path (charged per access by the kernel), so both are exempt.
-copy_hits=$(grep -rnE '\bPage\.(read_bytes|write_bytes)\b' \
-  --include='*.ml' lib | grep -vE '^lib/(mem|core/memops\.ml)' || true)
-
-if [ -n "$copy_hits" ]; then
-  echo "memops lint: raw Page byte copy outside lib/mem / Memops —" >&2
-  echo "use Memops.copy_range / Memops.duplicate_frame:" >&2
-  echo "$copy_hits" >&2
-  exit 1
-fi
-
-# File-table duplication discipline.
-#
-# Fork's descriptor-table duplication is part of the shared fork spine
-# (Fork_spine.run); a second dup_all call site is a second fork skeleton
-# growing back. The kernel itself may call it for spawn-like paths, and
-# lib/sas/fdesc.ml defines it.
-dup_hits=$(grep -rnE '\bFdtable\.dup_all\b' \
-  --include='*.ml' lib bin \
-  | grep -vE '^lib/(sas/(fdesc|kernel)\.ml|core/fork_spine\.ml)' || true)
-
-if [ -n "$dup_hits" ]; then
-  echo "fork-spine lint: Fdtable.dup_all outside Fork_spine / kernel —" >&2
-  echo "fork-path duplication belongs in Fork_spine.run:" >&2
-  echo "$dup_hits" >&2
-  exit 1
-fi
-# Gauge-key discipline.
-#
-# Trace.gauge with an ad-hoc string literal scatters the namespace of
-# the derived meter view: readers (benchmarks, the stats exporter) can
-# no longer find the value, and a typo silently forks the key. Gauge
-# keys must be declared constants (like Trace.last_fork_latency_key) in
-# lib/sim or lib/core, where call sites reference them by name.
-gauge_hits=$(grep -rnE 'Trace\.gauge[^"]*"' \
-  --include='*.ml' lib bin bench | grep -vE '^lib/(sim|core)/' || true)
-
-if [ -n "$gauge_hits" ]; then
-  echo "gauge lint: Trace.gauge with a string-literal key outside" >&2
-  echo "lib/sim / lib/core — declare the key as a named constant" >&2
-  echo "(like Trace.last_fork_latency_key) and reference it:" >&2
-  echo "$gauge_hits" >&2
-  exit 1
-fi
-echo "charging lint: clean — all charging flows through the event bus,"
-echo "page duplication through Memops, fork dup through Fork_spine,"
-echo "gauge keys are declared constants"
+dune build tools/lint/ufork_lint.exe
+exec dune exec --no-build tools/lint/ufork_lint.exe -- .
