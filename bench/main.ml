@@ -8,12 +8,14 @@
      dune exec bench/main.exe -- fig4 fig8
 
    Available targets: table1 survey fig3 fig4 fig5 fig6 fig7 fig8 fig9
-   toctou ablate-proactive ablate-entry ablate-isolation bechamel all
-   quick (= all with reduced sizes/windows). *)
+   toctou ablate-proactive ablate-entry ablate-isolation smp bechamel all
+   quick (= all with reduced sizes/windows). The smp target sweeps
+   --cores-sweep and writes BENCH_smp.json. *)
 
 module Table = Ufork_util.Table
 module Stats = Ufork_util.Stats
 module Units = Ufork_util.Units
+module Config = Ufork_sas.Config
 module Strategy = Ufork_core.Strategy
 module E = Ufork_workload.Experiments
 module Keyspace = Ufork_workload.Keyspace
@@ -521,6 +523,69 @@ let ablations () =
     (E.ablate_fragmentation ())
 
 (* ------------------------------------------------------------------ *)
+(* SMP fork-throughput scaling: per-core run queues, sharded locks and
+   IPI-costed shootdown windows, swept across core counts and against
+   the big-kernel-lock baseline. Emits BENCH_smp.json. *)
+
+let cores_sweep = ref [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+let smp_out = ref "BENCH_smp.json"
+
+let smp () =
+  section "SMP: fork-throughput scaling (sharded locks vs big kernel lock)";
+  (* The sweep owns its core counts: a global --cores override would
+     collapse every point to one machine size. *)
+  E.set_default_cores None;
+  let iters = if !quick then 4 else 12 in
+  let sys = E.Ufork Strategy.Copa in
+  let bkl_config =
+    Config.with_lock_mode Config.Big_kernel_lock Config.ufork_fast
+  in
+  let points =
+    List.concat_map
+      (fun cores ->
+        let sharded = E.fork_storm_run sys ~cores ~iters () in
+        let bkl = E.fork_storm_run ~config:bkl_config sys ~cores ~iters () in
+        [ sharded; bkl ])
+      !cores_sweep
+  in
+  Table.print
+    ~header:
+      [ "cores"; "locks"; "forks"; "forks/s"; "fault p50 (us)";
+        "fault p99 (us)"; "steals" ]
+    (List.map
+       (fun (r : E.smp_row) ->
+         [ string_of_int r.E.cores; r.E.locks; string_of_int r.E.forks;
+           Table.fmt_f ~dec:0 r.E.forks_per_s; f2 r.E.fault_p50_us;
+           f2 r.E.fault_p99_us; string_of_int r.E.steals ])
+       points);
+  let find cores locks =
+    List.find_opt
+      (fun (r : E.smp_row) -> r.E.cores = cores && r.E.locks = locks)
+      points
+  in
+  (match (find 64 "sharded", find 4 "bkl") with
+  | Some s64, Some b4 when b4.E.forks_per_s > 0. ->
+      note "64-core sharded vs 4-core BKL fork throughput: %sx\n"
+        (f1 (s64.E.forks_per_s /. b4.E.forks_per_s))
+  | _ -> ());
+  let oc = open_out !smp_out in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"smp_fork_scaling\",\n  \"system\": %S,\n  \"workload\": \"fork_storm: one forking uproc per core, %d forks each, two-page dirty set\",\n  \"iters_per_forker\": %d,\n  \"points\": [\n%s\n  ]\n}\n"
+    (E.system_label sys) iters iters
+    (String.concat ",\n"
+       (List.map
+          (fun (r : E.smp_row) ->
+            Printf.sprintf
+              "    {\"cores\": %d, \"locks\": %S, \"forks\": %d, \
+               \"forks_per_s\": %.1f, \"fault_p50_us\": %.3f, \
+               \"fault_p99_us\": %.3f, \"steals\": %d}"
+              r.E.cores r.E.locks r.E.forks r.E.forks_per_s r.E.fault_p50_us
+              r.E.fault_p99_us r.E.steals)
+          points));
+  close_out oc;
+  note "wrote %s\n" !smp_out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: host-side cost of the simulator itself —
    one Test.make per figure workload, so simulator regressions show up. *)
 
@@ -593,7 +658,8 @@ let all () =
   fig8 ();
   fig9 ();
   toctou ();
-  ablations ()
+  ablations ();
+  smp ()
 
 let run_target = function
   | "table1" -> table1 ()
@@ -609,18 +675,32 @@ let run_target = function
   | "toctou" -> toctou ()
   | "ablate-proactive" | "ablate-entry" | "ablate-isolation" | "ablations" ->
       ablations ()
+  | "smp" -> smp ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf "unknown bench target %S\n" other;
       exit 2
 
-let main targets quick_flag cores trace_out profile_out =
+let main targets quick_flag cores sweep smp_out_flag trace_out profile_out =
   (* "quick" as a positional target is the historic spelling of --quick:
      it sets the flag and is dropped from the target list, so a bare
      `bench quick` runs the full reduced suite rather than nothing. *)
   if quick_flag || List.mem "quick" targets then quick := true;
   E.set_default_cores cores;
+  (match sweep with
+  | Some s ->
+      cores_sweep :=
+        List.map
+          (fun n ->
+            match int_of_string_opt (String.trim n) with
+            | Some v when v > 0 -> v
+            | Some _ | None ->
+                Printf.eprintf "bad --cores-sweep entry %S\n" n;
+                exit 2)
+          (String.split_on_char ',' s)
+  | None -> ());
+  (match smp_out_flag with Some p -> smp_out := p | None -> ());
   E.set_trace_out trace_out;
   E.set_profile_out profile_out;
   let targets = List.filter (fun t -> t <> "quick") targets in
@@ -633,7 +713,7 @@ let cmd =
   let targets =
     let doc =
       "Benchmark targets: table1, survey, fig1-2, fig3..fig9, toctou, \
-       ablations, bechamel, all (default)."
+       ablations, smp, bechamel, all (default)."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"TARGET" ~doc)
   in
@@ -647,6 +727,22 @@ let cmd =
        experiment's default."
     in
     Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let sweep =
+    let doc =
+      "Core counts for the $(b,smp) scaling target, comma-separated \
+       (default 1,2,4,8,16,32,64,128). Each point runs the fork storm \
+       under sharded locks and under the legacy big kernel lock."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cores-sweep" ] ~docv:"LIST" ~doc)
+  in
+  let smp_out_flag =
+    let doc = "Where the $(b,smp) target writes its JSON curve." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "smp-out" ] ~docv:"FILE" ~doc)
   in
   let trace_out =
     let doc =
@@ -665,6 +761,8 @@ let cmd =
   let doc = "μFork reproduction benchmark harness" in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const main $ targets $ quick_flag $ cores $ trace_out $ profile_out)
+    Term.(
+      const main $ targets $ quick_flag $ cores $ sweep $ smp_out_flag
+      $ trace_out $ profile_out)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

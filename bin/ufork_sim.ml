@@ -313,10 +313,26 @@ let check_cmd =
     Arg.(
       value
       & pos 0
-          (enum [ ("hello", `Hello); ("redis", `Redis); ("unixbench", `Unixbench) ])
+          (enum
+             [
+               ("hello", `Hello); ("redis", `Redis);
+               ("unixbench", `Unixbench); ("storm", `Storm);
+             ])
           `Hello
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"Workload to check: hello (default), redis, or unixbench.")
+          ~doc:
+            "Workload to check: hello (default), redis, unixbench, or \
+             storm (one concurrent forker per core — the SMP lock-contention \
+             workload).")
+  in
+  let check_cores =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Core count to boot the checked machine with (default: the \
+             workload's own, typically 4). The race job sweeps this to 64.")
   in
   let race =
     Arg.(
@@ -335,7 +351,18 @@ let check_cmd =
              deliberate unlocked shared-state write. With $(b,--race) the \
              check must fail with R1.")
   in
-  let run system experiment race chaos_no_bkl =
+  let chaos_unshard =
+    Arg.(
+      value & flag
+      & info [ "chaos-unshard" ]
+          ~doc:
+            "Fault injection: disable exactly one sharded kernel lock (the \
+             stats shard guarding the fork-latency gauge), seeding nothing \
+             else. Under the $(b,storm) workload with $(b,--race) the check \
+             must fail with exactly one R1 — the control certifying the \
+             detector sees through the lock split.")
+  in
+  let run system experiment check_cores race chaos_no_bkl chaos_unshard =
     let module Checker = Ufork_analysis.Checker in
     (* Record the event stream even without a trace sink so the protocol
        linter (L1-L5) has something to replay; the state sweep (S1-S10)
@@ -344,11 +371,14 @@ let check_cmd =
     E.set_record_always true;
     E.set_race_detect race;
     E.set_chaos_no_bkl chaos_no_bkl;
+    E.set_chaos_unshard chaos_unshard;
+    E.set_default_cores check_cores;
     let name =
       match experiment with
       | `Hello -> "hello"
       | `Redis -> "redis"
       | `Unixbench -> "unixbench"
+      | `Storm -> "storm"
     in
     (try
        match experiment with
@@ -359,6 +389,9 @@ let check_cmd =
                 ~db_label:"5 MB")
        | `Unixbench ->
            ignore (E.unixbench_run system ~spawn_iters:50 ~context1_iters:500)
+       | `Storm ->
+           let cores = Option.value check_cores ~default:4 in
+           ignore (E.fork_storm_run system ~cores ~iters:4 ())
      with
     | Checker.Unsafe report ->
         Printf.eprintf "check %s on %s: FAILED\n%s\n" name
@@ -379,7 +412,9 @@ let check_cmd =
        ~doc:
          "Run a workload under the machine-state sanitizer and trace \
           protocol linter; non-zero exit on any violation")
-    Term.(const run $ system_arg $ experiment $ race $ chaos_no_bkl)
+    Term.(
+      const run $ system_arg $ experiment $ check_cores $ race $ chaos_no_bkl
+      $ chaos_unshard)
 
 (* profile: run an experiment with span attribution and print/export the
    folded-stack flamegraph plus per-span latency histograms. *)

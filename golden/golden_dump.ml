@@ -23,10 +23,10 @@ type booted = {
   run : unit -> unit;
 }
 
-let boot = function
+let boot ?(cores = 4) = function
   | "ufork-copa" ->
       let os =
-        Os.boot ~cores:4 ~config:Config.ufork_fast ~strategy:Strategy.Copa ()
+        Os.boot ~cores ~config:Config.ufork_fast ~strategy:Strategy.Copa ()
       in
       {
         kernel = Os.kernel os;
@@ -35,7 +35,7 @@ let boot = function
         run = (fun () -> Os.run os);
       }
   | "cheribsd" ->
-      let os = Monolithic.boot ~cores:4 () in
+      let os = Monolithic.boot ~cores () in
       {
         kernel = Monolithic.kernel os;
         engine = Monolithic.engine os;
@@ -43,7 +43,7 @@ let boot = function
         run = (fun () -> Monolithic.run os);
       }
   | "nephele" ->
-      let os = Vmclone.boot ~cores:4 () in
+      let os = Vmclone.boot ~cores () in
       {
         kernel = Vmclone.kernel os;
         engine = Vmclone.engine os;
@@ -73,14 +73,14 @@ let dump label b =
         st.Trace.span_self st.Trace.span_cycles st.Trace.span_count)
     (Trace.span_totals (Kernel.trace b.kernel))
 
-let hello label =
-  let b = boot label in
+let hello ?cores ?(tag = "hello") label =
+  let b = boot ?cores label in
   b.start ~image:Image.hello (fun api ->
       ignore (Hello.fork_once api);
       Hello.reap api);
   b.run ();
   finish b;
-  dump ("hello/" ^ label) b
+  dump (tag ^ "/" ^ label) b
 
 let redis_image ~db_bytes =
   let heap_bytes = max (4 * 1024 * 1024) (db_bytes * 137 / 100) in
@@ -106,6 +106,9 @@ let () =
   hello "ufork-copa";
   hello "cheribsd";
   hello "nephele";
+  (* 8-core point: pins the per-core run-queue / freelist / shootdown
+     accounting at a core count above the default 4. *)
+  hello ~cores:8 ~tag:"hello-8core" "ufork-copa";
   redis "ufork-copa";
   redis "cheribsd";
   redis "nephele"

@@ -178,7 +178,7 @@ let clean_protocol () =
          (* A fork: downgrade batch sealed by the shootdown. *)
          (1, Event.Fork_fixed);
          (2, Event.Pte_copy 1);
-         (1, Event.Tlb_shootdown);
+         (1, Event.Tlb_shootdown 3);
          (* Parent CoW write, copy resolution. *)
          (1, Event.Page_fault);
          (1, Event.Cow_write_fault);

@@ -94,7 +94,7 @@ let run ?(dropped = 0) records =
            a fault there means a core ran on stale TLB permissions. *)
         (match r.Trace.event with
         | Event.Fork_fixed -> s.downgrade_open <- true
-        | Event.Tlb_shootdown -> s.downgrade_open <- false
+        | Event.Tlb_shootdown _ -> s.downgrade_open <- false
         | e when s.downgrade_open && is_fault_traffic e ->
             add Tlb_flush_protocol r.Trace.pid r.Trace.t
               (Printf.sprintf

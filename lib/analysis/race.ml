@@ -28,7 +28,12 @@ module Hb = Ufork_util.Hb
      from different threads with neither ordered before the other are a
      data race (R1). *)
 
-type access = { tid : int; epoch : int; site : string }
+type access = {
+  tid : int;
+  epoch : int;
+  site : string;
+  held : int list;  (* lock ids held at the write, innermost first *)
+}
 
 type race = {
   loc : Hb.loc;
@@ -39,6 +44,7 @@ type race = {
 type t = {
   threads : (int, Vclock.t) Hashtbl.t;
   locks : (int, Vclock.t) Hashtbl.t;
+  held : (int, int list) Hashtbl.t; (* tid -> lock ids held, innermost first *)
   atomics : (Hb.loc, Vclock.t) Hashtbl.t;
   writes : (Hb.loc, access) Hashtbl.t;
   reported : (Hb.loc, unit) Hashtbl.t; (* one report per location *)
@@ -50,6 +56,7 @@ let create () =
   {
     threads = Hashtbl.create 64;
     locks = Hashtbl.create 16;
+    held = Hashtbl.create 64;
     atomics = Hashtbl.create 256;
     writes = Hashtbl.create 256;
     reported = Hashtbl.create 8;
@@ -77,11 +84,21 @@ let handle t (ev : Hb.event) =
   | Hb.Wake { by; target } ->
       set_clock t target (Vclock.join (clock_of t target) (clock_of t by));
       tick t by
-  | Hb.Acquire { tid; lock } -> (
-      match Hashtbl.find_opt t.locks lock with
+  | Hb.Acquire { tid; lock } ->
+      Hashtbl.replace t.held tid
+        (lock :: Option.value (Hashtbl.find_opt t.held tid) ~default:[]);
+      (match Hashtbl.find_opt t.locks lock with
       | Some l -> set_clock t tid (Vclock.join (clock_of t tid) l)
       | None -> ())
   | Hb.Release { tid; lock } ->
+      (* Drop the innermost occurrence: recursive wrappers emit one
+         Acquire/Release pair per outermost hold, so this is a stack. *)
+      (let rec drop = function
+         | [] -> []
+         | l :: rest -> if l = lock then rest else l :: drop rest
+       in
+       Hashtbl.replace t.held tid
+         (drop (Option.value (Hashtbl.find_opt t.held tid) ~default:[])));
       Hashtbl.replace t.locks lock (clock_of t tid);
       tick t tid
   | Hb.Write { tid; loc = Hb.Frame _ as loc; site = _ } ->
@@ -96,6 +113,7 @@ let handle t (ev : Hb.event) =
       tick t tid
   | Hb.Write { tid; loc; site } ->
       let c = clock_of t tid in
+      let held = Option.value (Hashtbl.find_opt t.held tid) ~default:[] in
       (match Hashtbl.find_opt t.writes loc with
       | Some prev
         when prev.tid <> tid
@@ -103,7 +121,11 @@ let handle t (ev : Hb.event) =
              && not (Hashtbl.mem t.reported loc) ->
           Hashtbl.replace t.reported loc ();
           t.races <-
-            { loc; first = prev; second = { tid; epoch = Vclock.get c tid; site } }
+            {
+              loc;
+              first = prev;
+              second = { tid; epoch = Vclock.get c tid; site; held };
+            }
             :: t.races
       | Some _ | None -> ());
       (* Tick before recording so the stored epoch is strictly positive:
@@ -111,7 +133,7 @@ let handle t (ev : Hb.event) =
          distinguishable from "never wrote". *)
       tick t tid;
       Hashtbl.replace t.writes loc
-        { tid; epoch = Vclock.get (clock_of t tid) tid; site }
+        { tid; epoch = Vclock.get (clock_of t tid) tid; site; held }
 
 let races t = List.rev t.races
 let events_seen t = t.events
@@ -119,16 +141,29 @@ let events_seen t = t.events
 let attach t = Hb.subscribe (handle t)
 let detach () = Hb.unsubscribe ()
 
+(* Race reports name the locks each side held (via the {!Hb} lock-name
+   registry, e.g. [lock.stats]): "both held X" vs "neither held
+   anything" is the difference between a lock-granularity bug and a
+   missing lock, and the sharded kernel's named ids make the resource
+   readable. *)
+let pp_held ppf = function
+  | [] -> Format.pp_print_string ppf "no locks"
+  | held ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        Hb.pp_lock ppf held
+
 let violation_of_race r =
   {
     Invariant.invariant = Invariant.Data_race;
     subject = Format.asprintf "%a" Hb.pp_loc r.loc;
     detail =
-      Printf.sprintf
-        "unordered conflicting writes: %s (thread %d) and %s (thread %d) \
-         have no happens-before edge (no lock hand-off, spawn, or wakeup \
-         between them)"
-        r.first.site r.first.tid r.second.site r.second.tid;
+      Format.asprintf
+        "unordered conflicting writes: %s (thread %d, holding %a) and %s \
+         (thread %d, holding %a) have no happens-before edge (no lock \
+         hand-off, spawn, or wakeup between them)"
+        r.first.site r.first.tid pp_held r.first.held r.second.site
+        r.second.tid pp_held r.second.held;
   }
 
 let violations t = List.map violation_of_race (races t)

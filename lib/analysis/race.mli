@@ -18,7 +18,14 @@
 
 type t
 
-type access = { tid : int; epoch : int; site : string }
+type access = {
+  tid : int;
+  epoch : int;
+  site : string;
+  held : int list;
+      (** lock ids held at the write, innermost first; named via the
+          {!Ufork_util.Hb} lock-name registry in reports *)
+}
 
 type race = {
   loc : Ufork_util.Hb.loc;

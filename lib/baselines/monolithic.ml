@@ -53,7 +53,10 @@ let do_fork k (parent : Uproc.t) child_main =
              entries before either side relies on the CoW downgrades. A
              walk that downgraded nothing (every entry already read-only
              or shared) owes no shootdown. *)
-          if !downgraded then Kernel.emit ~proc:parent k Event.Tlb_shootdown;
+          if !downgraded then
+            Kernel.emit ~proc:parent k
+              (Event.Tlb_shootdown
+                 (Ufork_sim.Engine.cores (Kernel.engine k) - 1));
           (* Parent immediately re-dirties its stack working set (CoW
              copies). *)
           let config = Kernel.config k in

@@ -136,7 +136,11 @@ let post_copy k ~strategy ~(parent : Uproc.t) ~pte_copies =
      touches the parent's permissions, so there is nothing to flush. *)
   (match strategy with
   | Strategy.Coa | Strategy.Copa ->
-      Kernel.emit ~proc:parent k Event.Tlb_shootdown
+      (* One IPI per remote core that may cache a stale entry: the
+         cross-core window grows with the machine, which is where the
+         fork-scaling curve eventually bends. *)
+      Kernel.emit ~proc:parent k
+        (Event.Tlb_shootdown (Ufork_sim.Engine.cores (Kernel.engine k) - 1))
   | Strategy.Full_copy -> ());
   (* TOCTTOU hardening revalidates the duplicated mappings against the
      (copied) fork arguments, adding per-entry work (§5.1: "The cost of

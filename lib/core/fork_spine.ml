@@ -51,7 +51,9 @@ let run k hooks (parent : Uproc.t) child_main =
           Kernel.emit ~proc:parent k Event.Fork_fixed;
           hooks.pre_create k ~parent);
       let fds =
-        span "fork.fd_dup" (fun () -> Fdesc.Fdtable.dup_all parent.Uproc.fds)
+        span "fork.fd_dup" (fun () ->
+            Kernel.with_fd_tables k (fun () ->
+                Fdesc.Fdtable.dup_all parent.Uproc.fds))
       in
       let child =
         span "fork.uproc_create" (fun () ->
@@ -59,7 +61,13 @@ let run k hooks (parent : Uproc.t) child_main =
       in
       child.Uproc.forked <- true;
       let pte_before = Meter.get meter Event.pte_copy_key in
-      span "fork.duplicate" (fun () -> hooks.duplicate k ~parent ~child);
+      (* The bulk PTE walk writes both page-table ranges: hold the two
+         area shards (ascending order) for the duration so concurrent
+         forks into a colliding shard serialize — and so the detector
+         sees the lock edge that orders them. *)
+      span "fork.duplicate" (fun () ->
+          Kernel.with_pt_shard_pair k parent child (fun () ->
+              hooks.duplicate k ~parent ~child));
       let pte_copies = Meter.get meter Event.pte_copy_key - pte_before in
       (* The allocator mirror is cloned at a fixed point of the spine: the
          clone emits no events, so its position cannot perturb the stream. *)
@@ -81,8 +89,13 @@ let run k hooks (parent : Uproc.t) child_main =
           in
           Kernel.spawn_process k ?reloc child child_body);
       let dt = Int64.sub (Engine.now (Kernel.engine k)) t0 in
-      Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key
-        (Int64.to_int dt);
+      (* The gauge is one shared scalar every forker writes: under the
+         sharded kernel the stats lock is what orders concurrent forks'
+         writes (the BKL used to). The chaos control unshards exactly
+         this lock to prove the detector notices. *)
+      Kernel.with_stats k (fun () ->
+          Trace.gauge (Kernel.trace k) Trace.last_fork_latency_key
+            (Int64.to_int dt));
       child.Uproc.pid)
 
 let demand_zero k (u : Uproc.t) ~addr =

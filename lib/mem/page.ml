@@ -91,6 +91,12 @@ let tagged_granules t =
 let tagged_count t = Hashtbl.length t.caps
 let clear_all_tags t = Hashtbl.reset t.caps
 
+(* Back to the zeroed-fresh-page state: frame reuse from a freelist must
+   be indistinguishable from a fresh allocation. *)
+let clear t =
+  Bytes.fill t.data 0 Addr.page_size '\000';
+  Hashtbl.reset t.caps
+
 let iter_caps t f =
   List.iter (fun g -> f g (Hashtbl.find t.caps g)) (tagged_granules t)
 

@@ -16,6 +16,11 @@ type t
 val create : unit -> t
 (** A zeroed page with all tags clear. *)
 
+val clear : t -> unit
+(** Zero the bytes and clear every tag: back to the {!create} state.
+    Frame reuse from a freelist goes through this so a recycled page is
+    indistinguishable from a fresh one. *)
+
 val copy : t -> t
 (** Deep copy: bytes and all tagged capabilities. *)
 

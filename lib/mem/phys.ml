@@ -9,6 +9,13 @@ let note fid site =
   if Hb.on () then
     Hb.emit (Hb.Write { tid = Hb.tid (); loc = Hb.Frame fid; site })
 
+(* Freed frames return to the releasing core's freelist and are handed
+   back out batch-at-a-time: most alloc/release pairs never touch the
+   shared pool, which is what lets the sharded kernel keep its
+   frame-pool lock off the fork fast path. *)
+let refill_batch = 32
+let drain_threshold = 2 * refill_batch
+
 type t = {
   limit_frames : int option;
   mutable in_use : int;
@@ -16,11 +23,17 @@ type t = {
   mutable total : int;
   mutable next_id : int;
   registry : (int, frame) Hashtbl.t;
+  local_free : frame list array; (* per-core freelist caches, LIFO *)
+  local_len : int array;
+  mutable global_free : frame list; (* the shared pool of free frames *)
+  mutable refills : int;
+  mutable drains : int;
 }
 
 exception Out_of_memory
 
-let create ?limit_frames () =
+let create ?limit_frames ?(cores = 1) () =
+  let cores = max 1 cores in
   {
     limit_frames;
     in_use = 0;
@@ -28,7 +41,44 @@ let create ?limit_frames () =
     total = 0;
     next_id = 0;
     registry = Hashtbl.create 1024;
+    local_free = Array.make cores [];
+    local_len = Array.make cores 0;
+    global_free = [];
+    refills = 0;
+    drains = 0;
   }
+
+(* The core whose freelist serves the calling thread: the engine
+   installs the provider; outside any simulated thread (boot, unit
+   tests) everything funnels through slot 0. *)
+let core_slot t =
+  let c = Hb.core () in
+  if c < 0 then 0 else c mod Array.length t.local_free
+
+let local_free_frames t = t.local_len.(core_slot t)
+let refills t = t.refills
+let drains t = t.drains
+
+(* Will the next [n]-frame allocation on this thread's core touch the
+   shared pool (freelist refill or fresh carve)? The sharded kernel
+   takes its frame-pool lock exactly then. *)
+let needs_global t n = t.local_len.(core_slot t) < n
+
+let refill t slot =
+  let rec take acc len = function
+    | f :: rest when len < refill_batch -> take (f :: acc) (len + 1) rest
+    | rest ->
+        t.global_free <- rest;
+        (acc, len)
+  in
+  match t.global_free with
+  | [] -> ()
+  | _ ->
+      let taken, len = take t.local_free.(slot) t.local_len.(slot)
+                         t.global_free in
+      t.local_free.(slot) <- taken;
+      t.local_len.(slot) <- len;
+      t.refills <- t.refills + 1
 
 let alloc t =
   (match t.limit_frames with
@@ -37,9 +87,24 @@ let alloc t =
   t.in_use <- t.in_use + 1;
   t.total <- t.total + 1;
   if t.in_use > t.peak then t.peak <- t.in_use;
-  t.next_id <- t.next_id + 1;
-  let f = { fid = t.next_id; refcount = 1; page = Page.create () } in
-  Hashtbl.replace t.registry f.fid f;
+  let slot = core_slot t in
+  if t.local_len.(slot) = 0 then refill t slot;
+  let f =
+    match t.local_free.(slot) with
+    | f :: rest ->
+        (* Recycle: a reused frame must be indistinguishable from a
+           fresh one (zero bytes, no tags). *)
+        t.local_free.(slot) <- rest;
+        t.local_len.(slot) <- t.local_len.(slot) - 1;
+        Page.clear f.page;
+        f.refcount <- 1;
+        f
+    | [] ->
+        t.next_id <- t.next_id + 1;
+        let f = { fid = t.next_id; refcount = 1; page = Page.create () } in
+        Hashtbl.replace t.registry f.fid f;
+        f
+  in
   note f.fid "Phys.alloc";
   f
 
@@ -58,7 +123,28 @@ let release t f =
        valid capabilities — the tag bits are invalidated with the frame
        (what CHERI hardware guarantees on reuse, and what the state
        sanitizer's free-frame invariant checks). *)
-    Page.clear_all_tags f.page
+    Page.clear_all_tags f.page;
+    let slot = core_slot t in
+    t.local_free.(slot) <- f :: t.local_free.(slot);
+    t.local_len.(slot) <- t.local_len.(slot) + 1;
+    if t.local_len.(slot) > drain_threshold then begin
+      (* Batched drain back to the shared pool so one core's churn keeps
+         feeding the others. *)
+      let rec drop acc len lst =
+        if len <= refill_batch then (acc, len, lst)
+        else
+          match lst with
+          | f :: rest -> drop (f :: acc) (len - 1) rest
+          | [] -> (acc, len, [])
+      in
+      let drained, len, kept =
+        drop t.global_free t.local_len.(slot) t.local_free.(slot)
+      in
+      t.global_free <- drained;
+      t.local_free.(slot) <- kept;
+      t.local_len.(slot) <- len;
+      t.drains <- t.drains + 1
+    end
   end
 
 let refcount f = f.refcount

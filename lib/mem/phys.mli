@@ -11,12 +11,32 @@ type frame
 
 exception Out_of_memory
 
-val create : ?limit_frames:int -> unit -> t
+val create : ?limit_frames:int -> ?cores:int -> unit -> t
 (** A fresh physical memory. [limit_frames] bounds the pool (default:
-    unlimited); exceeding it raises {!Out_of_memory}. *)
+    unlimited); exceeding it raises {!Out_of_memory}. [cores] (default
+    1) sizes the per-core freelists: freed frames return to the
+    releasing core's cache and refill/drain against the shared pool in
+    batches, so most alloc/release pairs never touch shared state. *)
 
 val alloc : t -> frame
-(** A zeroed frame with refcount 1. *)
+(** A zeroed frame with refcount 1 — recycled from the calling core's
+    freelist when possible ({!Page.clear}ed, so indistinguishable from a
+    fresh frame), otherwise carved fresh from the shared pool. *)
+
+val needs_global : t -> int -> bool
+(** [needs_global t n]: will allocating [n] frames on the calling
+    thread's core touch the shared pool (freelist refill or fresh
+    carve)? The sharded kernel takes its frame-pool lock exactly when
+    this is true. *)
+
+val local_free_frames : t -> int
+(** Free frames cached on the calling core's freelist. *)
+
+val refills : t -> int
+(** Batched freelist refills from the shared pool so far. *)
+
+val drains : t -> int
+(** Batched freelist drains back to the shared pool so far. *)
 
 val retain : t -> frame -> unit
 (** Increment the refcount (a new mapping shares the frame). *)

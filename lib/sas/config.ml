@@ -1,12 +1,13 @@
 type isolation = No_isolation | Fault_isolation | Full_isolation
 type syscall_mode = Sealed_entry | Trap
 type area_fit = First_fit | Best_fit
+type lock_mode = Big_kernel_lock | Sharded_locks
 
 type t = {
   isolation : isolation;
   toctou : bool;
   syscall_mode : syscall_mode;
-  big_kernel_lock : bool;
+  lock_mode : lock_mode;
   parent_touch_pages : int;
   child_touch_pages : int;
   arena_pretouch_fraction : float;
@@ -20,7 +21,7 @@ let ufork_default =
     isolation = Full_isolation;
     toctou = true;
     syscall_mode = Sealed_entry;
-    big_kernel_lock = true;
+    lock_mode = Sharded_locks;
     parent_touch_pages = 8;
     child_touch_pages = 6;
     arena_pretouch_fraction = 0.;
@@ -37,7 +38,7 @@ let cheribsd_default =
     isolation = Full_isolation;
     toctou = true;
     syscall_mode = Trap;
-    big_kernel_lock = false;
+    lock_mode = Sharded_locks;
     parent_touch_pages = 8;
     child_touch_pages = 24;
     arena_pretouch_fraction = 0.5;
@@ -51,7 +52,7 @@ let nephele_default =
     isolation = Full_isolation;
     toctou = false;
     syscall_mode = Sealed_entry;
-    big_kernel_lock = true;
+    lock_mode = Big_kernel_lock;
     parent_touch_pages = 8;
     child_touch_pages = 6;
     arena_pretouch_fraction = 0.;
@@ -65,7 +66,7 @@ let linux_default =
     isolation = Full_isolation;
     toctou = false;
     syscall_mode = Trap;
-    big_kernel_lock = false;
+    lock_mode = Sharded_locks;
     parent_touch_pages = 8;
     child_touch_pages = 12;
     arena_pretouch_fraction = 0.06;
@@ -78,6 +79,7 @@ let with_toctou toctou t = { t with toctou }
 let with_aslr seed t = { t with aslr_seed = Some seed }
 let with_area_fit area_fit t = { t with area_fit }
 let with_isolation isolation t = { t with isolation }
+let with_lock_mode lock_mode t = { t with lock_mode }
 
 let pp_isolation ppf = function
   | No_isolation -> Format.pp_print_string ppf "none"
@@ -85,7 +87,9 @@ let pp_isolation ppf = function
   | Full_isolation -> Format.pp_print_string ppf "full"
 
 let pp ppf t =
-  Format.fprintf ppf "isolation=%a toctou=%b entry=%s bkl=%b" pp_isolation
+  Format.fprintf ppf "isolation=%a toctou=%b entry=%s locks=%s" pp_isolation
     t.isolation t.toctou
     (match t.syscall_mode with Sealed_entry -> "sealed" | Trap -> "trap")
-    t.big_kernel_lock
+    (match t.lock_mode with
+    | Big_kernel_lock -> "bkl"
+    | Sharded_locks -> "sharded")

@@ -25,14 +25,27 @@ type area_fit =
   | First_fit  (** Fast; fragments badly under mixed-size churn (§6). *)
   | Best_fit  (** Smallest adequate hole; mitigates fragmentation. *)
 
+type lock_mode =
+  | Big_kernel_lock
+      (** Legacy: serialize all kernel code across cores behind one
+          recursive lock (Unikraft SMP, §4.5). Kept as the
+          compatibility flavour and as the scaling baseline the SMP
+          bench measures against. *)
+  | Sharded_locks
+      (** Per-resource locks (frame pool, page-table shards, μprocess
+          table, fd tables, stats), each registered with the
+          happens-before bus so the race detector certifies the
+          split. *)
+
 type t = {
   isolation : isolation;
   toctou : bool;
       (** Copy by-reference syscall buffers to kernel memory before
           validation and back after (§4.4). *)
   syscall_mode : syscall_mode;
-  big_kernel_lock : bool;
-      (** Serialize kernel code across cores (Unikraft SMP, §4.5). *)
+  lock_mode : lock_mode;
+      (** Kernel locking discipline; {!Sharded_locks} everywhere except
+          the legacy Nephele flavour. *)
   parent_touch_pages : int;
       (** Pages of its own working set (stack, globals) a μprocess writes
           immediately around a fork — drives the immediate CoW/CoA/CoPA
@@ -59,7 +72,7 @@ type t = {
 }
 
 val ufork_default : t
-(** Full isolation + TOCTTOU, sealed entries, big kernel lock. *)
+(** Full isolation + TOCTTOU, sealed entries, sharded kernel locks. *)
 
 val ufork_fast : t
 (** Fault isolation, no TOCTTOU — the production point used for most
@@ -73,4 +86,9 @@ val with_toctou : bool -> t -> t
 val with_aslr : int64 -> t -> t
 val with_area_fit : area_fit -> t -> t
 val with_isolation : isolation -> t -> t
+
+val with_lock_mode : lock_mode -> t -> t
+(** The SMP bench boots the same flavour under both modes to measure
+    what the big lock costs. *)
+
 val pp : Format.formatter -> t -> unit

@@ -22,6 +22,47 @@ let user_arena_base = kernel_region_bytes
    process at [user_arena_base], hence a list per base. *)
 module Area_index = Map.Make (Int)
 
+(* {1 Kernel locking}
+
+   Two disciplines, selected by {!Config.lock_mode}:
+
+   - [Big]: the legacy big kernel lock (Unikraft SMP, §4.5) — one
+     recursive lock serializing every syscall body across cores.
+     Recursion is needed because a fault raised inside a syscall
+     (e.g. copyout hitting a CoW page) re-enters the kernel on the
+     same thread, and a plain lock would self-deadlock the
+     cooperative engine.
+   - [Sharded]: per-resource locks. Syscall bodies run concurrently;
+     each shared structure gets its own named lock, every one
+     registered with the {!Ufork_util.Hb} bus so the FastTrack
+     detector certifies the split.
+
+   Lock hierarchy (outermost first):
+     uproc_table > fd_tables > pt_shard > frame_pool > stats.
+   Page-table shards are indexed by area base, so one μprocess's whole
+   area maps to one shard; fork takes the parent and child shards in
+   ascending index order. Fault service takes no table lock at all: a
+   handler writes only its own process's PTEs plus atomic frame
+   refcounts (the ownership discipline the detector checks). *)
+
+let pt_shard_count = 16
+
+type locks =
+  | No_locks  (** chaos injection only *)
+  | Big of Ufork_sim.Sync.Rlock.t
+  | Sharded of {
+      frame_pool : Ufork_sim.Sync.Rlock.t;
+          (** shared free pool behind the per-core freelists *)
+      uproc_table : Ufork_sim.Sync.Rlock.t;
+          (** pid allocation, the process table, the area index *)
+      fd_tables : Ufork_sim.Sync.Rlock.t;
+          (** cross-process descriptor-table traffic (fork/spawn dup) *)
+      stats : Ufork_sim.Sync.Rlock.t;
+          (** shared gauges (e.g. the last-fork-latency gauge) *)
+      pt_shards : Ufork_sim.Sync.Rlock.t array;
+          (** page-table shards, indexed by μprocess area base *)
+    }
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
@@ -29,9 +70,8 @@ type t = {
   trace : Trace.t;
   phys : Phys.t;
   vfs : Vfs.t;
-  mutable biglock : Sync.Lock.t option;
-  mutable lock_owner : int; (* engine tid holding the biglock, or no_owner *)
-  mutable lock_depth : int;
+  mutable locks : locks;
+  mutable stats_lock_disabled : bool; (* chaos: unshard the stats lock *)
   procs : (int, Uproc.t) Hashtbl.t;
   mutable next_pid : int;
   root : Capability.t;
@@ -51,8 +91,24 @@ type t = {
          only way into kernel code without a trap (§4.2, §4.4). *)
 }
 
+let make_locks = function
+  | Config.Big_kernel_lock -> Big (Sync.Rlock.create ~name:"lock.kernel.big" ())
+  | Config.Sharded_locks ->
+      Sharded
+        {
+          frame_pool = Sync.Rlock.create ~name:"lock.frame_pool" ();
+          uproc_table = Sync.Rlock.create ~name:"lock.uproc_table" ();
+          fd_tables = Sync.Rlock.create ~name:"lock.fd_tables" ();
+          stats = Sync.Rlock.create ~name:"lock.stats" ();
+          pt_shards =
+            Array.init pt_shard_count (fun i ->
+                Sync.Rlock.create
+                  ~name:(Printf.sprintf "lock.pt_shard.%02d" i)
+                  ());
+        }
+
 let create ~engine ~costs ~config ~multi_address_space () =
-  let phys = Phys.create () in
+  let phys = Phys.create ~cores:(Engine.cores engine) () in
   let root = Capability.root () in
   let entry_cap =
     (* Points at the system-call handler in the kernel region, executable
@@ -70,11 +126,8 @@ let create ~engine ~costs ~config ~multi_address_space () =
     trace = Trace.create ~engine ~costs ();
     phys;
     vfs = Vfs.create ();
-    biglock =
-      (if config.Config.big_kernel_lock then Some (Sync.Lock.create ())
-       else None);
-    lock_owner = min_int;
-    lock_depth = 0;
+    locks = make_locks config.Config.lock_mode;
+    stats_lock_disabled = false;
     procs = Hashtbl.create 64;
     next_pid = 0;
     root;
@@ -106,6 +159,83 @@ let multi_address_space t = t.multi_as
 let root_cap t = t.root
 let set_fork_hook t f = t.fork_hook <- Some f
 let set_fault_hook t f = t.fault_hook <- Some f
+
+(* The legacy big-lock shim: under [Big] this is THE serialization point
+   (held for every syscall body); under sharded locking it is a no-op —
+   the per-resource helpers below do the work. Lint rule D9 bans new
+   call sites outside this module so the sharded kernel cannot quietly
+   grow back a global serialization point. *)
+let with_biglock t f =
+  match t.locks with
+  | Big l -> Sync.Rlock.with_lock l f
+  | No_locks | Sharded _ -> f ()
+
+(* Per-resource helpers. Under [Big] the caller already sits inside
+   {!with_biglock} (every syscall body does), so they collapse to
+   nothing rather than nest a second lock level. *)
+let with_uproc_table t f =
+  match t.locks with
+  | Sharded s -> Sync.Rlock.with_lock s.uproc_table f
+  | Big _ | No_locks -> f ()
+
+let with_fd_tables t f =
+  match t.locks with
+  | Sharded s -> Sync.Rlock.with_lock s.fd_tables f
+  | Big _ | No_locks -> f ()
+
+let with_stats t f =
+  match t.locks with
+  | Sharded s when not t.stats_lock_disabled ->
+      Sync.Rlock.with_lock s.stats f
+  | Big _ | No_locks | Sharded _ -> f ()
+
+(* The frame-pool lock guards the shared pool behind the per-core
+   freelists, so it is taken only when this allocation would actually
+   touch shared state ({!Phys.needs_global}) — the common alloc/release
+   pair runs entirely on the calling core's cache, lock-free. *)
+let with_frame_pool t ~frames f =
+  match t.locks with
+  | Sharded s when Phys.needs_global t.phys frames ->
+      Sync.Rlock.with_lock s.frame_pool f
+  | Big _ | No_locks | Sharded _ -> f ()
+
+(* One μprocess area (contiguous, page-aligned base) maps to one shard,
+   so a fork orders exactly two of these. *)
+let pt_shard_index ~area_base = area_base / Addr.page_size mod pt_shard_count
+
+let with_pt_shard t (u : Uproc.t) f =
+  match t.locks with
+  | Sharded s ->
+      Sync.Rlock.with_lock
+        s.pt_shards.(pt_shard_index ~area_base:u.Uproc.area_base)
+        f
+  | Big _ | No_locks -> f ()
+
+let with_pt_shard_pair t (a : Uproc.t) (b : Uproc.t) f =
+  match t.locks with
+  | Sharded s ->
+      let i = pt_shard_index ~area_base:a.Uproc.area_base in
+      let j = pt_shard_index ~area_base:b.Uproc.area_base in
+      if i = j then Sync.Rlock.with_lock s.pt_shards.(i) f
+      else
+        (* Ascending shard order: the global acquisition order that makes
+           concurrent fork pairs deadlock-free. *)
+        let lo, hi = if i < j then (i, j) else (j, i) in
+        Sync.Rlock.with_lock s.pt_shards.(lo) (fun () ->
+            Sync.Rlock.with_lock s.pt_shards.(hi) f)
+  | Big _ | No_locks -> f ()
+
+let chaos_disable_biglock t =
+  (* Chaos-only: models a kernel whose fault path forgot every lock.
+     The race detector's job is to notice what then goes unordered. *)
+  t.locks <- No_locks
+
+let chaos_unshard_stats t =
+  (* Chaos-only: keep every other shard but drop the stats lock — the
+     minimal seeded bug for the sharded kernel. Two concurrent writers
+     of a shared gauge then race, and the detector must report exactly
+     that location. *)
+  t.stats_lock_disabled <- true
 
 (* Every mechanism event — cycles, counter bump, optional trace record —
    goes through the bus. Boot-time setup (and unit tests poking at the
@@ -160,20 +290,21 @@ let account_private _t (u : Uproc.t) ~bytes =
   u.Uproc.private_bytes <- u.Uproc.private_bytes + bytes
 
 let fresh_frame t u =
-  emit ~proc:u t (Event.Page_alloc 1);
-  account_private t u ~bytes:Addr.page_size;
-  Phys.alloc t.phys
+  with_frame_pool t ~frames:1 (fun () ->
+      emit ~proc:u t (Event.Page_alloc 1);
+      account_private t u ~bytes:Addr.page_size;
+      Phys.alloc t.phys)
 
 (* Batched allocation: one [Page_alloc n] emission and one accounting
    update stand for [n] per-page calls — identical cycles and counts
    (the cost is linear in [n]), far fewer trace records. *)
 let fresh_frames t u n =
   if n <= 0 then []
-  else begin
-    emit ~proc:u t (Event.Page_alloc n);
-    account_private t u ~bytes:(n * Addr.page_size);
-    List.init n (fun _ -> Phys.alloc t.phys)
-  end
+  else
+    with_frame_pool t ~frames:n (fun () ->
+        emit ~proc:u t (Event.Page_alloc n);
+        account_private t u ~bytes:(n * Addr.page_size);
+        List.init n (fun _ -> Phys.alloc t.phys))
 
 (* {1 Areas} *)
 
@@ -237,6 +368,7 @@ let alloc_area t ~bytes_needed =
 (* {1 Process lifecycle} *)
 
 let create_uproc t ?parent ?fds ~image () =
+  with_uproc_table t @@ fun () ->
   t.next_pid <- t.next_pid + 1;
   let pid = t.next_pid in
   let pt =
@@ -287,16 +419,17 @@ let map_zero_pages t u ~base ~bytes ?(read = true) ?(write = true)
     ?(exec = false) () =
   let pages = Addr.bytes_to_pages bytes in
   let vpn0 = Addr.vpn_of_addr base in
-  let mapped =
-    Page_table.map_range u.Uproc.pt ~vpn:vpn0 ~count:pages (fun _v ->
-        Some (Pte.make ~read ~write ~exec (Phys.alloc t.phys)))
-  in
-  (* One batched charge for the whole range (same cycles and counts as the
-     old per-page loop: page_alloc cost is linear). *)
-  if mapped > 0 then begin
-    emit ~proc:u t (Event.Page_alloc mapped);
-    account_private t u ~bytes:(mapped * Addr.page_size)
-  end
+  with_frame_pool t ~frames:pages (fun () ->
+      let mapped =
+        Page_table.map_range u.Uproc.pt ~vpn:vpn0 ~count:pages (fun _v ->
+            Some (Pte.make ~read ~write ~exec (Phys.alloc t.phys)))
+      in
+      (* One batched charge for the whole range (same cycles and counts as
+         the old per-page loop: page_alloc cost is linear). *)
+      if mapped > 0 then begin
+        emit ~proc:u t (Event.Page_alloc mapped);
+        account_private t u ~bytes:(mapped * Addr.page_size)
+      end)
 
 let map_initial_image t u =
   let r = u.Uproc.regions in
@@ -350,6 +483,7 @@ let meta_addr (u : Uproc.t) index =
 exception Killed_signal
 
 let sys_kill t pid =
+  with_uproc_table t @@ fun () ->
   emit t Event.Kill;
   match find_uproc t pid with
   | Some target when target.Uproc.state = Uproc.Running -> (
@@ -386,50 +520,6 @@ let validation_cost t =
   | Config.Fault_isolation -> 20
   | Config.No_isolation -> 0
 
-(* The big kernel lock is recursive by owner tid: a fault raised inside a
-   syscall (e.g. copyout hitting a CoW page) re-enters the kernel on the
-   same thread, and Sync.Lock alone would self-deadlock the cooperative
-   engine. Depth counting keeps release balanced with the outermost
-   acquire. *)
-let no_owner = min_int
-
-let current_tid_opt () =
-  match Engine.current_tid () with
-  | tid -> tid
-  | exception Effect.Unhandled _ -> -1
-
-let lock_kernel t =
-  match t.biglock with
-  | None -> ()
-  | Some l ->
-      let tid = current_tid_opt () in
-      if t.lock_depth > 0 && t.lock_owner = tid then
-        t.lock_depth <- t.lock_depth + 1
-      else begin
-        Sync.Lock.acquire l;
-        t.lock_owner <- tid;
-        t.lock_depth <- 1
-      end
-
-let unlock_kernel t =
-  match t.biglock with
-  | None -> ()
-  | Some l ->
-      if t.lock_depth <= 0 then
-        invalid_arg "Kernel.unlock_kernel: lock not held";
-      t.lock_depth <- t.lock_depth - 1;
-      if t.lock_depth = 0 then begin
-        t.lock_owner <- no_owner;
-        Sync.Lock.release l
-      end
-
-let chaos_disable_biglock t =
-  (* Chaos-only: models a kernel whose fault path forgot the big lock.
-     The race detector's job is to notice what then goes unordered. *)
-  t.biglock <- None;
-  t.lock_owner <- no_owner;
-  t.lock_depth <- 0
-
 let with_syscall t ?proc ?(bytes = 0) name f =
   (match proc with Some u -> check_killed u | None -> ());
   (* The span covers everything from kernel entry to return, so every
@@ -449,17 +539,15 @@ let with_syscall t ?proc ?(bytes = 0) name f =
         (* ...plus the TOCTTOU double copy when protection is on. *)
         if t.config.Config.toctou then emit ?proc t (Event.Toctou_bytes bytes)
       end;
-      lock_kernel t;
-      match f () with
-      | v ->
-          unlock_kernel t;
-          v
-      | exception e ->
-          unlock_kernel t;
-          raise e)
+      with_biglock t f)
 
 let kernel_wait ?proc t cond =
-  unlock_kernel t;
+  (* Under the BKL, drop one recursion level across the sleep (the
+     caller sits at depth 1 inside {!with_syscall}); the sharded kernel
+     holds no global lock here, so there is nothing to drop. *)
+  (match t.locks with
+  | Big l -> Sync.Rlock.release l
+  | No_locks | Sharded _ -> ());
   (match proc with
   | None -> Sync.Cond.wait cond
   | Some (u : Uproc.t) ->
@@ -473,7 +561,9 @@ let kernel_wait ?proc t cond =
      switches page tables and flushes the TLB. *)
   emit ?proc t Event.Context_switch;
   if t.multi_as then emit ?proc t Event.Address_space_switch;
-  lock_kernel t;
+  (match t.locks with
+  | Big l -> Sync.Rlock.acquire l
+  | No_locks | Sharded _ -> ());
   match proc with
   | Some u ->
       if u.Uproc.killed && u.Uproc.state = Uproc.Running then
@@ -599,6 +689,7 @@ let sys_free t (u : Uproc.t) cap =
 (* {1 Exit / wait} *)
 
 let reap t (u : Uproc.t) (child : Uproc.t) =
+  with_uproc_table t @@ fun () ->
   (match child.Uproc.state with
   | Uproc.Zombie _ -> ()
   | _ -> invalid_arg "Kernel.reap: not a zombie");
@@ -625,15 +716,16 @@ let reap t (u : Uproc.t) (child : Uproc.t) =
       (child.Uproc.area_base, child.Uproc.area_bytes) :: t.free_areas
 
 let sys_exit t (u : Uproc.t) status =
-  emit ~proc:u t Event.Exit;
-  Fdesc.Fdtable.close_all u.Uproc.fds;
-  u.Uproc.state <- Uproc.Zombie status;
-  (match u.Uproc.parent_pid with
-  | Some ppid -> (
-      match find_uproc t ppid with
-      | Some parent -> Sync.Cond.broadcast parent.Uproc.exited_child
-      | None -> ())
-  | None -> ());
+  with_uproc_table t (fun () ->
+      emit ~proc:u t Event.Exit;
+      Fdesc.Fdtable.close_all u.Uproc.fds;
+      u.Uproc.state <- Uproc.Zombie status;
+      match u.Uproc.parent_pid with
+      | Some ppid -> (
+          match find_uproc t ppid with
+          | Some parent -> Sync.Cond.broadcast parent.Uproc.exited_child
+          | None -> ())
+      | None -> ());
   raise (Api.Exited status)
 
 let sys_wait t (u : Uproc.t) =
@@ -742,10 +834,11 @@ let map_named_segment t (u : Uproc.t) ~table ~name ~bytes ~writable ~exec =
           raise (Api.Sys_error "EINVAL: segment size mismatch");
         frames
     | None ->
-        let frames = Array.init pages (fun _ -> Phys.alloc t.phys) in
-        emit ~proc:u t (Event.Page_alloc pages);
-        Hashtbl.replace table name frames;
-        frames
+        with_frame_pool t ~frames:pages (fun () ->
+            let frames = Array.init pages (fun _ -> Phys.alloc t.phys) in
+            emit ~proc:u t (Event.Page_alloc pages);
+            Hashtbl.replace table name frames;
+            frames)
   in
   let block =
     match Tinyalloc.alloc u.Uproc.allocator (bytes + Addr.page_size) with
@@ -800,7 +893,7 @@ let sys_map_library t (u : Uproc.t) name ~bytes =
    that SASOSes like OSv/Junction support instead of fork. *)
 let rec sys_spawn t (u : Uproc.t) main =
   emit ~proc:u t Event.Spawn;
-  let fds = Fdesc.Fdtable.dup_all u.Uproc.fds in
+  let fds = with_fd_tables t (fun () -> Fdesc.Fdtable.dup_all u.Uproc.fds) in
   let child = create_uproc t ~parent:u ~fds ~image:u.Uproc.image () in
   child.Uproc.forked <- false (* fresh state, not a fork *);
   map_initial_image t child;

@@ -7,8 +7,9 @@
     per-process address spaces; the VM-clone baseline installs whole-image
     copying. Shared here: μprocess areas and page mapping, the per-process
     allocator with in-memory metadata, the GOT, syscall entry costing
-    (sealed vs trap), the big kernel lock, pipes, the ramdisk VFS,
-    wait/exit/reap, and the {!Api.t} builder.
+    (sealed vs trap), kernel locking (legacy big lock or sharded
+    per-resource locks, per {!Config.lock_mode}), pipes, the ramdisk
+    VFS, wait/exit/reap, and the {!Api.t} builder.
 
     All operations that consume simulated time emit a typed
     {!Ufork_sim.Event.t} through the kernel's {!Ufork_sim.Trace.t} bus,
@@ -166,26 +167,76 @@ val touch_pages_for_write : t -> Uproc.t -> int list -> unit
     post-fork working-set writes). *)
 
 val kernel_wait : ?proc:Uproc.t -> t -> Ufork_sim.Sync.Cond.t -> unit
-(** Block on a condition from inside a syscall: releases the big kernel
-    lock while suspended, recharges the context switch (+ address-space
-    switch on multi-AS kernels) on resume, and re-acquires the lock.
-    When [proc] is given and a SIGKILL arrived while blocked, unwinds
-    with {!Killed_signal} (lock released). *)
+(** Block on a condition from inside a syscall: under the legacy BKL,
+    releases the lock while suspended and re-acquires it on resume;
+    the sharded kernel holds no global lock across syscalls, so there
+    is nothing to drop. Recharges the context switch (+ address-space
+    switch on multi-AS kernels) on resume. When [proc] is given and a
+    SIGKILL arrived while blocked, unwinds with {!Killed_signal}. *)
 
 val with_syscall : t -> ?proc:Uproc.t -> ?bytes:int -> string -> (unit -> 'a) -> 'a
 (** Charge syscall entry (per the configured mode), argument-validation
     work when full isolation is on, TOCTTOU buffer copies for [bytes]
-    bytes when enabled, take the big kernel lock, run, release. [proc]
-    enables kill delivery at the entry check. *)
+    bytes when enabled, then run the body under the locking discipline:
+    the whole body inside {!with_biglock} under
+    {!Config.Big_kernel_lock}, unserialized (resource locks taken at
+    each touch point) under {!Config.Sharded_locks}. [proc] enables
+    kill delivery at the entry check. *)
 
 exception Killed_signal
 (** Unwinds a process that received SIGKILL; converted into the exit path
     by {!spawn_process}. *)
 
+(** {1 Locking}
+
+    Two disciplines, selected by {!Config.lock_mode}. Under the legacy
+    big kernel lock, {!with_biglock} serializes whole syscall bodies
+    and every per-resource helper is a no-op. Under sharded locking,
+    {!with_biglock} is the no-op and each shared structure is guarded
+    by its own named {!Ufork_sim.Sync.Rlock} — [lock.frame_pool],
+    [lock.uproc_table], [lock.fd_tables], [lock.stats],
+    [lock.pt_shard.NN] — all registered on the {!Ufork_util.Hb} bus so
+    the race detector certifies the split and names the resource in
+    its reports.
+
+    Lock hierarchy (outermost first):
+    uproc_table > fd_tables > pt_shard > frame_pool > stats. *)
+
+val with_biglock : t -> (unit -> 'a) -> 'a
+(** The legacy-BKL shim. The only legitimate call site is
+    {!with_syscall} in this module; lint rule D9 bans new ones so the
+    sharded kernel cannot quietly grow back a global serialization
+    point. *)
+
+val with_uproc_table : t -> (unit -> 'a) -> 'a
+(** Pid allocation, the process table, the area index. *)
+
+val with_fd_tables : t -> (unit -> 'a) -> 'a
+(** Cross-process descriptor-table traffic (fork/spawn dup_all). *)
+
+val with_stats : t -> (unit -> 'a) -> 'a
+(** Shared gauges, e.g. the last-fork-latency gauge every fork
+    writes. *)
+
+val with_pt_shard : t -> Uproc.t -> (unit -> 'a) -> 'a
+(** The page-table shard covering the μprocess's area (shards are
+    indexed by area base, so one area maps to one shard). *)
+
+val with_pt_shard_pair : t -> Uproc.t -> Uproc.t -> (unit -> 'a) -> 'a
+(** Both processes' shards in ascending shard order (deadlock-free for
+    concurrent forks); one acquisition when they collide. Fork's
+    duplicate phase runs under this. *)
+
 val chaos_disable_biglock : t -> unit
-(** Chaos injection only: drop the big kernel lock so syscalls and fault
+(** Chaos injection only: drop every kernel lock so syscalls and fault
     handlers run unserialized. The happens-before race detector must
-    flag the frame/PTE accesses that then go unordered. *)
+    flag the shared writes that then go unordered. *)
+
+val chaos_unshard_stats : t -> unit
+(** Chaos injection only: disable just the stats shard of the sharded
+    kernel, leaving every other lock intact — the minimal seeded bug
+    for the lock split. Concurrent writers of a shared gauge then race
+    and the detector must report exactly that location (R1). *)
 
 val syscall_entry_cap : t -> Capability.t
 (** The sealed kernel entry capability every μprocess holds: invocable

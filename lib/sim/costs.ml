@@ -10,6 +10,7 @@ type t = {
   exit_fixed : int64;
   pte_copy : int64;
   pte_protect : int64;
+  tlb_ipi : int64;
   page_alloc : int64;
   page_copy : int64;
   granule_scan : int64;
@@ -60,6 +61,7 @@ let ufork =
     thread_create = 30_000L;
     exit_fixed = 4_000L;
     pte_copy = 18L;
+    tlb_ipi = 1_500L;
     pte_protect = 12L;
     page_alloc = 150L;
     page_copy = 1_100L;
@@ -84,6 +86,7 @@ let cheribsd =
     thread_create = 35_000L;
     exit_fixed = 12_000L;
     pte_copy = 150L;
+    tlb_ipi = 2_000L;
     pte_protect = 90L;
     page_alloc = 150L;
     page_copy = 1_100L;
@@ -108,6 +111,7 @@ let nephele =
     thread_create = 30_000L;
     exit_fixed = 50_000L;
     pte_copy = 60L; (* grant-table remapping via the hypervisor *)
+    tlb_ipi = 1_800L;
     pte_protect = 60L;
     page_alloc = 150L;
     page_copy = 1_100L;
@@ -132,6 +136,7 @@ let linux_ref =
     thread_create = 25_000L;
     exit_fixed = 8_000L;
     pte_copy = 80L;
+    tlb_ipi = 1_600L;
     pte_protect = 60L;
     page_alloc = 150L;
     page_copy = 1_100L;
@@ -149,12 +154,13 @@ let pp ppf t =
     "@[<v>%s:@,\
      syscall=%Ld ctx=%Ld as_switch=%Ld fault=%Ld soft=%Ld@,\
      fork=%Ld thread=%Ld exit=%Ld@,\
-     pte_copy=%Ld pte_prot=%Ld page_alloc=%Ld page_copy=%Ld@,\
+     pte_copy=%Ld pte_prot=%Ld tlb_ipi=%Ld page_alloc=%Ld page_copy=%Ld@,\
      granule=%Ld reloc=%Ld domain=%Ld@,\
      copy/B=%.2f toctou/B=%.2f file_op=%Ld pipe_op=%Ld@]"
     t.label t.syscall t.context_switch t.address_space_switch t.page_fault
     t.soft_fault t.fork_fixed t.thread_create t.exit_fixed t.pte_copy
-    t.pte_protect t.page_alloc t.page_copy t.granule_scan t.cap_relocate
+    t.pte_protect t.tlb_ipi t.page_alloc t.page_copy t.granule_scan
+    t.cap_relocate
     t.domain_create t.copy_per_byte t.toctou_per_byte t.file_op t.pipe_op
 
 let bytes_cost per_byte n = Int64.of_float ((per_byte *. float_of_int n) +. 0.5)

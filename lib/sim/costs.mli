@@ -34,6 +34,11 @@ type t = {
   exit_fixed : int64;  (** Process teardown + parent wakeup. *)
   pte_copy : int64;  (** Copy/install one page-table entry at fork. *)
   pte_protect : int64;  (** Permission change of one PTE. *)
+  tlb_ipi : int64;
+      (** One cross-core IPI round-trip of a TLB shootdown: interrupt a
+          remote core, invalidate, acknowledge. A shootdown batch charges
+          this once per remote core ({!Ufork_sim.Event.t.Tlb_shootdown});
+          the linear-in-cores term that eventually caps fork scaling. *)
   page_alloc : int64;
   page_copy : int64;  (** memcpy of one 4 KiB page. *)
   granule_scan : int64;

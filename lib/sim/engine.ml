@@ -62,6 +62,11 @@ type thread = {
   name : string;
   affinity : int option;
   mutable finished : bool;
+  mutable home : int;
+      (* The run queue this thread is enqueued on when it becomes ready:
+         its affinity core when pinned, otherwise the core it last ran on
+         (initially tid mod cores). Work stealing migrates unpinned
+         threads and re-homes them to the stealing core. *)
   mutable cur_core : core option;
       (* The core the thread currently occupies; threads can migrate across
          yields, so the effect handler must read this rather than close
@@ -80,7 +85,14 @@ type t = {
   mutable now : int64;
   mutable advanced : int64;
   mutable seq : int;
-  ready : (thread * resume) Queue.t;
+  run_queues : (thread * resume * int) Queue.t array;
+      (* One run queue per core, entries stamped with a global ready
+         sequence. Pinned threads wait on their affinity core's queue
+         and are never stolen; unpinned threads wait on their home
+         core's queue and may be stolen by an idle core. *)
+  mutable ready_seq : int;
+  mutable ready_count : int;
+  mutable steals : int;
   mutable live : int;
   mutable blocked : int;
   mutable next_tid : int;
@@ -98,15 +110,21 @@ type _ Effect.t +=
   | Get_core : int Effect.t
   | Get_name : string Effect.t
 
+let max_cores = 1024
+
 let create ?(cores = 4) () =
   if cores <= 0 then invalid_arg "Engine.create: cores <= 0";
+  if cores > max_cores then invalid_arg "Engine.create: cores > 1024";
   {
     core_array = Array.init cores (fun index -> { index; busy = false });
     events = Heap.create ();
     now = 0L;
     advanced = 0L;
     seq = 0;
-    ready = Queue.create ();
+    run_queues = Array.init cores (fun _ -> Queue.create ());
+    ready_seq = 0;
+    ready_count = 0;
+    steals = 0;
     live = 0;
     blocked = 0;
     next_tid = 0;
@@ -118,6 +136,19 @@ let now t = t.now
 let advanced t = t.advanced
 let live_threads t = t.live
 let blocked_threads t = t.blocked
+let steals t = t.steals
+
+(* Enqueue a ready thread on its run queue: the affinity core when
+   pinned, the home core otherwise. The global ready-seq stamp is what
+   keeps the multi-queue schedule identical to the old single-FIFO
+   engine: dispatch runs entries in stamp order. *)
+let make_ready t thread resume =
+  let q =
+    match thread.affinity with Some a -> a | None -> thread.home
+  in
+  t.ready_seq <- t.ready_seq + 1;
+  Queue.push (thread, resume, t.ready_seq) t.run_queues.(q);
+  t.ready_count <- t.ready_count + 1
 
 let schedule t time action =
   t.seq <- t.seq + 1;
@@ -138,6 +169,7 @@ let release_core thread =
 let exec t core thread resume =
   core.busy <- true;
   thread.cur_core <- Some core;
+  thread.home <- core.index;
   match resume with
   | Cont k ->
       (* The deep handler installed at Start travels with the continuation. *)
@@ -180,7 +212,7 @@ let exec t core thread resume =
                   Some
                     (fun k ->
                       release_core thread;
-                      Queue.push (thread, Cont k) t.ready)
+                      make_ready t thread (Cont k))
               | Suspend register ->
                   Some
                     (fun k ->
@@ -197,41 +229,78 @@ let exec t core thread resume =
               | _ -> None);
         }
 
-let find_idle_core t affinity =
-  match affinity with
-  | Some a ->
-      let c = t.core_array.(a) in
-      if c.busy then None else Some c
-  | None ->
-      let n = Array.length t.core_array in
-      let rec go i =
-        if i >= n then None
-        else if not t.core_array.(i).busy then Some t.core_array.(i)
-        else go (i + 1)
-      in
-      go 0
+(* The globally oldest entry that can run right now: pinned entries
+   qualify only when their affinity core is idle; unpinned entries
+   qualify whenever any core is idle (callers check that first). Queues
+   are scanned in full because a pinned-but-blocked head must not shadow
+   a runnable entry behind it. Returns the queue index and stamp. *)
+let oldest_runnable t =
+  let best = ref None in
+  Array.iteri
+    (fun qi q ->
+      Queue.iter
+        (fun (thread, _, rseq) ->
+          let runnable =
+            match thread.affinity with
+            | Some a -> not t.core_array.(a).busy
+            | None -> true
+          in
+          if runnable then
+            match !best with
+            | Some (_, bseq) when bseq <= rseq -> ()
+            | _ -> best := Some (qi, rseq))
+        q)
+    t.run_queues;
+  !best
 
-(* Dispatch ready threads to idle cores (FIFO, lowest-numbered compatible
-   idle core first). Single pass over the queue per round: each entry is
-   popped once and either executed or requeued in order. Continuing the
-   pass after an exec cannot starve an earlier skipped entry: exec only
-   ever occupies (and possibly hands back) a core that was already idle
-   when the earlier entry was skipped — so that core was incompatible with
-   it then and still is. A round that dispatched anything is followed by
-   another, which picks up threads the execs made ready. *)
+(* Remove the entry stamped [rseq] from queue [qi] by rotating the queue
+   once; stamps are unique so exactly one entry matches. *)
+let remove_entry t qi rseq =
+  let q = t.run_queues.(qi) in
+  let found = ref None in
+  for _ = 1 to Queue.length q do
+    let ((_, _, s) as entry) = Queue.pop q in
+    if s = rseq then found := Some entry else Queue.push entry q
+  done;
+  match !found with
+  | Some entry -> entry
+  | None -> invalid_arg "Engine: run-queue entry vanished (engine bug)"
+
+(* Dispatch ready threads to idle cores, globally oldest first: each
+   step runs the lowest-stamped runnable entry, preserving the
+   single-FIFO schedule of a one-queue engine. The core is the entry's
+   own queue core when idle; otherwise the first idle core scanning
+   upward from it — a steal that migrates and re-homes the thread. Both
+   choices are functions of queue contents and core ids alone, so the
+   schedule (and every trace derived from it) is reproducible for a
+   given seed and core count. *)
 let dispatch t =
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    let n = Queue.length t.ready in
-    for _ = 1 to n do
-      let ((thread, resume) as entry) = Queue.pop t.ready in
-      match find_idle_core t thread.affinity with
-      | Some core ->
-          exec t core thread resume;
-          progress := true
-      | None -> Queue.push entry t.ready
-    done
+  let n = Array.length t.core_array in
+  let continue = ref true in
+  while !continue && t.ready_count > 0 do
+    if not (Array.exists (fun c -> not c.busy) t.core_array) then
+      continue := false
+    else
+      match oldest_runnable t with
+      | None -> continue := false
+      | Some (qi, rseq) ->
+          let thread, resume, _ = remove_entry t qi rseq in
+          t.ready_count <- t.ready_count - 1;
+          let core =
+            match thread.affinity with
+            | Some a -> t.core_array.(a)
+            | None ->
+                if not t.core_array.(qi).busy then t.core_array.(qi)
+                else begin
+                  let rec idle k =
+                    let c = t.core_array.((qi + k) mod n) in
+                    if c.busy then idle (k + 1) else c
+                  in
+                  t.steals <- t.steals + 1;
+                  idle 1
+                end
+          in
+          exec t core thread resume
   done
 
 let enqueue_new t ?name ?affinity body =
@@ -239,9 +308,20 @@ let enqueue_new t ?name ?affinity body =
   let name =
     match name with Some n -> n | None -> Printf.sprintf "t%d" t.next_tid
   in
-  let thread = { tid = t.next_tid; name; affinity; finished = false; cur_core = None } in
+  let home =
+    (* Fresh unpinned threads spread across cores by tid so independent
+       workloads (one forker per core) land on distinct queues without
+       explicit affinity. *)
+    match affinity with
+    | Some a -> a
+    | None -> t.next_tid mod Array.length t.core_array
+  in
+  let thread =
+    { tid = t.next_tid; name; affinity; finished = false; home;
+      cur_core = None }
+  in
   t.live <- t.live + 1;
-  Queue.push (thread, Start body) t.ready;
+  make_ready t thread (Start body);
   if Hb.on () then
     Hb.emit (Hb.Spawn { parent = Hb.tid (); child = thread.tid });
   thread.tid
@@ -290,7 +370,7 @@ let wake w =
       w.target <- None;
       t.blocked <- t.blocked - 1;
       if Hb.on () then Hb.emit (Hb.Wake { by = Hb.tid (); target = thread.tid });
-      Queue.push (thread, resume) t.ready;
+      make_ready t thread resume;
       (* A waker fired outside event processing (e.g. between runs) must
          kick the dispatcher itself; inside, the main loop dispatches after
          the current event completes. *)
@@ -303,6 +383,10 @@ let () =
   Hb.set_tid_provider (fun () ->
       match Effect.perform Get_tid with
       | tid -> tid
+      | exception Effect.Unhandled _ -> -1);
+  Hb.set_core_provider (fun () ->
+      match Effect.perform Get_core with
+      | core -> core
       | exception Effect.Unhandled _ -> -1)
 
 let sleep n =

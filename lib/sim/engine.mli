@@ -9,17 +9,32 @@
     kernel lock, Nginx workers yielding during network waits) emerge
     naturally.
 
-    Scheduling is non-preemptive and deterministic: ready threads are
-    dispatched FIFO to the lowest-numbered idle core compatible with their
-    affinity. *)
+    Scheduling is non-preemptive and deterministic, with per-core run
+    queues: a ready thread is enqueued on its affinity core when pinned,
+    otherwise on the core it last ran on (its home; initially tid mod
+    cores). Dispatch runs ready entries globally oldest first (a global
+    ready-sequence stamp preserves single-FIFO semantics across the
+    queues); the entry runs on its own queue's core when idle, else on
+    the first idle core scanning upward from it — a steal that migrates
+    and re-homes the thread. A pinned entry whose core is busy is
+    skipped, never migrated. Both choices are functions of queue
+    contents and core ids alone, so for a given seed and core count the
+    schedule (and every trace derived from it) is bit-reproducible. *)
 
 type t
 type tid = int
 
 val create : ?cores:int -> unit -> t
-(** Default 4 cores. *)
+(** Default 4 cores; up to 1024 ([Invalid_argument] beyond — the SMP
+    scaling study sweeps to 128). *)
 
 val cores : t -> int
+
+val steals : t -> int
+(** Number of cross-queue work steals performed so far: an idle core
+    running an entry homed on another core's queue. *)
+
+
 val now : t -> int64
 (** Current simulated time in cycles. *)
 

@@ -21,7 +21,7 @@ type t =
   | Domain_create
   | Pte_copy of int
   | Pte_protect
-  | Tlb_shootdown
+  | Tlb_shootdown of int
   | Page_alloc of int
   | Page_copy_eager of int
   | Page_copy_child
@@ -64,7 +64,7 @@ let to_key = function
   | Domain_create -> "domain_create"
   | Pte_copy _ -> "pte_copy"
   | Pte_protect -> "pte_protect"
-  | Tlb_shootdown -> "tlb_shootdown"
+  | Tlb_shootdown _ -> "tlb_shootdown"
   | Page_alloc _ -> "page_alloc"
   | Page_copy_eager _ -> "page_copy_eager"
   | Page_copy_child -> "page_copy_child"
@@ -89,11 +89,15 @@ let count = function
   | Cap_relocate n | Toctou_revalidate n | Arena_pretouch n | Pte_copy n
   | Page_copy_eager n ->
       n
+  (* One shootdown batch counts as one flush protocol step even on a
+     single core ([n = 0] remote IPIs): the linter's L4 window closes
+     either way. *)
+  | Tlb_shootdown _ -> 1
   | Syscall _ | Entry_validation _ | Toctou_setup | Context_switch
   | Address_space_switch | Page_fault | Soft_fault | Demand_zero
   | Cow_write_fault | Copa_write_fault | Copa_cap_load_fault
   | Coa_access_fault | Fork_fixed | Spawn | Thread_create | Exit | Kill
-  | Domain_create | Pte_protect | Tlb_shootdown
+  | Domain_create | Pte_protect
   | Page_copy_child | Page_copy_cow | Claim_in_place | Cow_claim_in_place
   | Shm_share | Malloc | Free | File_op | Pipe_op | Shm_open | Map_library
   | Compute _ ->
@@ -129,9 +133,12 @@ let cost ~(costs : Costs.t) = function
   | Domain_create -> costs.Costs.domain_create
   | Pte_copy n -> Int64.mul costs.Costs.pte_copy (Int64.of_int n)
   | Pte_protect -> costs.Costs.pte_protect
-  (* Protocol marker: the flush batch closing a downgrade sequence. The
-     cycles live on the Pte_protect/Pte_copy entries themselves. *)
-  | Tlb_shootdown -> 0L
+  (* The flush batch closing a downgrade sequence: one IPI round-trip
+     per remote core that may cache a stale entry. On one core ([n=0])
+     the local invalidate is folded into the Pte_protect cost, as
+     before; past that the window grows linearly with the machine —
+     the term that eventually caps fork scaling. *)
+  | Tlb_shootdown n -> Int64.mul costs.Costs.tlb_ipi (Int64.of_int (max 0 n))
   | Page_alloc n -> Int64.mul costs.Costs.page_alloc (Int64.of_int n)
   | Page_copy_eager n -> Int64.mul costs.Costs.page_copy (Int64.of_int n)
   | Page_copy_child | Page_copy_cow -> costs.Costs.page_copy
@@ -156,6 +163,8 @@ let linear_unit ~(costs : Costs.t) event =
   | Compute _ -> None
   (* Integer halving rounds per emission. *)
   | Toctou_revalidate _ -> None
+  (* The payload scales with remote cores, not with the batch count. *)
+  | Tlb_shootdown _ -> None
   | Page_alloc _ -> Some costs.Costs.page_alloc
   | Granule_scan _ -> Some costs.Costs.granule_scan
   | Cap_relocate _ -> Some costs.Costs.cap_relocate
@@ -215,7 +224,7 @@ let samples =
     Domain_create;
     Pte_copy 1;
     Pte_protect;
-    Tlb_shootdown;
+    Tlb_shootdown 3;
     Page_alloc 1;
     Page_copy_eager 1;
     Page_copy_child;

@@ -57,12 +57,15 @@ type t =
           exactly [n] times the per-entry cost, so cycle totals and meter
           counts are independent of the batch split. *)
   | Pte_protect
-  | Tlb_shootdown
+  | Tlb_shootdown of int
       (** The flush/shootdown batch closing a sequence of PTE permission
           downgrades (fork's CoW/CoA/CoPA sharing loop): stale TLB entries
           on every core are invalidated before the downgraded mappings can
-          be relied upon. Zero direct cost (a protocol marker, like the
-          fault classifiers); the linter checks its ordering. *)
+          be relied upon. The payload is the number of remote cores that
+          must acknowledge the IPI (cores − 1; 0 on a single core), each
+          charged {!Ufork_sim.Costs.t.tlb_ipi} cycles — the cross-core
+          window that eventually caps fork scaling. Counts as one flush
+          protocol step regardless; the linter checks its ordering. *)
   | Page_alloc of int  (** [n] fresh physical frames. *)
   | Page_copy_eager of int
       (** [n] eager 4 KiB copies at fork (proactive or full); batched like

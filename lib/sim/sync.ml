@@ -1,17 +1,27 @@
 module Hb = Ufork_util.Hb
 
 module Lock = struct
-  type t = { id : int; mutable held : bool; queue : Engine.waker Queue.t }
+  type t = {
+    id : int;
+    name : string option;
+    mutable held : bool;
+    queue : Engine.waker Queue.t;
+  }
 
   (* Lock identity for the happens-before bus: release-to-acquire edges
-     are drawn per lock, so each needs a stable id. *)
+     are drawn per lock, so each needs a stable id. Named locks (the
+     sharded kernel resources) additionally register the name with the
+     bus so race reports and trace exports can say which resource a
+     lock protects. *)
   let next_id = ref 0
 
-  let create () =
+  let create ?name () =
     incr next_id;
-    { id = !next_id; held = false; queue = Queue.create () }
+    Option.iter (Hb.set_lock_name !next_id) name;
+    { id = !next_id; name; held = false; queue = Queue.create () }
 
   let id t = t.id
+  let name t = t.name
 
   let acquire t =
     (if not t.held then t.held <- true
@@ -40,6 +50,52 @@ module Lock = struct
         raise e
 
   let locked t = t.held
+end
+
+(* Recursive lock, owner-tracked by engine tid: kernel paths re-enter
+   (a fault raised inside a syscall re-enters the kernel on the same
+   thread), and a plain Lock would self-deadlock the cooperative engine.
+   Depth counting keeps the underlying release balanced with the
+   outermost acquire; only that outermost pair touches the Lock (and so
+   the happens-before bus). *)
+module Rlock = struct
+  type t = { lock : Lock.t; mutable owner : int; mutable depth : int }
+
+  let no_owner = min_int
+
+  let create ?name () =
+    { lock = Lock.create ?name (); owner = no_owner; depth = 0 }
+
+  let acquire t =
+    let tid = Hb.tid () in
+    if t.depth > 0 && t.owner = tid then t.depth <- t.depth + 1
+    else begin
+      Lock.acquire t.lock;
+      t.owner <- tid;
+      t.depth <- 1
+    end
+
+  let release t =
+    if t.depth <= 0 then invalid_arg "Rlock.release: not held";
+    t.depth <- t.depth - 1;
+    if t.depth = 0 then begin
+      t.owner <- no_owner;
+      Lock.release t.lock
+    end
+
+  let with_lock t f =
+    acquire t;
+    match f () with
+    | v ->
+        release t;
+        v
+    | exception e ->
+        release t;
+        raise e
+
+  let id t = Lock.id t.lock
+  let name t = Lock.name t.lock
+  let held_by_self t = t.depth > 0 && t.owner = Hb.tid ()
 end
 
 module Cond = struct

@@ -7,7 +7,11 @@
 module Lock : sig
   type t
 
-  val create : unit -> t
+  val create : ?name:string -> unit -> t
+  (** [name] registers a stable resource name for the lock's id with the
+      happens-before bus ({!Ufork_util.Hb.set_lock_name}), so race
+      reports and trace exports name the resource, not a number. *)
+
   val acquire : t -> unit
   (** Blocks (suspending the calling engine thread) until available. *)
 
@@ -22,6 +26,27 @@ module Lock : sig
 
   val id : t -> int
   (** Stable identity; names the lock in happens-before events. *)
+
+  val name : t -> string option
+end
+
+(** Recursive lock, owner-tracked by engine tid. Kernel code re-enters
+    (a fault inside a syscall services on the same thread), and a plain
+    {!Lock} would self-deadlock the cooperative engine. Only the
+    outermost acquire/release pair touches the underlying {!Lock} and
+    the happens-before bus. *)
+module Rlock : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+  val id : t -> int
+  val name : t -> string option
+
+  val held_by_self : t -> bool
+  (** True when the calling engine thread currently holds the lock. *)
 end
 
 module Cond : sig

@@ -38,10 +38,26 @@ type event =
 let enabled = ref false
 let listener : (event -> unit) ref = ref ignore
 let tid_provider : (unit -> int) ref = ref (fun () -> -1)
+let core_provider : (unit -> int) ref = ref (fun () -> -1)
 
 let set_tid_provider f = tid_provider := f
 let tid () = !tid_provider ()
+let set_core_provider f = core_provider := f
+let core () = !core_provider ()
 let on () = !enabled
+
+(* Stable resource names for lock ids (the sharded kernel locks register
+   here), so race reports and trace exports can name the resource a lock
+   protects instead of printing a bare number. Process-global like the
+   id counter itself: ids are never reused within a run. *)
+let lock_names : (int, string) Hashtbl.t = Hashtbl.create 64
+let set_lock_name id name = Hashtbl.replace lock_names id name
+let lock_name id = Hashtbl.find_opt lock_names id
+
+let pp_lock ppf id =
+  match lock_name id with
+  | Some name -> Format.fprintf ppf "%s (lock %d)" name id
+  | None -> Format.fprintf ppf "lock %d" id
 
 let subscribe f =
   listener := f;

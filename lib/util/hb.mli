@@ -28,6 +28,24 @@ val set_tid_provider : (unit -> int) -> unit
 val tid : unit -> int
 (** The current simulated thread id via the installed provider. *)
 
+val set_core_provider : (unit -> int) -> unit
+(** Installed once by the engine: the core the current simulated thread
+    occupies, or a negative value outside any simulated thread. Lets
+    publishers below lib/sim (e.g. the frame pool's per-core freelists)
+    pick a core bucket without a dependency cycle. *)
+
+val core : unit -> int
+(** The current core via the installed provider. *)
+
+val set_lock_name : int -> string -> unit
+(** Register a stable resource name for a lock id (e.g.
+    ["lock.frame_pool"]). Named locks appear by name in race reports. *)
+
+val lock_name : int -> string option
+
+val pp_lock : Format.formatter -> int -> unit
+(** ["<name> (lock <id>)"] when the id is named, ["lock <id>"] otherwise. *)
+
 val on : unit -> bool
 (** True while a subscriber is armed. Publishers guard event
     construction behind this so the off state allocates nothing. *)

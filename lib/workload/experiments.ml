@@ -124,6 +124,8 @@ let race_detect = ref false
 let set_race_detect on = race_detect := on
 let chaos_no_bkl = ref false
 let set_chaos_no_bkl on = chaos_no_bkl := on
+let chaos_unshard = ref false
+let set_chaos_unshard on = chaos_unshard := on
 let race_detector : Race.t option ref = ref None
 
 let register_trace tr =
@@ -255,6 +257,14 @@ let boot ?(cores = 4) ?config system =
            Engine.sleep 1_000L;
            Trace.gauge (Kernel.trace b.kernel) Trace.last_fork_latency_key 0))
   end;
+  if !chaos_unshard then
+    (* The sharded-regime control: only the stats shard loses its lock.
+       No bug is seeded beyond that — the race, if the detector is
+       honest, is between two legitimate fork-path gauge writes from
+       different forking threads (run a concurrent-fork workload such as
+       {!fork_storm_run}). Every other shard stays armed, so the report
+       must be exactly one R1 on the gauge. *)
+    Kernel.chaos_unshard_stats b.kernel;
   b
 
 let child_private_mb b pid =
@@ -476,6 +486,74 @@ let fig9 ?(spawn_iters = 1000) ?(context1_iters = 100_000) () =
   List.map
     (fun s -> unixbench_run s ~spawn_iters ~context1_iters)
     [ Ufork Strategy.Copa; Cheribsd ]
+
+(* {1 SMP fork scaling (BENCH_smp.json)} *)
+
+type smp_row = {
+  system : system;
+  cores : int;
+  locks : string;
+  forks : int;
+  forks_per_s : float;
+  fault_p50_us : float;
+  fault_p99_us : float;
+  steals : int;
+}
+
+(* One forking μprocess per core, each forking and reaping [iters]
+   children that dirty a two-page working set (a CoW resolution in the
+   child, another back in the parent). The forkers run concurrently, so
+   the uproc table, fd tables, page-table shards, frame pool and the
+   stats gauge all see real cross-core contention: this is the workload
+   the scaling bench sweeps and the CI race job replays under the
+   happens-before detector. *)
+let fork_storm_run ?config system ~cores ~iters () =
+  let b = boot ~cores ?config system in
+  let page = 4096 in
+  let forks = ref 0 in
+  for _ = 1 to cores do
+    ignore
+      (b.start ~image:Image.hello (fun api ->
+           let cell = api.Api.malloc (2 * page) in
+           api.Api.write_u64 cell ~off:0 0L;
+           api.Api.got_set 0 cell;
+           for _ = 1 to iters do
+             ignore
+               (api.Api.fork (fun capi ->
+                    (* The GOT slot, not the parent's capability: CoPA
+                       relocates the child's copy into its own area. *)
+                    let c = capi.Api.got_get 0 in
+                    capi.Api.write_u64 c ~off:0 1L;
+                    capi.Api.write_u64 c ~off:page 2L;
+                    capi.Api.exit 0));
+             ignore (api.Api.wait ());
+             (* Take the CoW write fault back on the parent side. *)
+             api.Api.write_u64 cell ~off:0 3L;
+             incr forks
+           done))
+  done;
+  b.run ();
+  finish_run b;
+  let elapsed_s = Units.s_of_cycles (Engine.now b.engine) in
+  let quant p =
+    match Trace.span_histogram (Kernel.trace b.kernel) "fault.service" with
+    | Some h -> Units.us_of_cycles (Ufork_sim.Histogram.quantile h p)
+    | None -> 0.
+  in
+  {
+    system;
+    cores;
+    locks =
+      (match (Kernel.config b.kernel).Config.lock_mode with
+      | Config.Big_kernel_lock -> "bkl"
+      | Config.Sharded_locks -> "sharded");
+    forks = !forks;
+    forks_per_s =
+      (if elapsed_s > 0. then float_of_int !forks /. elapsed_s else 0.);
+    fault_p50_us = quant 0.5;
+    fault_p99_us = quant 0.99;
+    steals = Engine.steals b.engine;
+  }
 
 (* {1 Ablations} *)
 

@@ -79,6 +79,17 @@ val set_chaos_no_bkl : bool -> unit
     Meaningful together with {!set_race_detect}, which must then flag
     R1. *)
 
+val set_chaos_unshard : bool -> unit
+(** Fault injection for the sharded-lock regime: boot every subsequent
+    machine with exactly one sharded lock (the stats shard guarding the
+    fork-latency gauge) chaos-disabled
+    ({!Ufork_sas.Kernel.chaos_unshard_stats}). No rogue write is seeded:
+    under a concurrent-fork workload ({!fork_storm_run}) the legitimate
+    fork-path gauge writes themselves lose their ordering edge, so with
+    {!set_race_detect} the check must fail with exactly the one R1 on
+    the gauge — certifying that the stats shard, and not an accident of
+    scheduling, is what orders them. *)
+
 (** {1 Accounting audit and state sanitizer}
 
     Every experiment run checks {!Ufork_sim.Trace.audit} before returning:
@@ -168,6 +179,30 @@ val unixbench_run :
 
 val fig9 : ?spawn_iters:int -> ?context1_iters:int -> unit -> unixbench_row list
 (** Defaults: 1000 spawns, 100_000 round trips, for μFork and CheriBSD. *)
+
+(** {1 SMP fork scaling ([BENCH_smp.json])} *)
+
+type smp_row = {
+  system : system;
+  cores : int;
+  locks : string;  (** the booted config's lock mode: "bkl" or "sharded" *)
+  forks : int;  (** children forked and reaped across every forker *)
+  forks_per_s : float;
+  fault_p50_us : float;  (** fault-service span latency quantiles *)
+  fault_p99_us : float;
+  steals : int;  (** engine cross-queue work steals over the run *)
+}
+
+val fork_storm_run :
+  ?config:Ufork_sas.Config.t -> system -> cores:int -> iters:int -> unit ->
+  smp_row
+(** One forking μprocess per core, each forking and reaping [iters]
+    children that dirty a two-page working set. The concurrent forkers
+    contend on every sharded kernel lock, making this both the
+    fork-throughput scaling probe ([bench --cores-sweep]) and the
+    workload the CI race job replays under the detector. [?config]
+    overrides the flavour's default — pass
+    [Config.with_lock_mode Big_kernel_lock ...] for the BKL baseline. *)
 
 (** {1 Ablations beyond the paper} *)
 

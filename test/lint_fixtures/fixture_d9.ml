@@ -1,0 +1,4 @@
+(* Seeds exactly one D9 (no-biglock) violation: a call site taking the
+   legacy big kernel lock outside the kernel's own syscall plumbing. *)
+
+let slow_path k f = Kernel.with_biglock k f

@@ -30,12 +30,12 @@ module Checker = Ufork_analysis.Checker
 module Lint = Ufork_analysis.Lint
 module Invariant = Ufork_analysis.Invariant
 
-let boot = function
+let boot ?(cores = 4) = function
   | "ufork-copa" ->
       Os.system
-        (Os.boot ~cores:4 ~config:Config.ufork_fast ~strategy:Strategy.Copa ())
-  | "cheribsd" -> Monolithic.system (Monolithic.boot ~cores:4 ())
-  | "nephele" -> Vmclone.system (Vmclone.boot ~cores:4 ())
+        (Os.boot ~cores ~config:Config.ufork_fast ~strategy:Strategy.Copa ())
+  | "cheribsd" -> Monolithic.system (Monolithic.boot ~cores ())
+  | "nephele" -> Vmclone.system (Vmclone.boot ~cores ())
   | s -> invalid_arg s
 
 (* Audit the bus, sweep machine state, and lint the recorded protocol:
@@ -65,8 +65,8 @@ let dump_lines label sys =
              st.Trace.span_self st.Trace.span_cycles st.Trace.span_count)
          (Trace.span_totals (System.trace sys)))
 
-let hello label =
-  let sys = boot label in
+let hello ?cores ?(tag = "hello") label =
+  let sys = boot ?cores label in
   Trace.set_recording (System.trace sys) true;
   ignore
     (System.start sys ~image:Image.hello (fun api ->
@@ -74,7 +74,7 @@ let hello label =
          Hello.reap api));
   System.run sys;
   finish sys;
-  dump_lines ("hello/" ^ label) sys
+  dump_lines (tag ^ "/" ^ label) sys
 
 let redis label =
   let entries = 100 and value_len = 100 * 1024 in
@@ -137,6 +137,9 @@ let scenarios =
     ("hello/ufork-copa", fun () -> hello "ufork-copa");
     ("hello/cheribsd", fun () -> hello "cheribsd");
     ("hello/nephele", fun () -> hello "nephele");
+    (* 8-core point: pins run-queue / per-core-freelist / shootdown-window
+       accounting above the default 4 cores. *)
+    ("hello-8core/ufork-copa", fun () -> hello ~cores:8 ~tag:"hello-8core" "ufork-copa");
     ("redis10mb/ufork-copa", fun () -> redis "ufork-copa");
     ("redis10mb/cheribsd", fun () -> redis "cheribsd");
     ("redis10mb/nephele", fun () -> redis "nephele");

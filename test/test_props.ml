@@ -15,10 +15,17 @@ module Kernel = Ufork_sas.Kernel
 module Vfs = Ufork_sas.Vfs
 module Strategy = Ufork_core.Strategy
 module Os = Ufork_core.Os
+module System = Ufork_core.System
 module Monolithic = Ufork_baselines.Monolithic
+module Vmclone = Ufork_baselines.Vmclone
 module Kvstore = Ufork_apps.Kvstore
 module Rdb = Ufork_apps.Rdb
+module Keyspace = Ufork_workload.Keyspace
 module Prng = Ufork_util.Prng
+module Config = Ufork_sas.Config
+module Engine = Ufork_sim.Engine
+module Trace = Ufork_sim.Trace
+module Event = Ufork_sim.Event
 
 let run_os ?(cores = 4) ?(strategy = Strategy.Copa) ?(image = Image.hello) f =
   let os = Os.boot ~cores ~strategy () in
@@ -310,6 +317,53 @@ let prop_aslr_deterministic =
       in
       bases () = bases ())
 
+(* --- SMP replay determinism ---
+
+   The per-core run queues, work stealing, sharded locks and per-core
+   frame freelists must not cost reproducibility: two runs with the same
+   seed and core count must record bit-identical traces — every record's
+   time, core, thread, pid, event and charge. Checked across flavours
+   and core counts well past the default 4. *)
+
+let smp_boot ~cores = function
+  | "ufork-copa" ->
+      Os.system
+        (Os.boot ~cores ~config:Config.ufork_fast ~strategy:Strategy.Copa ())
+  | "cheribsd" -> Monolithic.system (Monolithic.boot ~cores ())
+  | "nephele" -> Vmclone.system (Vmclone.boot ~cores ())
+  | s -> invalid_arg s
+
+let smp_trace ~flavour ~cores ~seed =
+  let sys = smp_boot ~cores flavour in
+  Trace.set_recording (System.trace sys) true;
+  ignore
+    (System.start sys
+       ~image:(Image.redis ~heap_bytes:(4 * 1024 * 1024))
+       (fun api ->
+         let store = Kvstore.create api ~buckets:64 () in
+         Keyspace.populate store ~entries:12 ~value_len:2048 ~seed;
+         ignore (Rdb.bgsave api store ~path:"/dump.rdb")));
+  System.run sys;
+  ( Engine.advanced (System.engine sys),
+    List.map
+      (fun (r : Trace.record) ->
+        Printf.sprintf "%Ld c%d t%d %s pid%d %s %Ld" r.Trace.t r.Trace.core
+          r.Trace.tid r.Trace.name r.Trace.pid
+          (Event.to_key r.Trace.event)
+          r.Trace.cycles)
+      (Trace.records (System.trace sys)) )
+
+let prop_smp_replay_determinism =
+  QCheck.Test.make
+    ~name:"same seed and core count replay bit-identical traces" ~count:12
+    QCheck.(
+      triple
+        (oneofl [ "ufork-copa"; "cheribsd"; "nephele" ])
+        (oneofl [ 1; 2; 4; 8; 16; 32; 64 ])
+        int64)
+    (fun (flavour, cores, seed) ->
+      smp_trace ~flavour ~cores ~seed = smp_trace ~flavour ~cores ~seed)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -320,4 +374,5 @@ let suite =
     qt prop_vas_failed_write_leaves_no_trace;
     qt prop_vfs_model;
     qt prop_aslr_deterministic;
+    qt prop_smp_replay_determinism;
   ]

@@ -195,6 +195,75 @@ let test_same_time_fifo () =
   Engine.run e;
   Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
 
+let test_ready_fifo_across_queues () =
+  (* Simultaneously-ready threads start in spawn order even though their
+     home queues alternate across cores: dispatch follows the global
+     ready stamp, not core index. *)
+  let e = Engine.create ~cores:2 () in
+  let order = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn e (fun () ->
+           order := i :: !order;
+           Engine.advance 10L))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "global fifo" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_steal_rehomes () =
+  (* t1 (home core 1) occupies its core; when core 0 frees up, t3 (also
+     homed on core 1) is stolen onto it rather than waiting. *)
+  let e = Engine.create ~cores:2 () in
+  let t3_core = ref (-1) and t3_time = ref (-1L) in
+  let _ = Engine.spawn e (fun () -> Engine.advance 100L) in
+  let _ = Engine.spawn e (fun () -> Engine.advance 10L) in
+  let _ =
+    Engine.spawn e (fun () ->
+        t3_core := Engine.current_core ();
+        t3_time := Engine.current_time ();
+        Engine.advance 10L)
+  in
+  Engine.run e;
+  Alcotest.(check int) "stolen onto core 0" 0 !t3_core;
+  Alcotest.(check int64) "ran when core 0 freed" 10L !t3_time;
+  Alcotest.(check int) "one steal counted" 1 (Engine.steals e)
+
+let test_pinned_blocked_does_not_shadow () =
+  (* A pinned entry waiting for its busy core must not block a younger
+     unpinned entry behind it in the same queue: the unpinned one is
+     stolen past it. *)
+  let e = Engine.create ~cores:2 () in
+  let b_time = ref (-1L) and c_time = ref (-1L) and c_core = ref (-1) in
+  let _ = Engine.spawn ~affinity:1 e (fun () -> Engine.advance 100L) in
+  let _ =
+    Engine.spawn ~affinity:1 e (fun () -> b_time := Engine.current_time ())
+  in
+  let _ =
+    Engine.spawn e (fun () ->
+        c_time := Engine.current_time ();
+        c_core := Engine.current_core ())
+  in
+  Engine.run e;
+  Alcotest.(check int64) "pinned waits for its core" 100L !b_time;
+  Alcotest.(check int64) "unpinned runs immediately" 0L !c_time;
+  Alcotest.(check int) "on the idle core" 0 !c_core
+
+let test_many_cores_parallel () =
+  (* The SMP sweep's upper end: 128 cores run 128 threads fully in
+     parallel. *)
+  let e = Engine.create ~cores:128 () in
+  let completed = ref 0 in
+  for _ = 1 to 128 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Engine.advance 100L;
+           incr completed))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all ran" 128 !completed;
+  Alcotest.(check int64) "fully parallel" 100L (Engine.now e);
+  Alcotest.(check int) "no steals needed" 0 (Engine.steals e)
+
 let test_waker_pending () =
   let e = Engine.create ~cores:1 () in
   let stash = ref None in
@@ -504,6 +573,11 @@ let suite =
     ("negative advance", `Quick, test_negative_advance_rejected);
     ("spawn storm", `Quick, test_spawn_storm);
     ("same-time FIFO", `Quick, test_same_time_fifo);
+    ("ready FIFO across run queues", `Quick, test_ready_fifo_across_queues);
+    ("steal re-homes to idle core", `Quick, test_steal_rehomes);
+    ("blocked pinned entry does not shadow", `Quick,
+     test_pinned_blocked_does_not_shadow);
+    ("128 cores fully parallel", `Quick, test_many_cores_parallel);
     ("waker pending", `Quick, test_waker_pending);
     ("lock mutual exclusion", `Quick, test_lock_mutual_exclusion);
     ("lock fifo", `Quick, test_lock_fifo);

@@ -48,6 +48,7 @@ let charging_targets =
 
 let page_copy_targets = [ [ "Page"; "read_bytes" ]; [ "Page"; "write_bytes" ] ]
 let fork_dup_targets = [ [ "Fdtable"; "dup_all" ] ]
+let biglock_targets = [ [ "Kernel"; "with_biglock" ] ]
 
 let wall_clock_targets =
   [
@@ -163,6 +164,9 @@ let check_ident ctx loc path =
     "fork-path duplication belongs in Fork_spine.run";
   banned Lint_rules.wall_clock wall_clock_targets
     "use Engine.current_time / the seeded Ufork_util.Prng";
+  banned Lint_rules.biglock biglock_targets
+    "take the sharded lock for the resource instead (Kernel.with_uproc_table \
+     / with_fd_tables / with_pt_shard / with_frame_pool / with_stats)";
   if List.length path >= 2 && List.nth path (List.length path - 2) = "Obj" then
     report ctx Lint_rules.obj_magic loc
       (Printf.sprintf "%s: Obj is banned outright" (name_of_target path));

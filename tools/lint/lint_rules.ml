@@ -126,6 +126,18 @@ let obj_magic =
     applies = in_scanned;
   }
 
+let biglock =
+  {
+    id = "D9";
+    name = "no-biglock";
+    summary =
+      "Kernel.with_biglock is the legacy big-kernel-lock shim, kept only \
+       so the nephele baseline can model a BKL; a call site outside the \
+       kernel's own syscall plumbing quietly reintroduces the global lock \
+       the sharded per-resource locks replaced";
+    applies = (fun p -> in_scanned p && p <> "lib/sas/kernel.ml");
+  }
+
 let parse_error =
   {
     id = "E0";
@@ -137,5 +149,5 @@ let parse_error =
 let all =
   [
     charging; page_copy; fork_dup; gauge_key; wall_clock; hashtbl_order;
-    poly_compare; obj_magic;
+    poly_compare; obj_magic; biglock;
   ]
