@@ -362,7 +362,27 @@ let check_cmd =
              must fail with exactly one R1 — the control certifying the \
              detector sees through the lock split.")
   in
-  let run system experiment check_cores race chaos_no_bkl chaos_unshard =
+  let lockdep =
+    Arg.(
+      value & flag
+      & info [ "lockdep" ]
+          ~doc:
+            "Also arm the runtime lock-order checker: build the \
+             acquisition graph from the lock instrumentation and flag \
+             cycles or descending pt-shard nestings (invariant R2).")
+  in
+  let chaos_invert_shard_order =
+    Arg.(
+      value & flag
+      & info [ "chaos-invert-shard-order" ]
+          ~doc:
+            "Fault injection: spawn one rogue thread that acquires a \
+             page-table shard pair in descending index order. With \
+             $(b,--lockdep) the check must fail with exactly R2 — the \
+             control certifying the order checker is live.")
+  in
+  let run system experiment check_cores race chaos_no_bkl chaos_unshard
+      lockdep chaos_invert_shard_order =
     let module Checker = Ufork_analysis.Checker in
     (* Record the event stream even without a trace sink so the protocol
        linter (L1-L5) has something to replay; the state sweep (S1-S10)
@@ -370,8 +390,10 @@ let check_cmd =
        run regardless. *)
     E.set_record_always true;
     E.set_race_detect race;
+    E.set_lockdep_detect lockdep;
     E.set_chaos_no_bkl chaos_no_bkl;
     E.set_chaos_unshard chaos_unshard;
+    E.set_chaos_invert_shard_order chaos_invert_shard_order;
     E.set_default_cores check_cores;
     let name =
       match experiment with
@@ -403,9 +425,10 @@ let check_cmd =
         exit 1);
     Printf.printf
       "check %s on %s: clean — state invariants S1-S10, protocol rules \
-       L1-L5%s, cycle accounting\n"
+       L1-L5%s%s, cycle accounting\n"
       name (E.system_label system)
       (if race then ", race detection R1" else "")
+      (if lockdep then ", lock-order R2" else "")
   in
   Cmd.v
     (Cmd.info "check"
@@ -414,7 +437,7 @@ let check_cmd =
           protocol linter; non-zero exit on any violation")
     Term.(
       const run $ system_arg $ experiment $ check_cores $ race $ chaos_no_bkl
-      $ chaos_unshard)
+      $ chaos_unshard $ lockdep $ chaos_invert_shard_order)
 
 (* profile: run an experiment with span attribution and print/export the
    folded-stack flamegraph plus per-span latency histograms. *)
@@ -518,6 +541,7 @@ let stats_cmd =
     end;
     E.set_collect_profiles true;
     E.set_sample_interval (Some (Int64.of_int interval));
+    Ufork_sim.Sync.reset_lock_contention ();
     Fun.protect
       ~finally:(fun () ->
         E.set_collect_profiles false;
@@ -527,6 +551,9 @@ let stats_cmd =
         let traces = E.profiled_traces () in
         print_newline ();
         List.iter (fun tr -> print_string (Trace.to_prometheus_string tr)) traces;
+        (* Per-lock contention counters from every machine this run
+           booted, in the same Prometheus text format. *)
+        print_string (Ufork_sim.Sync.lock_contention_prometheus ());
         match csv_out with
         | None -> ()
         | Some path ->
@@ -581,6 +608,7 @@ let ablate_cmd =
 let lint_cmd =
   let module Rules = Ufork_lint_core.Lint_rules in
   let module Lint = Ufork_lint_core.Lint_engine in
+  let module Lockdep = Ufork_lint_core.Lockdep in
   let root =
     Arg.(
       value & pos 0 dir "."
@@ -594,14 +622,56 @@ let lint_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit findings as a JSON array on stdout.")
   in
-  let run root json =
-    let findings = Lint.lint_tree root in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:
+            "Print the rule catalogue (id, severity, one-line description) \
+             and exit.")
+  in
+  let lock_graph =
+    Arg.(
+      value
+      & opt (some (enum [ ("dot", `Dot); ("json", `Json) ])) None
+      & info [ "lock-graph" ] ~docv:"FMT"
+          ~doc:
+            "Instead of linting, export the lock-order graph inferred by \
+             the D10 analysis — hierarchy, inferred and declared edges — \
+             as $(docv): dot (Graphviz) or json.")
+  in
+  let run root json list_rules lock_graph =
+    if list_rules then begin
+      List.iter
+        (fun (r : Rules.t) ->
+          Printf.printf "%s %-28s [%s] %s\n" r.Rules.id r.Rules.name
+            r.Rules.severity r.Rules.summary)
+        Rules.all;
+      exit 0
+    end;
+    (match lock_graph with
+    | Some fmt ->
+        let g = Lockdep.graph_of_tree root in
+        print_string
+          (match fmt with
+          | `Dot -> Lockdep.to_dot g
+          | `Json -> Lockdep.to_json g);
+        exit 0
+    | None -> ());
+    let findings =
+      List.sort
+        (fun (a : Lint.finding) b ->
+          compare (a.Lint.file, a.Lint.line, a.Lint.col)
+            (b.Lint.file, b.Lint.line, b.Lint.col))
+        (Lint.lint_tree root @ Lockdep.analyze_tree root)
+    in
     if json then print_endline (Lint.to_json findings)
     else begin
       List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
       if findings = [] then
         Printf.printf
-          "lint: clean — %d rules (D1-D8) over lib/, bin/, bench/ (%d files)\n"
+          "lint: clean — %d rules (D1-D10) over lib/, bin/, bench/ (%d \
+           files)\n"
           (List.length Rules.all)
           (List.length (Lint.tree_files root))
     end;
@@ -612,8 +682,8 @@ let lint_cmd =
        ~doc:
          "Statically lint the simulator sources against the discipline \
           catalogue (charging, memops, fork spine, gauge keys, \
-          determinism); non-zero exit on any finding")
-    Term.(const run $ root $ json)
+          determinism, lock order); non-zero exit on any finding")
+    Term.(const run $ root $ json $ list_rules $ lock_graph)
 
 let default =
   Term.(

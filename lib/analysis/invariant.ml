@@ -17,6 +17,7 @@ type t =
   | Tlb_flush_protocol
   | Copa_relocation
   | Data_race
+  | Lock_order
 
 let all =
   [
@@ -36,6 +37,7 @@ let all =
     Tlb_flush_protocol;
     Copa_relocation;
     Data_race;
+    Lock_order;
   ]
 
 let id = function
@@ -55,6 +57,7 @@ let id = function
   | Tlb_flush_protocol -> "L4"
   | Copa_relocation -> "L5"
   | Data_race -> "R1"
+  | Lock_order -> "R2"
 
 let name = function
   | Refcount_mismatch -> "refcount-mismatch"
@@ -73,6 +76,7 @@ let name = function
   | Tlb_flush_protocol -> "tlb-flush-protocol"
   | Copa_relocation -> "copa-relocation"
   | Data_race -> "data-race"
+  | Lock_order -> "lock-order"
 
 let severity = function
   | Refcount_mismatch -> Error
@@ -91,6 +95,7 @@ let severity = function
   | Tlb_flush_protocol -> Critical
   | Copa_relocation -> Critical
   | Data_race -> Critical
+  | Lock_order -> Critical
 
 let describe = function
   | Refcount_mismatch ->
@@ -111,6 +116,9 @@ let describe = function
   | Copa_relocation -> "cap-load fault relocates (tag scan) before running on"
   | Data_race ->
       "conflicting shared-state writes are ordered by a happens-before edge"
+  | Lock_order ->
+      "nested lock acquisitions follow one global order (cycle-free, \
+       pt-shards ascending)"
 
 type violation = { invariant : t; subject : string; detail : string }
 

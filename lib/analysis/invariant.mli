@@ -64,9 +64,16 @@ type t =
           (page-table entries, trace gauges) is ordered by a
           happens-before edge — big-kernel-lock hand-off, spawn, or
           wakeup. Flagged by the vector-clock detector ({!Race}). *)
+  | Lock_order
+      (** R2: the runtime lock-acquisition graph stays a DAG — no thread
+          ever acquires lock [b] while holding lock [a] if some thread
+          acquires [a] while holding [b] — and nested page-table shards
+          are taken in ascending index order. Flagged by the acquisition
+          -graph checker ({!Lockdep}); the static mirror is lint rule
+          D10. *)
 
 val all : t list
-(** Catalogue order: S1–S10, L1–L5, then R1. *)
+(** Catalogue order: S1–S10, L1–L5, then R1–R2. *)
 
 val id : t -> string
 (** ["S1"].."( S10"], ["L1"]..["L5"] — stable across releases. *)

@@ -39,6 +39,12 @@ val attach : t -> unit
 (** Claim the {!Ufork_util.Hb} bus: from here every instrumentation
     event feeds this detector. *)
 
+val handle : t -> Ufork_util.Hb.event -> unit
+(** Feed one bus event directly. The bus carries a single subscriber, so
+    a front end that arms this detector {e and} the lock-order checker
+    ({!Lockdep}) installs one closure that dispatches to both [handle]s
+    instead of calling {!attach}. *)
+
 val detach : unit -> unit
 (** Release the bus (idempotent). *)
 

@@ -9,6 +9,16 @@ let note fid site =
   if Hb.on () then
     Hb.emit (Hb.Write { tid = Hb.tid (); loc = Hb.Frame fid; site })
 
+(* The shared global pool behind the per-core freelists is itself shared
+   state: every batched refill/drain mutates it, so each transfer is
+   published as a plain write to the [Pool] location. Unlike frame
+   refcounts (modelled as atomic RMWs), pool transfers are list splices
+   that genuinely need a lock — the race detector must see an ordering
+   edge between any two. *)
+let note_pool site =
+  if Hb.on () then
+    Hb.emit (Hb.Write { tid = Hb.tid (); loc = Hb.Pool; site })
+
 (* Freed frames return to the releasing core's freelist and are handed
    back out batch-at-a-time: most alloc/release pairs never touch the
    shared pool, which is what lets the sharded kernel keep its
@@ -28,6 +38,11 @@ type t = {
   mutable global_free : frame list; (* the shared pool of free frames *)
   mutable refills : int;
   mutable drains : int;
+  (* Serializes refill/drain against the shared pool. lib/mem cannot
+     depend on lib/sim, so the kernel injects its frame-pool lock here;
+     the default runs the transfer unguarded (single-threaded unit
+     tests, chaos lockless mode). *)
+  mutable pool_guard : (unit -> unit) -> unit;
 }
 
 exception Out_of_memory
@@ -46,7 +61,10 @@ let create ?limit_frames ?(cores = 1) () =
     global_free = [];
     refills = 0;
     drains = 0;
+    pool_guard = (fun f -> f ());
   }
+
+let set_pool_guard t g = t.pool_guard <- g
 
 (* The core whose freelist serves the calling thread: the engine
    installs the provider; outside any simulated thread (boot, unit
@@ -71,14 +89,16 @@ let refill t slot =
         t.global_free <- rest;
         (acc, len)
   in
-  match t.global_free with
-  | [] -> ()
-  | _ ->
-      let taken, len = take t.local_free.(slot) t.local_len.(slot)
-                         t.global_free in
-      t.local_free.(slot) <- taken;
-      t.local_len.(slot) <- len;
-      t.refills <- t.refills + 1
+  t.pool_guard (fun () ->
+      match t.global_free with
+      | [] -> ()
+      | _ ->
+          note_pool "Phys.refill";
+          let taken, len = take t.local_free.(slot) t.local_len.(slot)
+                             t.global_free in
+          t.local_free.(slot) <- taken;
+          t.local_len.(slot) <- len;
+          t.refills <- t.refills + 1)
 
 let alloc t =
   (match t.limit_frames with
@@ -127,24 +147,25 @@ let release t f =
     let slot = core_slot t in
     t.local_free.(slot) <- f :: t.local_free.(slot);
     t.local_len.(slot) <- t.local_len.(slot) + 1;
-    if t.local_len.(slot) > drain_threshold then begin
-      (* Batched drain back to the shared pool so one core's churn keeps
-         feeding the others. *)
-      let rec drop acc len lst =
-        if len <= refill_batch then (acc, len, lst)
-        else
-          match lst with
-          | f :: rest -> drop (f :: acc) (len - 1) rest
-          | [] -> (acc, len, [])
-      in
-      let drained, len, kept =
-        drop t.global_free t.local_len.(slot) t.local_free.(slot)
-      in
-      t.global_free <- drained;
-      t.local_free.(slot) <- kept;
-      t.local_len.(slot) <- len;
-      t.drains <- t.drains + 1
-    end
+    if t.local_len.(slot) > drain_threshold then
+      t.pool_guard (fun () ->
+          (* Batched drain back to the shared pool so one core's churn
+             keeps feeding the others. *)
+          note_pool "Phys.drain";
+          let rec drop acc len lst =
+            if len <= refill_batch then (acc, len, lst)
+            else
+              match lst with
+              | f :: rest -> drop (f :: acc) (len - 1) rest
+              | [] -> (acc, len, [])
+          in
+          let drained, len, kept =
+            drop t.global_free t.local_len.(slot) t.local_free.(slot)
+          in
+          t.global_free <- drained;
+          t.local_free.(slot) <- kept;
+          t.local_len.(slot) <- len;
+          t.drains <- t.drains + 1)
   end
 
 let refcount f = f.refcount

@@ -18,6 +18,16 @@ val create : ?limit_frames:int -> ?cores:int -> unit -> t
     releasing core's cache and refill/drain against the shared pool in
     batches, so most alloc/release pairs never touch shared state. *)
 
+val set_pool_guard : t -> ((unit -> unit) -> unit) -> unit
+(** Install the critical-section wrapper run around every batched
+    refill/drain transfer against the shared global pool. lib/mem cannot
+    depend on lib/sim, so the kernel injects its frame-pool lock here
+    (e.g. [Rlock.with_lock pool_lock]); the default runs the transfer
+    unguarded. Each guarded transfer additionally publishes a
+    {!Ufork_util.Hb.Pool} write on the happens-before bus, so the race
+    detector (R1) and lock-order checker (R2) cover the frame fast
+    path. *)
+
 val alloc : t -> frame
 (** A zeroed frame with refcount 1 — recycled from the calling core's
     freelist when possible ({!Page.clear}ed, so indistinguishable from a

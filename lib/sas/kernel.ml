@@ -91,12 +91,12 @@ type t = {
          only way into kernel code without a trap (§4.2, §4.4). *)
 }
 
-let make_locks = function
+let make_locks ~frame_pool = function
   | Config.Big_kernel_lock -> Big (Sync.Rlock.create ~name:"lock.kernel.big" ())
   | Config.Sharded_locks ->
       Sharded
         {
-          frame_pool = Sync.Rlock.create ~name:"lock.frame_pool" ();
+          frame_pool;
           uproc_table = Sync.Rlock.create ~name:"lock.uproc_table" ();
           fd_tables = Sync.Rlock.create ~name:"lock.fd_tables" ();
           stats = Sync.Rlock.create ~name:"lock.stats" ();
@@ -109,6 +109,11 @@ let make_locks = function
 
 let create ~engine ~costs ~config ~multi_address_space () =
   let phys = Phys.create ~cores:(Engine.cores engine) () in
+  (* One frame-pool lock regardless of regime: under [Sharded] it is the
+     sharded frame_pool resource itself; under [Big] it additionally
+     serializes the batched freelist refill/drain transfers Phys runs
+     against the shared pool (installed as the pool guard below). *)
+  let frame_pool_lock = Sync.Rlock.create ~name:"lock.frame_pool" () in
   let root = Capability.root () in
   let entry_cap =
     (* Points at the system-call handler in the kernel region, executable
@@ -119,6 +124,7 @@ let create ~engine ~costs ~config ~multi_address_space () =
     in
     Capability.seal ~authority:root target Ufork_cheri.Otype.syscall_entry
   in
+  let t =
   {
     engine;
     costs;
@@ -126,7 +132,7 @@ let create ~engine ~costs ~config ~multi_address_space () =
     trace = Trace.create ~engine ~costs ();
     phys;
     vfs = Vfs.create ();
-    locks = make_locks config.Config.lock_mode;
+    locks = make_locks ~frame_pool:frame_pool_lock config.Config.lock_mode;
     stats_lock_disabled = false;
     procs = Hashtbl.create 64;
     next_pid = 0;
@@ -147,6 +153,17 @@ let create ~engine ~costs ~config ~multi_address_space () =
         config.Config.aslr_seed;
     entry_cap;
   }
+  in
+  (* Refill/drain transfers against the shared pool run deep inside
+     Phys (under whatever lock the caller holds — or none, on the fault
+     path), so the pool lock is injected rather than taken by a kernel
+     helper. Re-entry from {!with_frame_pool} is free: the Rlock only
+     touches the underlying lock on the outermost acquire. *)
+  Phys.set_pool_guard phys (fun f ->
+      match t.locks with
+      | No_locks -> f ()
+      | Big _ | Sharded _ -> Sync.Rlock.with_lock frame_pool_lock f);
+  t
 
 let engine t = t.engine
 let costs t = t.costs
@@ -224,6 +241,11 @@ let with_pt_shard_pair t (a : Uproc.t) (b : Uproc.t) f =
         Sync.Rlock.with_lock s.pt_shards.(lo) (fun () ->
             Sync.Rlock.with_lock s.pt_shards.(hi) f)
   | Big _ | No_locks -> f ()
+[@@ufork.lock_order "lock.pt_shard < lock.pt_shard"]
+(* The declared self-order: nesting inside the pt-shard class is legal
+   here exactly because [lo < hi] — the index-ascending side condition
+   the static rule D10 checks at constant-index sites and the runtime
+   checker (R2) enforces per-index on every run. *)
 
 let chaos_disable_biglock t =
   (* Chaos-only: models a kernel whose fault path forgot every lock.
@@ -236,6 +258,20 @@ let chaos_unshard_stats t =
      of a shared gauge then race, and the detector must report exactly
      that location. *)
   t.stats_lock_disabled <- true
+
+let chaos_acquire_shards_descending t =
+  (* Chaos-only: take one pt-shard pair in DESCENDING index order — the
+     exact inversion of the ascending convention {!with_pt_shard_pair}
+     enforces. The harness spawns this on a rogue boot thread so the
+     runtime lock-order checker must fail the run with exactly R2. The
+     static rule D10 is discharged here by the ignore annotation; an
+     unannotated fixture of the same shape seeds the static test. *)
+  match t.locks with
+  | Sharded s ->
+      Sync.Rlock.with_lock s.pt_shards.(1) (fun () ->
+          Sync.Rlock.with_lock s.pt_shards.(0) (fun () -> ()))
+  | Big _ | No_locks -> ()
+[@@ufork.lockdep_ignore]
 
 (* Every mechanism event — cycles, counter bump, optional trace record —
    goes through the bus. Boot-time setup (and unit tests poking at the

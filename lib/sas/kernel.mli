@@ -238,6 +238,13 @@ val chaos_unshard_stats : t -> unit
     for the lock split. Concurrent writers of a shared gauge then race
     and the detector must report exactly that location (R1). *)
 
+val chaos_acquire_shards_descending : t -> unit
+(** Chaos injection only: acquire one page-table shard pair in
+    descending index order — the inversion of the ascending convention
+    {!with_pt_shard_pair} enforces. Run on a rogue thread under the
+    lock-order checker, the run must fail with exactly R2. No-op under
+    the big lock or the lockless chaos mode (nothing to invert). *)
+
 val syscall_entry_cap : t -> Capability.t
 (** The sealed kernel entry capability every μprocess holds: invocable
     (that is the system call), never dereferenceable or unsealable by

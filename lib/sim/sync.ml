@@ -6,6 +6,10 @@ module Lock = struct
     name : string option;
     mutable held : bool;
     queue : Engine.waker Queue.t;
+    mutable holder : int;  (** tid of the current holder while [held] *)
+    mutable acquires : int;
+    mutable waits : int;
+    wait_holders : (int, int) Hashtbl.t;  (** holder tid at wait → count *)
   }
 
   (* Lock identity for the happens-before bus: release-to-acquire edges
@@ -15,17 +19,45 @@ module Lock = struct
      lock protects. *)
   let next_id = ref 0
 
+  (* Named locks also register here, newest first, so the contention
+     surface ([Sync.lock_contention]) can enumerate them after a run.
+     Plain counters: they charge no cycles and touch no engine state, so
+     golden accounting and scheduling are unchanged. *)
+  let registry : t list ref = ref []
+
   let create ?name () =
     incr next_id;
     Option.iter (Hb.set_lock_name !next_id) name;
-    { id = !next_id; name; held = false; queue = Queue.create () }
+    let t =
+      {
+        id = !next_id;
+        name;
+        held = false;
+        queue = Queue.create ();
+        holder = min_int;
+        acquires = 0;
+        waits = 0;
+        wait_holders = Hashtbl.create 7;
+      }
+    in
+    if name <> None then registry := t :: !registry;
+    t
 
   let id t = t.id
   let name t = t.name
 
   let acquire t =
+    t.acquires <- t.acquires + 1;
     (if not t.held then t.held <- true
-     else Engine.suspend (fun w -> Queue.push w t.queue));
+     else begin
+       t.waits <- t.waits + 1;
+       let blocking_holder = t.holder in
+       Hashtbl.replace t.wait_holders blocking_holder
+         (1 + Option.value ~default:0
+                (Hashtbl.find_opt t.wait_holders blocking_holder));
+       Engine.suspend (fun w -> Queue.push w t.queue)
+     end);
+    t.holder <- Hb.tid ();
     (* Emitted after the lock is really held (a contended acquire
        suspends first): the detector joins the releaser's clock here. *)
     if Hb.on () then Hb.emit (Hb.Acquire { tid = Hb.tid (); lock = t.id })
@@ -51,6 +83,90 @@ module Lock = struct
 
   let locked t = t.held
 end
+
+(* Per-lock contention readout, aggregated by resource name across every
+   named lock created so far (a long-lived front end may boot several
+   machines; same-named locks sum). Deterministic: sorted by name, and
+   the per-holder table is folded to a sorted assoc list. *)
+
+type contention = {
+  lock : string;  (** the resource name passed to [create ~name] *)
+  acquires : int;  (** outermost acquisitions (recursive re-entries excluded) *)
+  waits : int;  (** acquisitions that found the lock held and suspended *)
+  wait_holders : (int * int) list;
+      (** holder tid at the moment a waiter blocked → how often, sorted *)
+}
+
+let lock_contention () =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Lock.t) ->
+      match l.Lock.name with
+      | None -> ()
+      | Some n ->
+          let acquires, waits, holders =
+            Option.value ~default:(0, 0, []) (Hashtbl.find_opt by_name n)
+          in
+          let own =
+            Hashtbl.fold (fun h c acc -> (h, c) :: acc) l.Lock.wait_holders []
+          in
+          Hashtbl.replace by_name n
+            ( acquires + l.Lock.acquires,
+              waits + l.Lock.waits,
+              own @ holders ))
+    !Lock.registry;
+  Hashtbl.fold (fun n v acc -> (n, v) :: acc) by_name []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (n, (acquires, waits, holders)) ->
+         let merged = Hashtbl.create 7 in
+         List.iter
+           (fun (h, c) ->
+             Hashtbl.replace merged h
+               (c + Option.value ~default:0 (Hashtbl.find_opt merged h)))
+           holders;
+         let wait_holders =
+           Hashtbl.fold (fun h c acc -> (h, c) :: acc) merged []
+           |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+         in
+         { lock = n; acquires; waits; wait_holders })
+
+let lock_contention_prometheus () =
+  let b = Buffer.create 1024 in
+  let rows = lock_contention () in
+  Buffer.add_string b
+    "# HELP ufork_lock_acquire_total Outermost lock acquisitions.\n\
+     # TYPE ufork_lock_acquire_total counter\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "ufork_lock_acquire_total{lock=%S} %d\n" c.lock
+           c.acquires))
+    rows;
+  Buffer.add_string b
+    "# HELP ufork_lock_wait_total Acquisitions that blocked on a holder.\n\
+     # TYPE ufork_lock_wait_total counter\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "ufork_lock_wait_total{lock=%S} %d\n" c.lock c.waits))
+    rows;
+  Buffer.add_string b
+    "# HELP ufork_lock_wait_holder_total Waits attributed to the thread \
+     holding the lock when the waiter blocked.\n\
+     # TYPE ufork_lock_wait_holder_total counter\n";
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (holder, n) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "ufork_lock_wait_holder_total{lock=%S,holder=\"%d\"} %d\n"
+               c.lock holder n))
+        c.wait_holders)
+    rows;
+  Buffer.contents b
+
+let reset_lock_contention () = Lock.registry := []
 
 (* Recursive lock, owner-tracked by engine tid: kernel paths re-enter
    (a fault raised inside a syscall re-enters the kernel on the same

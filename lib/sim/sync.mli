@@ -30,6 +30,33 @@ module Lock : sig
   val name : t -> string option
 end
 
+(** {1 Contention counters}
+
+    Every named lock counts acquisitions, blocked acquisitions, and
+    which thread held it each time a waiter blocked. Plain counters: no
+    cycles are charged and no engine state is touched, so scheduling and
+    golden accounting are unchanged. Aggregated by resource name across
+    every named lock created so far (several booted machines sum). *)
+
+type contention = {
+  lock : string;  (** the resource name passed to [create ~name] *)
+  acquires : int;  (** outermost acquisitions (recursive re-entries excluded) *)
+  waits : int;  (** acquisitions that found the lock held and suspended *)
+  wait_holders : (int * int) list;
+      (** holder tid at the moment a waiter blocked → how often, sorted *)
+}
+
+val lock_contention : unit -> contention list
+(** One row per distinct lock name, sorted by name. *)
+
+val lock_contention_prometheus : unit -> string
+(** Prometheus text exposition: [ufork_lock_acquire_total],
+    [ufork_lock_wait_total], [ufork_lock_wait_holder_total], each
+    labelled by lock name (and holder tid for the last). *)
+
+val reset_lock_contention : unit -> unit
+(** Forget every lock registered so far (unit-test isolation). *)
+
 (** Recursive lock, owner-tracked by engine tid. Kernel code re-enters
     (a fault inside a syscall services on the same thread), and a plain
     {!Lock} would self-deadlock the cooperative engine. Only the

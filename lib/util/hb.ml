@@ -16,6 +16,7 @@ type loc =
   | Frame of int  (** a physical frame's refcount/pool state, by frame id *)
   | Pte of { table : int; vpn : int }  (** one page-table entry *)
   | Gauge of string  (** a derived-meter gauge key *)
+  | Pool  (** the shared global free-frame pool behind the per-core freelists *)
 
 type event =
   | Spawn of { parent : int; child : int }
@@ -73,3 +74,4 @@ let pp_loc ppf = function
   | Frame fid -> Format.fprintf ppf "frame %d" fid
   | Pte { table; vpn } -> Format.fprintf ppf "pt%d vpn %#x" table vpn
   | Gauge key -> Format.fprintf ppf "gauge %s" key
+  | Pool -> Format.fprintf ppf "pool"

@@ -13,6 +13,7 @@ type loc =
   | Frame of int  (** a physical frame's refcount/pool state, by frame id *)
   | Pte of { table : int; vpn : int }  (** one page-table entry *)
   | Gauge of string  (** a derived-meter gauge key *)
+  | Pool  (** the shared global free-frame pool behind the per-core freelists *)
 
 type event =
   | Spawn of { parent : int; child : int }

@@ -23,6 +23,7 @@ module Unixbench = Ufork_apps.Unixbench
 module Hello = Ufork_apps.Hello
 module Checker = Ufork_analysis.Checker
 module Race = Ufork_analysis.Race
+module Lockdep = Ufork_analysis.Lockdep
 module Invariant = Ufork_analysis.Invariant
 
 type system =
@@ -110,23 +111,32 @@ let profiled_traces () = !profiled
 let sample_interval : int64 option ref = ref None
 let set_sample_interval i = sample_interval := i
 
-(* {2 Race detection}
+(* {2 Race and lock-order detection}
 
    With [race_detect] set, every boot arms a fresh happens-before
    detector on the instrumentation bus and [finish_run] raises
    {!Checker.Unsafe} if any conflicting unordered writes were seen.
-   [chaos_no_bkl] is the matching fault injection: boot with the big
-   kernel lock disabled and spawn one rogue thread that performs a
-   deliberate unlocked write to shared state mid-run — the scenario the
-   detector exists to catch. *)
+   [lockdep_detect] does the same for the lock-acquisition-order checker
+   (invariant R2); the bus carries one subscriber, so when both are
+   armed a single closure dispatches each event to both.
+   [chaos_no_bkl] is the matching fault injection for the race side:
+   boot with the big kernel lock disabled and spawn one rogue thread
+   that performs a deliberate unlocked write to shared state mid-run.
+   [chaos_invert_shard_order] is the lockdep counterpart: a rogue boot
+   thread takes one pt-shard pair in descending index order. *)
 
 let race_detect = ref false
 let set_race_detect on = race_detect := on
+let lockdep_detect = ref false
+let set_lockdep_detect on = lockdep_detect := on
 let chaos_no_bkl = ref false
 let set_chaos_no_bkl on = chaos_no_bkl := on
 let chaos_unshard = ref false
 let set_chaos_unshard on = chaos_unshard := on
+let chaos_invert_shard_order = ref false
+let set_chaos_invert_shard_order on = chaos_invert_shard_order := on
 let race_detector : Race.t option ref = ref None
+let lockdep_checker : Lockdep.t option ref = ref None
 
 let register_trace tr =
   if !record_always then Trace.set_recording tr true;
@@ -186,12 +196,15 @@ let finish_run b =
      corrupted machine state must not report numbers. The lint half sees
      the recorded stream, so it is active whenever recording is. *)
   Checker.assert_safe b.kernel;
-  (match !race_detector with
-  | Some d -> (
-      match Race.violations d with
-      | [] -> ()
-      | vs -> raise (Checker.Unsafe (Invariant.report vs)))
-  | None -> ());
+  (let vs =
+     (match !race_detector with Some d -> Race.violations d | None -> [])
+     @ (match !lockdep_checker with
+       | Some d -> Lockdep.violations d
+       | None -> [])
+   in
+   match vs with
+   | [] -> ()
+   | vs -> raise (Checker.Unsafe (Invariant.report vs)));
   flush_trace ()
 
 (* Every flavour boots down to the same {!Ufork_core.System.t}; the
@@ -229,19 +242,23 @@ let boot_raw ~cores ?config system =
 
 let boot ?(cores = 4) ?config system =
   let cores = Option.value !default_cores ~default:cores in
-  (* Arm the detector before boot so image setup and process spawns are
-     already on its clocks. *)
-  if !race_detect then begin
-    let d = Race.create () in
-    race_detector := Some d;
-    Race.attach d
-  end
-  else begin
-    (* A detector from an earlier (possibly aborted) checked run must not
-       outlive it: disarm the bus and drop it. *)
-    Race.detach ();
-    race_detector := None
-  end;
+  (* Arm the detectors before boot so image setup and process spawns are
+     already on their clocks. The bus carries a single subscriber: one
+     closure dispatches to whichever of the two checkers is armed; when
+     neither is, the bus from an earlier (possibly aborted) checked run
+     must not outlive it — disarm and drop both. *)
+  let rd = if !race_detect then Some (Race.create ()) else None in
+  let ld = if !lockdep_detect then Some (Lockdep.create ()) else None in
+  race_detector := rd;
+  lockdep_checker := ld;
+  (match (rd, ld) with
+  | None, None -> Ufork_util.Hb.unsubscribe ()
+  | Some d, None -> Race.attach d
+  | None, Some d -> Lockdep.attach d
+  | Some r, Some l ->
+      Ufork_util.Hb.subscribe (fun ev ->
+          Race.handle r ev;
+          Lockdep.handle l ev));
   let b = boot_raw ~cores ?config system in
   register_trace (Kernel.trace b.kernel);
   (match !sample_interval with
@@ -265,6 +282,15 @@ let boot ?(cores = 4) ?config system =
        {!fork_storm_run}). Every other shard stays armed, so the report
        must be exactly one R1 on the gauge. *)
     Kernel.chaos_unshard_stats b.kernel;
+  if !chaos_invert_shard_order then
+    (* The lockdep control: a rogue boot thread takes one pt-shard pair
+       in descending index order. Spawned first, it runs before any
+       workload thread, so both shards are free and the inversion
+       completes (and is published) rather than deadlocking — the
+       checker must fail the run with exactly R2. *)
+    ignore
+      (Engine.spawn b.engine ~name:"chaos-shard-invert" (fun () ->
+           Kernel.chaos_acquire_shards_descending b.kernel));
   b
 
 let child_private_mb b pid =

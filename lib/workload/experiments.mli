@@ -64,13 +64,21 @@ val set_sample_interval : int64 option -> unit
     interval on every machine booted from now on. [None] disables for
     subsequent boots. *)
 
-(** {1 Race detection} *)
+(** {1 Race and lock-order detection} *)
 
 val set_race_detect : bool -> unit
 (** Arm the happens-before race detector ({!Ufork_analysis.Race}) on
     every machine booted from now on; the end-of-run check raises
     {!Ufork_analysis.Checker.Unsafe} with R1 violations if any
     conflicting unordered writes were observed. *)
+
+val set_lockdep_detect : bool -> unit
+(** Arm the lock-acquisition-order checker ({!Ufork_analysis.Lockdep})
+    on every machine booted from now on; the end-of-run check raises
+    {!Ufork_analysis.Checker.Unsafe} with R2 violations if the runtime
+    acquisition graph grew a cycle or a pt-shard pair was nested in
+    descending index order. Composes with {!set_race_detect}: one bus
+    subscriber dispatches to both. *)
 
 val set_chaos_no_bkl : bool -> unit
 (** Fault injection for the race detector: boot every subsequent machine
@@ -89,6 +97,14 @@ val set_chaos_unshard : bool -> unit
     {!set_race_detect} the check must fail with exactly the one R1 on
     the gauge — certifying that the stats shard, and not an accident of
     scheduling, is what orders them. *)
+
+val set_chaos_invert_shard_order : bool -> unit
+(** Fault injection for the lock-order checker: every subsequent boot
+    spawns one rogue thread that acquires a page-table shard pair in
+    descending index order
+    ({!Ufork_sas.Kernel.chaos_acquire_shards_descending}). With
+    {!set_lockdep_detect} the run must fail with exactly R2. No-op
+    under the big-kernel-lock regime (no shards to invert). *)
 
 (** {1 Accounting audit and state sanitizer}
 

@@ -1,0 +1,9 @@
+(* Alias-aware positive: the inversion hides behind a module alias —
+   a pt-shard taken while the frame pool is held, which the hierarchy
+   orders the other way around. Still exactly one D10 finding. *)
+
+module K = Kernel
+
+let hidden k u =
+  K.with_frame_pool k ~frames:1 (fun () ->
+      K.with_pt_shard k u (fun () -> ()))

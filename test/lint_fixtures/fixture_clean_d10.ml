@@ -1,0 +1,22 @@
+(* Clean control for D10: hierarchy-ordered kernel-lock nesting, an
+   ascending constant-index shard pair, and a custom lock pair whose
+   nesting order is declared with a checked annotation. Zero findings. *)
+
+type locks = { pt_shards : Sync.Rlock.t array }
+
+let listener_lock = Sync.Rlock.create ~name:"lock.net.listener" ()
+let conn_lock = Sync.Rlock.create ~name:"lock.net.conn" ()
+
+let ordered k =
+  Kernel.with_uproc_table k (fun () ->
+      Kernel.with_fd_tables k (fun () ->
+          Kernel.with_stats k (fun () -> ())))
+
+let ascending s =
+  Sync.Rlock.with_lock s.pt_shards.(0) (fun () ->
+      Sync.Rlock.with_lock s.pt_shards.(1) (fun () -> ()))
+
+let accept () =
+  Sync.Rlock.with_lock listener_lock (fun () ->
+      Sync.Rlock.with_lock conn_lock (fun () -> ()))
+[@@ufork.lock_order "lock.net.listener < lock.net.conn"]

@@ -1,0 +1,7 @@
+(* Seeds exactly one D10 (lock-order) violation: a direct hierarchy
+   inversion — the uproc table acquired while holding the stats lock,
+   which the hierarchy places innermost. *)
+
+let backwards k =
+  Kernel.with_stats k (fun () ->
+      Kernel.with_uproc_table k (fun () -> ()))

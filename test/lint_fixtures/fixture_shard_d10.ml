@@ -1,0 +1,8 @@
+(* Seeds exactly one D10 (lock-order) violation: a page-table shard
+   pair acquired at constant indices in descending order. *)
+
+type locks = { pt_shards : Sync.Rlock.t array }
+
+let descending s =
+  Sync.Rlock.with_lock s.pt_shards.(1) (fun () ->
+      Sync.Rlock.with_lock s.pt_shards.(0) (fun () -> ()))

@@ -9,6 +9,7 @@
 
 module Rules = Ufork_lint_core.Lint_rules
 module Lint = Ufork_lint_core.Lint_engine
+module Lockdep = Ufork_lint_core.Lockdep
 
 let fixture_dir =
   (* cwd is test/ under [dune runtest], the project root under
@@ -27,6 +28,9 @@ let ids fs = List.map (fun (f : Lint.finding) -> f.Lint.rule.Rules.id) fs
 let lint ?(path = "lib/workload/fixture.ml") file =
   Lint.lint_source ~path ~source:(read_file file)
 
+let lockdep_lint ?(path = "lib/workload/fixture.ml") file =
+  Lockdep.analyze_sources [ (path, read_file file) ]
+
 (* One seeded violation per rule id, caught as exactly that rule. *)
 let seeded =
   [
@@ -44,19 +48,37 @@ let seeded =
     ("fixture_e0.ml", "E0");
   ]
 
+(* D10 comes from the whole-program lock-order analysis, not the
+   per-file rule engine, so its fixtures run through Lockdep. *)
+let lockdep_seeded =
+  [
+    ("fixture_d10.ml", "D10");
+    ("fixture_alias_d10.ml", "D10");
+    ("fixture_shard_d10.ml", "D10");
+  ]
+
 let test_seeded () =
   List.iter
     (fun (file, expected) ->
       Alcotest.(check (list string)) file [ expected ] (ids (lint file)))
     seeded
 
+let test_lockdep_seeded () =
+  List.iter
+    (fun (file, expected) ->
+      Alcotest.(check (list string))
+        file [ expected ]
+        (ids (lockdep_lint file)))
+    lockdep_seeded
+
 let test_rule_coverage () =
   (* Every catalogue rule has a seeding fixture: the fixture suite is the
      linter's coverage map. *)
   Alcotest.(check (list string))
     "one fixture per rule"
-    (List.map (fun (r : Rules.t) -> r.Rules.id) Rules.all)
-    (List.sort_uniq compare (List.map snd seeded)
+    (List.sort compare
+       (List.map (fun (r : Rules.t) -> r.Rules.id) Rules.all))
+    (List.sort_uniq compare (List.map snd (seeded @ lockdep_seeded))
     |> List.filter (fun id -> id <> "E0"))
 
 let test_clean_controls () =
@@ -64,7 +86,12 @@ let test_clean_controls () =
     (fun file ->
       Alcotest.(check (list string)) file [] (ids (lint file)))
     [ "fixture_clean_comment.ml"; "fixture_clean_alias.ml";
-      "fixture_clean_d6.ml"; "fixture_clean_d9.ml" ]
+      "fixture_clean_d6.ml"; "fixture_clean_d9.ml" ];
+  (* Ordered nesting, ascending shards and an annotation-declared custom
+     pair satisfy the lock-order analysis. *)
+  Alcotest.(check (list string))
+    "fixture_clean_d10.ml" []
+    (ids (lockdep_lint "fixture_clean_d10.ml"))
 
 let test_exemptions () =
   (* The same source is innocent in the module that owns the mechanism:
@@ -106,9 +133,32 @@ let test_json () =
         true (contains ~needle json))
     [ {|"id":"D8"|}; {|"name":"no-obj"|}; {|"line":4|} ]
 
+let test_lock_graph () =
+  (* The exported graph names the hierarchy and the declared custom
+     order from the clean fixture, in both DOT and JSON. *)
+  let g =
+    Lockdep.graph_of_sources
+      [ ("lib/workload/fixture.ml", read_file "fixture_clean_d10.ml") ]
+  in
+  let dot = Lockdep.to_dot g and json = Lockdep.to_json g in
+  List.iter
+    (fun (needle, hay, label) ->
+      Alcotest.(check bool) label true (contains ~needle hay))
+    [
+      ("\"lock.uproc_table\" -> \"lock.fd_tables\"", dot, "dot inferred");
+      ("label=\"declared\"", dot, "dot declared edge");
+      ("\"lock.net.listener\"", dot, "dot custom node");
+      ( {|{"src":"lock.net.listener","dst":"lock.net.conn","kind":"declared"}|},
+        json, "json declared edge" );
+      ({|"kind":"hierarchy"|}, json, "json hierarchy edge");
+    ]
+
 let suite =
   [
     Alcotest.test_case "seeded violations, one per rule" `Quick test_seeded;
+    Alcotest.test_case "lock-order fixtures seed exactly D10" `Quick
+      test_lockdep_seeded;
+    Alcotest.test_case "lock-order graph export" `Quick test_lock_graph;
     Alcotest.test_case "fixtures cover the catalogue" `Quick
       test_rule_coverage;
     Alcotest.test_case "false-positive controls lint clean" `Quick

@@ -13,6 +13,7 @@ let () =
       ("properties", Test_props.suite);
       ("analysis", Test_analysis.suite);
       ("race", Test_race.suite);
+      ("lockdep", Test_lockdep.suite);
       ("lint", Test_lint.suite);
       ("profile", Test_profile.suite);
       ("integration", Test_integration.suite);

@@ -8,8 +8,9 @@
    the mechanism", never a blanket opt-out. *)
 
 type t = {
-  id : string;  (* stable short id: "D1".."D8" *)
+  id : string;  (* stable short id: "D1".."D10", "E0" *)
   name : string;  (* kebab-case slug *)
+  severity : string;  (* "critical" | "error" — mirrors Invariant.severity *)
   summary : string;  (* one line, shown next to findings *)
   applies : string -> bool;
 }
@@ -26,6 +27,7 @@ let charging =
   {
     id = "D1";
     name = "charging-discipline";
+    severity = "error";
     summary =
       "every cycle charge and counter bump flows through the typed event \
        bus (Trace.emit); direct Engine.advance / Meter mutation outside \
@@ -37,6 +39,7 @@ let page_copy =
   {
     id = "D2";
     name = "memops-discipline";
+    severity = "error";
     summary =
       "raw Page byte/capability copies belong in lib/mem and Memops \
        (lib/core/memops.ml), the single home for page duplication — a \
@@ -52,6 +55,7 @@ let fork_dup =
   {
     id = "D3";
     name = "fork-spine-discipline";
+    severity = "error";
     summary =
       "descriptor-table duplication is part of the shared fork spine \
        (Fork_spine.run); a second Fdtable.dup_all call site is a second \
@@ -71,6 +75,7 @@ let gauge_key =
   {
     id = "D4";
     name = "gauge-key-constant";
+    severity = "error";
     summary =
       "Trace.gauge with an ad-hoc string literal scatters the meter \
        namespace and a typo silently forks the key; declare the key as a \
@@ -85,6 +90,7 @@ let wall_clock =
   {
     id = "D5";
     name = "no-wall-clock";
+    severity = "error";
     summary =
       "simulation code must be deterministic: wall-clock reads and the \
        global self-seeding Random break golden replay — use Engine time \
@@ -96,6 +102,7 @@ let hashtbl_order =
   {
     id = "D6";
     name = "hashtbl-order";
+    severity = "error";
     summary =
       "Hashtbl.iter/fold order is unspecified; results that feed golden \
        traces or exports must be sorted (a List/Array sort in the same \
@@ -108,6 +115,7 @@ let poly_compare =
   {
     id = "D7";
     name = "no-poly-compare-identity";
+    severity = "error";
     summary =
       "polymorphic compare/(=) on capability values or identity-bearing \
        mutable records (frames, page tables) compares structure, not \
@@ -120,6 +128,7 @@ let obj_magic =
   {
     id = "D8";
     name = "no-obj";
+    severity = "error";
     summary =
       "Obj.* defeats the type system the whole simulation leans on \
        (capability opacity, effect handlers); there is no sound use here";
@@ -130,6 +139,7 @@ let biglock =
   {
     id = "D9";
     name = "no-biglock";
+    severity = "error";
     summary =
       "Kernel.with_biglock is the legacy big-kernel-lock shim, kept only \
        so the nephele baseline can model a BKL; a call site outside the \
@@ -138,10 +148,26 @@ let biglock =
     applies = (fun p -> in_scanned p && p <> "lib/sas/kernel.ml");
   }
 
+let lockdep =
+  {
+    id = "D10";
+    name = "lock-order";
+    severity = "critical";
+    summary =
+      "the interprocedural may-hold-while-acquiring graph over the named \
+       kernel locks must match the declared hierarchy (kernel.big > \
+       uproc_table > fd_tables > pt_shard > frame_pool > stats) and stay \
+       cycle-free, with pt-shard pairs nested in ascending index order; \
+       declare new orderings with [@ufork.lock_order \"lock.a < lock.b\"] \
+       or discharge chaos code with [@ufork.lockdep_ignore]";
+    applies = (fun p -> in_scanned p && not (under "lib/sim/" p));
+  }
+
 let parse_error =
   {
     id = "E0";
     name = "parse-error";
+    severity = "error";
     summary = "the file does not parse with the pinned compiler front end";
     applies = (fun _ -> true);
   }
@@ -149,5 +175,5 @@ let parse_error =
 let all =
   [
     charging; page_copy; fork_dup; gauge_key; wall_clock; hashtbl_order;
-    poly_compare; obj_magic; biglock;
+    poly_compare; obj_magic; biglock; lockdep;
   ]

@@ -8,6 +8,7 @@
 
 module Lint_rules = Ufork_lint_core.Lint_rules
 module Lint_engine = Ufork_lint_core.Lint_engine
+module Lockdep = Ufork_lint_core.Lockdep
 
 let () =
   let json = ref false in
@@ -25,12 +26,17 @@ let () =
   if !list_rules then begin
     List.iter
       (fun (r : Lint_rules.t) ->
-        Printf.printf "%s %-28s %s\n" r.Lint_rules.id r.Lint_rules.name
-          r.Lint_rules.summary)
+        Printf.printf "%s %-28s [%s] %s\n" r.Lint_rules.id r.Lint_rules.name
+          r.Lint_rules.severity r.Lint_rules.summary)
       Lint_rules.all;
     exit 0
   end;
-  let findings = Lint_engine.lint_tree !root in
+  let findings =
+    List.sort
+      (fun (a : Lint_engine.finding) b ->
+        compare (a.file, a.line, a.col) (b.file, b.line, b.col))
+      (Lint_engine.lint_tree !root @ Lockdep.analyze_tree !root)
+  in
   if !json then print_endline (Lint_engine.to_json findings)
   else begin
     List.iter
