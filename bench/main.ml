@@ -31,6 +31,11 @@ let f2 v = Table.fmt_f ~dec:2 v
 (* Reduced problem sizes for `quick`. *)
 let quick = ref false
 
+(* Domain fan-out for the sweep targets (fig6, redis, smp): each sweep
+   point boots its own machine, so E.parmap keeps results bit-identical
+   to the serial order whatever this is set to. *)
+let jobs = ref 1
+
 let redis_sizes () =
   if !quick then [ ("100 KB", 1, 100 * 1024); ("10 MB", 100, 100 * 1024) ]
   else Keyspace.db_sizes_extended
@@ -237,7 +242,9 @@ let redis_systems =
 
 let ensure_redis () =
   if !redis_rows = [] then
-    redis_rows := E.redis_sweep ~systems:redis_systems ~sizes:(redis_sizes ()) ()
+    redis_rows :=
+      E.redis_sweep ~systems:redis_systems ~sizes:(redis_sizes ())
+        ~jobs:!jobs ()
 
 let rows_for sys =
   List.filter (fun (r : E.redis_row) -> r.E.system = sys) !redis_rows
@@ -346,15 +353,25 @@ let fig6 () =
     [ E.Ufork Strategy.Copa; E.Ufork_toctou Strategy.Copa; E.Cheribsd ]
   in
   let cores = [ 1; 2; 3 ] in
+  (* Flat (system, cores) points for the domain fan-out, regrouped per
+     system below — same row order as the nested serial map. *)
+  let points =
+    List.concat_map (fun sys -> List.map (fun c -> (sys, c)) cores) systems
+  in
+  let thr =
+    E.parmap ~jobs:!jobs
+      (fun (sys, c) ->
+        (E.faas_run sys ~worker_cores:c ~window_s:(window_s ()) ())
+          .E.throughput_per_s)
+      points
+  in
   let results =
     List.map
       (fun sys ->
         ( sys,
-          List.map
-            (fun c ->
-              (E.faas_run sys ~worker_cores:c ~window_s:(window_s ()) ())
-                .E.throughput_per_s)
-            cores ))
+          List.filter_map
+            (fun ((s, _), v) -> if s = sys then Some v else None)
+            (List.combine points thr) ))
       systems
   in
   Table.print
@@ -527,7 +544,7 @@ let ablations () =
    IPI-costed shootdown windows, swept across core counts and against
    the big-kernel-lock baseline. Emits BENCH_smp.json. *)
 
-let cores_sweep = ref [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+let cores_sweep = ref [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ]
 let smp_out = ref "BENCH_smp.json"
 
 let smp () =
@@ -540,13 +557,15 @@ let smp () =
   let bkl_config =
     Config.with_lock_mode Config.Big_kernel_lock Config.ufork_fast
   in
-  let points =
+  let specs =
     List.concat_map
-      (fun cores ->
-        let sharded = E.fork_storm_run sys ~cores ~iters () in
-        let bkl = E.fork_storm_run ~config:bkl_config sys ~cores ~iters () in
-        [ sharded; bkl ])
+      (fun cores -> [ (cores, None); (cores, Some bkl_config) ])
       !cores_sweep
+  in
+  let points =
+    E.parmap ~jobs:!jobs
+      (fun (cores, config) -> E.fork_storm_run ?config sys ~cores ~iters ())
+      specs
   in
   Table.print
     ~header:
@@ -568,9 +587,38 @@ let smp () =
       note "64-core sharded vs 4-core BKL fork throughput: %sx\n"
         (f1 (s64.E.forks_per_s /. b4.E.forks_per_s))
   | _ -> ());
+  (* Where does CoPA fork stop scaling? Rerun the top sweep point alone
+     so the process-global lock registry holds exactly that machine's
+     locks, then break contention down per resource (ROADMAP item 1). *)
+  let module Sync = Ufork_sim.Sync in
+  let top = List.fold_left max 1 !cores_sweep in
+  Sync.reset_lock_contention ();
+  ignore (E.fork_storm_run sys ~cores:top ~iters ());
+  let contention =
+    List.filter
+      (fun (c : Sync.contention) -> c.Sync.acquires > 0)
+      (Sync.lock_contention ())
+    |> List.sort (fun (a : Sync.contention) (b : Sync.contention) ->
+           match compare b.Sync.waits a.Sync.waits with
+           | 0 -> String.compare a.Sync.lock b.Sync.lock
+           | c -> c)
+  in
+  note "\nPer-lock contention at the %d-core sharded point:\n" top;
+  Table.print
+    ~header:[ "lock"; "acquires"; "waits"; "wait %" ]
+    (List.map
+       (fun (c : Sync.contention) ->
+         [
+           c.Sync.lock;
+           string_of_int c.Sync.acquires;
+           string_of_int c.Sync.waits;
+           f1 (100. *. float_of_int c.Sync.waits
+              /. float_of_int (max 1 c.Sync.acquires));
+         ])
+       contention);
   let oc = open_out !smp_out in
   Printf.fprintf oc
-    "{\n  \"bench\": \"smp_fork_scaling\",\n  \"system\": %S,\n  \"workload\": \"fork_storm: one forking uproc per core, %d forks each, two-page dirty set\",\n  \"iters_per_forker\": %d,\n  \"points\": [\n%s\n  ]\n}\n"
+    "{\n  \"bench\": \"smp_fork_scaling\",\n  \"system\": %S,\n  \"workload\": \"fork_storm: one forking uproc per core, %d forks each, two-page dirty set\",\n  \"iters_per_forker\": %d,\n  \"points\": [\n%s\n  ],\n  \"contention_at_top\": {\n    \"cores\": %d,\n    \"locks\": [\n%s\n    ]\n  }\n}\n"
     (E.system_label sys) iters iters
     (String.concat ",\n"
        (List.map
@@ -581,9 +629,173 @@ let smp () =
                \"fault_p99_us\": %.3f, \"steals\": %d}"
               r.E.cores r.E.locks r.E.forks r.E.forks_per_s r.E.fault_p50_us
               r.E.fault_p99_us r.E.steals)
-          points));
+          points))
+    top
+    (String.concat ",\n"
+       (List.map
+          (fun (c : Sync.contention) ->
+            Printf.sprintf
+              "      {\"lock\": %S, \"acquires\": %d, \"waits\": %d}"
+              c.Sync.lock c.Sync.acquires c.Sync.waits)
+          contention));
   close_out oc;
   note "wrote %s\n" !smp_out
+
+(* ------------------------------------------------------------------ *)
+(* Events: host-side throughput of the charging hot path. Each point is
+   an emit-heavy workload; the metric is simulated mechanism events
+   (counted by the end-of-run audit via Experiments.emits_total) per
+   second of host wall-clock. Tracked PR-over-PR in BENCH_events.json;
+   the CI perf-smoke job fails if `--min-events-per-s` undershoots. *)
+
+let events_out = ref "BENCH_events.json"
+let min_events_per_s : float option ref = ref None
+let events_baseline : float option ref = ref None
+
+(* The pure emit microloop: one μprocess charging fixed-size compute
+   slices back to back. Nothing else is runnable, so every slice takes
+   Trace.emit's fastest path — this point isolates the per-event cost
+   the rest of the suite dilutes with boot, fork and scheduler work.
+   Counted directly off the machine's trace (the workload never goes
+   through an Experiments runner). *)
+let charge_loop ~emits =
+  let module Os = Ufork_core.Os in
+  let module Kernel = Ufork_sas.Kernel in
+  let module Image = Ufork_sas.Image in
+  let module Api = Ufork_sas.Api in
+  let os =
+    Os.boot ~cores:1 ~config:Config.ufork_fast ~strategy:Strategy.Copa ()
+  in
+  ignore
+    (Os.start os ~image:Ufork_sas.Image.hello (fun api ->
+         for _ = 1 to emits do
+           api.Api.compute 64L
+         done));
+  Os.run os;
+  Ufork_sim.Trace.emits (Kernel.trace (Os.kernel os))
+
+let events () =
+  section "Events: simulated mechanism events per host second (hot path)";
+  (* Each point returns the number of simulated events it emitted; all
+     but the charge loop count via the end-of-run audit hook. *)
+  let counted run () =
+    E.reset_emits ();
+    run ();
+    E.emits_total ()
+  in
+  (* Point weights follow the metric: this suite measures the emit hot
+     path, so emit-dense work (the charge loop, unixbench's syscall
+     storm) carries most of the wall time, while boot-bound (hello) and
+     host-memcpy-bound (redis) workloads ride along as context rows —
+     their per-point rates are reported but they are deliberately sized
+     not to drown the hot path they barely exercise. *)
+  let pts =
+    [
+      ( "charge-loop 64-cycle slices",
+        let n = if !quick then 2_000_000 else 8_000_000 in
+        fun () -> charge_loop ~emits:n );
+      ( "hello-fork x3 flavours",
+        let reps = if !quick then 20 else 300 in
+        counted (fun () ->
+            for _ = 1 to reps do
+              List.iter
+                (fun s -> ignore (E.hello_run s))
+                [ E.Ufork Strategy.Copa; E.Cheribsd; E.Nephele ]
+            done) );
+      ( (if !quick then "redis-save 1MB CoPA" else "redis-save 10MB CoPA"),
+        let reps = if !quick then 1 else 4 in
+        let value_len = if !quick then 10 * 1024 else 100 * 1024 in
+        let db_label = if !quick then "1 MB" else "10 MB" in
+        counted (fun () ->
+            for _ = 1 to reps do
+              ignore
+                (E.redis_run (E.Ufork Strategy.Copa) ~entries:100 ~value_len
+                   ~db_label)
+            done) );
+      ( "fork-storm 4 cores",
+        let iters = if !quick then 100 else 400 in
+        counted (fun () ->
+            ignore
+              (E.fork_storm_run (E.Ufork Strategy.Copa) ~cores:4 ~iters ())) );
+      ( "unixbench spawn+context1",
+        let sp = spawn_iters () and c1 = context1_iters () in
+        counted (fun () ->
+            ignore
+              (E.unixbench_run (E.Ufork Strategy.Copa) ~spawn_iters:sp
+                 ~context1_iters:c1)) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, run) ->
+        let t0 = Monotonic_clock.now () in
+        let emits = run () in
+        let t1 = Monotonic_clock.now () in
+        let wall_s = Int64.to_float (Int64.sub t1 t0) /. 1e9 in
+        let eps = if wall_s > 0. then float_of_int emits /. wall_s else 0. in
+        (label, emits, wall_s, eps))
+      pts
+  in
+  Table.print
+    ~header:[ "point"; "events"; "wall (ms)"; "Mevents/s" ]
+    (List.map
+       (fun (label, emits, wall_s, eps) ->
+         [
+           label;
+           string_of_int emits;
+           f1 (wall_s *. 1e3);
+           f2 (eps /. 1e6);
+         ])
+       rows);
+  let total_emits =
+    List.fold_left (fun acc (_, e, _, _) -> acc + e) 0 rows
+  in
+  let total_wall =
+    List.fold_left (fun acc (_, _, w, _) -> acc +. w) 0. rows
+  in
+  let total_eps =
+    if total_wall > 0. then float_of_int total_emits /. total_wall else 0.
+  in
+  note "total: %d events in %s ms = %s Mevents/s\n" total_emits
+    (f1 (total_wall *. 1e3))
+    (f2 (total_eps /. 1e6));
+  (match !events_baseline with
+  | Some base when base > 0. ->
+      note "vs baseline %s Mevents/s: %sx\n" (f2 (base /. 1e6))
+        (f2 (total_eps /. base))
+  | Some _ | None -> ());
+  let oc = open_out !events_out in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"events_hot_path\",\n  \"metric\": \"simulated \
+     mechanism events per host second (non-recorded path)\",\n  \
+     \"quick\": %b,\n  \"points\": [\n%s\n  ],\n  \"total_events\": %d,\n  \
+     \"total_wall_ms\": %.1f,\n  \"events_per_s\": %.0f%s\n}\n"
+    !quick
+    (String.concat ",\n"
+       (List.map
+          (fun (label, emits, wall_s, eps) ->
+            Printf.sprintf
+              "    {\"point\": %S, \"events\": %d, \"wall_ms\": %.1f, \
+               \"events_per_s\": %.0f}"
+              label emits (wall_s *. 1e3) eps)
+          rows))
+    total_emits (total_wall *. 1e3) total_eps
+    (match !events_baseline with
+    | Some base when base > 0. ->
+        Printf.sprintf
+          ",\n  \"baseline_events_per_s\": %.0f,\n  \
+           \"speedup_vs_baseline\": %.2f"
+          base (total_eps /. base)
+    | Some _ | None -> "");
+  close_out oc;
+  note "wrote %s\n" !events_out;
+  match !min_events_per_s with
+  | Some floor when total_eps < floor ->
+      Printf.eprintf
+        "events: throughput %.0f events/s below the required floor %.0f\n"
+        total_eps floor;
+      exit 1
+  | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: host-side cost of the simulator itself —
@@ -676,17 +888,23 @@ let run_target = function
   | "ablate-proactive" | "ablate-entry" | "ablate-isolation" | "ablations" ->
       ablations ()
   | "smp" -> smp ()
+  | "events" -> events ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf "unknown bench target %S\n" other;
       exit 2
 
-let main targets quick_flag cores sweep smp_out_flag trace_out profile_out =
+let main targets quick_flag jobs_flag cores sweep smp_out_flag events_out_flag
+    min_eps baseline trace_out profile_out =
   (* "quick" as a positional target is the historic spelling of --quick:
      it sets the flag and is dropped from the target list, so a bare
      `bench quick` runs the full reduced suite rather than nothing. *)
   if quick_flag || List.mem "quick" targets then quick := true;
+  jobs := max 1 jobs_flag;
+  (match events_out_flag with Some p -> events_out := p | None -> ());
+  min_events_per_s := min_eps;
+  events_baseline := baseline;
   E.set_default_cores cores;
   (match sweep with
   | Some s ->
@@ -713,13 +931,21 @@ let cmd =
   let targets =
     let doc =
       "Benchmark targets: table1, survey, fig1-2, fig3..fig9, toctou, \
-       ablations, smp, bechamel, all (default)."
+       ablations, smp, events, bechamel, all (default)."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"TARGET" ~doc)
   in
   let quick_flag =
     let doc = "Shrink iteration counts for a fast smoke run." in
     Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let jobs_flag =
+    let doc =
+      "Run sweep points (fig6, redis figures, smp) on $(docv) OCaml \
+       domains. Each point owns its simulated machine, so output is \
+       byte-identical to --jobs 1."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   let cores =
     let doc =
@@ -744,6 +970,33 @@ let cmd =
       & opt (some string) None
       & info [ "smp-out" ] ~docv:"FILE" ~doc)
   in
+  let events_out_flag =
+    let doc = "Where the $(b,events) target writes its JSON report." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-out" ] ~docv:"FILE" ~doc)
+  in
+  let min_eps =
+    let doc =
+      "Fail (exit 1) if the $(b,events) target measures fewer simulated \
+       events per host second than $(docv) — the CI perf-smoke floor."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-events-per-s" ] ~docv:"N" ~doc)
+  in
+  let baseline =
+    let doc =
+      "Baseline events-per-second to record (and report the speedup \
+       against) in the $(b,events) target's JSON."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "events-baseline" ] ~docv:"N" ~doc)
+  in
   let trace_out =
     let doc =
       "Record every mechanism event and write a JSONL trace to $(docv)."
@@ -762,7 +1015,8 @@ let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
-      const main $ targets $ quick_flag $ cores $ sweep $ smp_out_flag
-      $ trace_out $ profile_out)
+      const main $ targets $ quick_flag $ jobs_flag $ cores $ sweep
+      $ smp_out_flag $ events_out_flag $ min_eps $ baseline $ trace_out
+      $ profile_out)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -670,7 +670,7 @@ let lint_cmd =
       List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
       if findings = [] then
         Printf.printf
-          "lint: clean — %d rules (D1-D10) over lib/, bin/, bench/ (%d \
+          "lint: clean — %d rules (D1-D11) over lib/, bin/, bench/ (%d \
            files)\n"
           (List.length Rules.all)
           (List.length (Lint.tree_files root))

@@ -3,10 +3,12 @@ type t = int
 let unsealed = -1
 let syscall_entry = 1
 
-let counter = ref 1
-let fresh () =
-  incr counter;
-  !counter
+(* Process-global so otypes are unique across every machine in the
+   process; atomic because the bench harness boots machines from several
+   domains at once. Only uniqueness matters — no simulated behaviour or
+   export depends on the numeric value. *)
+let counter = Atomic.make 1
+let fresh () = 1 + Atomic.fetch_and_add counter 1
 
 let equal (a : t) b = a = b
 let is_sealed t = t <> unsealed

@@ -32,6 +32,10 @@ module Heap = struct
 
   let peek h = if h.len = 0 then None else Some h.a.(0)
 
+  (* Allocation-free peek for the advance fast path: no event at or
+     before [target]? *)
+  let min_time_exceeds h target = h.len = 0 || h.a.(0).time > target
+
   let pop h =
     let top = h.a.(0) in
     h.len <- h.len - 1;
@@ -97,9 +101,42 @@ type t = {
   mutable blocked : int;
   mutable next_tid : int;
   mutable in_event : bool;
+  mutable until_limit : int64;
+      (* [run]'s [?until] deadline (Int64.max_int when none), mirrored
+         here so the advance fast path never passes time inline beyond
+         a truncation point the run loop would have stopped at. *)
+  mutable inline_depth : int;
+      (* Live inline-advance resumes on the host stack right now. Each
+         inline [continue] nests native frames until the next slow-path
+         suspension unwinds the whole chain, so the fast path bails to
+         the heap once the chain gets deep — same schedule, bounded
+         stack. *)
+  mutable active_resumes : int;
+      (* Distinct thread stretches live on the host stack: one per
+         [exec] or advance-completion resume (inline resumes continue
+         the same stretch and don't count). Normally 1 while a thread
+         runs; 2+ when a wake outside event processing dispatches a
+         nested thread. The advance fast path requires exactly 1 — a
+         thread nested below is still positioned at the old [now], so
+         passing time inline over it would shift where it resumes. *)
+  mutable running_tid : tid;
+  mutable running_core : int;
+  mutable running_name : string;
+      (* The thread currently executing host code on this engine, or
+         (-1, -1, "") between threads. Plain fields mirroring
+         Get_tid/Get_core/Get_name so the per-event accounting path can
+         read them without an effect dispatch. Saved and restored around
+         every resume: a running thread that calls [wake] can dispatch a
+         nested [exec] on an idle core, so plain reset to -1 would
+         clobber the outer thread's identity. *)
 }
 
 type waker = { mutable target : (t * thread * resume) option }
+
+(* Cap on nested inline-advance resumes (see [inline_depth]): deep
+   enough that single-threaded stretches almost never fall back, shallow
+   enough that the native stack stays bounded. *)
+let max_inline_depth = 1024
 
 type _ Effect.t +=
   | Advance : int64 -> unit Effect.t
@@ -129,6 +166,12 @@ let create ?(cores = 4) () =
     blocked = 0;
     next_tid = 0;
     in_event = false;
+    until_limit = Int64.max_int;
+    inline_depth = 0;
+    active_resumes = 0;
+    running_tid = -1;
+    running_core = -1;
+    running_name = "";
   }
 
 let cores t = Array.length t.core_array
@@ -137,6 +180,9 @@ let advanced t = t.advanced
 let live_threads t = t.live
 let blocked_threads t = t.blocked
 let steals t = t.steals
+let running_tid t = t.running_tid
+let running_core t = t.running_core
+let running_name t = t.running_name
 
 (* Enqueue a ready thread on its run queue: the affinity core when
    pinned, the home core otherwise. The global ready-seq stamp is what
@@ -165,49 +211,119 @@ let release_core thread =
 
 (* Run a thread fragment on a core until it suspends or finishes. Simulated
    time does not move while the OCaml code runs; it passes only through
-   Advance/sleep. *)
+   Advance/sleep.
+
+   Every site that resumes thread code — here and the advance-completion
+   action below — brackets the resume with a save/set/restore of the
+   running_* mirror fields, on the exception path too: a crashing thread
+   must not leave a stale identity behind for host-side emissions to
+   pick up. *)
 let exec t core thread resume =
   core.busy <- true;
   thread.cur_core <- Some core;
   thread.home <- core.index;
-  match resume with
-  | Cont k ->
-      (* The deep handler installed at Start travels with the continuation. *)
-      Effect.Deep.continue k ()
-  | Start body ->
-      Effect.Deep.match_with body ()
-        {
-          retc =
-            (fun () ->
-              thread.finished <- true;
-              t.live <- t.live - 1;
-              release_core thread);
-          exnc =
-            (fun e ->
-              (* A crashing thread must not leave its core marked busy. *)
-              thread.finished <- true;
-              t.live <- t.live - 1;
-              release_core thread;
-              raise e);
-          effc =
-            (fun (type a) (eff : a Effect.t) ->
-              match eff with
-              | Advance n ->
-                  Some
-                    (fun (k : (a, unit) Effect.Deep.continuation) ->
-                      if n < 0L then
-                        (* Deliver the error at the perform site. *)
-                        Effect.Deep.discontinue k
-                          (Invalid_argument "Engine.advance: negative")
-                      else begin
-                        (* The core stays busy until the advance
-                           completes. *)
-                        t.advanced <- Int64.add t.advanced n;
-                        let c = occupied_core thread in
-                        schedule t (Int64.add t.now n) (fun () ->
-                            thread.cur_core <- Some c;
-                            Effect.Deep.continue k ())
-                      end)
+  let prev_tid = t.running_tid
+  and prev_core = t.running_core
+  and prev_name = t.running_name in
+  t.running_tid <- thread.tid;
+  t.running_core <- core.index;
+  t.running_name <- thread.name;
+  let resumed () =
+    match resume with
+    | Cont k ->
+        (* The deep handler installed at Start travels with the
+           continuation. *)
+        Effect.Deep.continue k ()
+    | Start body ->
+        Effect.Deep.match_with body ()
+          {
+            retc =
+              (fun () ->
+                thread.finished <- true;
+                t.live <- t.live - 1;
+                release_core thread);
+            exnc =
+              (fun e ->
+                (* A crashing thread must not leave its core marked busy. *)
+                thread.finished <- true;
+                t.live <- t.live - 1;
+                release_core thread;
+                raise e);
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Advance n ->
+                    Some
+                      (fun (k : (a, unit) Effect.Deep.continuation) ->
+                        if n < 0L then
+                          (* Deliver the error at the perform site. *)
+                          Effect.Deep.discontinue k
+                            (Invalid_argument "Engine.advance: negative")
+                        else begin
+                          (* The core stays busy until the advance
+                             completes. *)
+                          t.advanced <- Int64.add t.advanced n;
+                          let target = Int64.add t.now n in
+                          if
+                            t.ready_count = 0
+                            && t.active_resumes = 1
+                            && Heap.min_time_exceeds t.events target
+                            && target <= t.until_limit
+                            && t.inline_depth < max_inline_depth
+                          then begin
+                            (* Nothing — no ready thread, no event at or
+                               before [target], no [~until] deadline —
+                               can run before this advance completes, so
+                               the scheduled continuation would be the
+                               very next thing the run loop pops. Pass
+                               time inline and keep the thread on its
+                               core, skipping the suspend/heap
+                               round-trip. Equal-time heap events hold
+                               an older seq stamp and must win, hence
+                               the strict [>] in the peek. *)
+                            t.now <- target;
+                            t.inline_depth <- t.inline_depth + 1;
+                            (* The slow path would resume this thread
+                               inside an event action, where [wake]
+                               defers dispatch to the run loop; mimic
+                               that, or a wake in the inlined stretch
+                               would dispatch immediately and reorder
+                               the schedule. *)
+                            let prev_in_event = t.in_event in
+                            t.in_event <- true;
+                            match Effect.Deep.continue k () with
+                            | () ->
+                                t.in_event <- prev_in_event;
+                                t.inline_depth <- t.inline_depth - 1
+                            | exception e ->
+                                t.in_event <- prev_in_event;
+                                t.inline_depth <- t.inline_depth - 1;
+                                raise e
+                          end
+                          else
+                          let c = occupied_core thread in
+                          schedule t target (fun () ->
+                              thread.cur_core <- Some c;
+                              let prev_tid = t.running_tid
+                              and prev_core = t.running_core
+                              and prev_name = t.running_name in
+                              t.running_tid <- thread.tid;
+                              t.running_core <- c.index;
+                              t.running_name <- thread.name;
+                              t.active_resumes <- t.active_resumes + 1;
+                              match Effect.Deep.continue k () with
+                              | () ->
+                                  t.active_resumes <- t.active_resumes - 1;
+                                  t.running_tid <- prev_tid;
+                                  t.running_core <- prev_core;
+                                  t.running_name <- prev_name
+                              | exception e ->
+                                  t.active_resumes <- t.active_resumes - 1;
+                                  t.running_tid <- prev_tid;
+                                  t.running_core <- prev_core;
+                                  t.running_name <- prev_name;
+                                  raise e)
+                        end)
               | Yield ->
                   Some
                     (fun k ->
@@ -225,9 +341,24 @@ let exec t core thread resume =
                   Some
                     (fun k ->
                       Effect.Deep.continue k (occupied_core thread).index)
-              | Get_name -> Some (fun k -> Effect.Deep.continue k thread.name)
-              | _ -> None);
-        }
+                | Get_name ->
+                    Some (fun k -> Effect.Deep.continue k thread.name)
+                | _ -> None);
+          }
+  in
+  t.active_resumes <- t.active_resumes + 1;
+  match resumed () with
+  | () ->
+      t.active_resumes <- t.active_resumes - 1;
+      t.running_tid <- prev_tid;
+      t.running_core <- prev_core;
+      t.running_name <- prev_name
+  | exception e ->
+      t.active_resumes <- t.active_resumes - 1;
+      t.running_tid <- prev_tid;
+      t.running_core <- prev_core;
+      t.running_name <- prev_name;
+      raise e
 
 (* The globally oldest entry that can run right now: pinned entries
    qualify only when their affinity core is idle; unpinned entries
@@ -333,6 +464,7 @@ let spawn ?name ?affinity t body =
   enqueue_new t ?name ?affinity body
 
 let run ?until t =
+  t.until_limit <- (match until with Some u -> u | None -> Int64.max_int);
   dispatch t;
   let continue = ref true in
   while !continue do
@@ -354,6 +486,34 @@ let run ?until t =
 
 (* In-thread operations. *)
 let advance n = Effect.perform (Advance n)
+
+(* The charging hot path ({!Trace.emit}) calls this before performing the
+   {!advance} effect: under exactly the conditions where the effect
+   handler's inline fast path would pass time without suspending (sole
+   live resume, nothing ready, no heap event at or before the target, no
+   [~until] deadline in between), passing time is pure field mutation —
+   so skip the continuation capture entirely. [in_event] must already be
+   set (it is, for any thread resumed by the run loop or by the inline
+   fast path itself), or a [wake] later in the same stretch would
+   dispatch immediately where the slow path — which always resumes inside
+   an event action — would defer; the boot-time nested-exec case where it
+   is not set falls back to the effect. Unlike the handler's inline path
+   this consumes no native stack, so no depth cap applies. *)
+let advance_direct t n =
+  let target = Int64.add t.now n in
+  if
+    n >= 0L && t.in_event
+    && t.ready_count = 0
+    && t.active_resumes = 1
+    && t.running_tid >= 0
+    && target <= t.until_limit
+    && Heap.min_time_exceeds t.events target
+  then begin
+    t.advanced <- Int64.add t.advanced n;
+    t.now <- target;
+    true
+  end
+  else false
 let yield () = Effect.perform Yield
 let suspend register = Effect.perform (Suspend register)
 let current_time () = Effect.perform Get_time

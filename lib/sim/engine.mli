@@ -34,6 +34,22 @@ val steals : t -> int
 (** Number of cross-queue work steals performed so far: an idle core
     running an entry homed on another core's queue. *)
 
+val running_tid : t -> tid
+(** The simulated thread currently executing host code on this engine,
+    or [-1] when none is (boot code, the run loop between events). A
+    plain field read — no effect dispatch — mirroring {!current_tid};
+    this is what {!Trace.emit}'s fast path keys charging on. Maintained
+    with save/restore around every resume, so nested execution (a
+    running thread whose [wake] dispatches another thread onto an idle
+    core) unwinds correctly. *)
+
+val running_core : t -> int
+(** Core occupied by the running thread, or [-1]; mirrors
+    {!current_core} the same way. *)
+
+val running_name : t -> string
+(** Name of the running thread, or [""]; mirrors {!current_name}. *)
+
 
 val now : t -> int64
 (** Current simulated time in cycles. *)
@@ -67,6 +83,17 @@ val blocked_threads : t -> int
 
 val advance : int64 -> unit
 (** Consume CPU: occupy the current core for the given number of cycles. *)
+
+val advance_direct : t -> int64 -> bool
+(** Try to consume [n] cycles for the running thread without performing
+    the {!advance} effect: succeeds (returns [true], time passed, core
+    still held) exactly when nothing — no ready thread, no heap event at
+    or before the target, no [run ~until] deadline, no concurrently
+    resumed thread — could observe the difference from the scheduled
+    path. Returns [false] without side effects otherwise; the caller
+    must then perform {!advance}. This is {!Trace.emit}'s charging fast
+    path: on single-runnable-thread stretches it reduces charging to a
+    few field writes. *)
 
 val yield : unit -> unit
 (** Go to the back of the ready queue (models sched_yield / cooperative

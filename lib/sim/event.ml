@@ -41,6 +41,56 @@ type t =
   | Arena_pretouch of int
   | Compute of int64
 
+(* Dense stable constructor code, declaration order, starting at 0.
+   [Trace]'s flat accounting arrays index by it, so the numbering is an
+   accounting-format contract: append-only, pinned by tests. [Syscall]
+   maps to one code regardless of name — per-name counters are a key
+   (string) concern, resolved by interning, not an id concern. *)
+let id = function
+  | Syscall _ -> 0
+  | Entry_validation _ -> 1
+  | Toctou_setup -> 2
+  | Copy_bytes _ -> 3
+  | Toctou_bytes _ -> 4
+  | Context_switch -> 5
+  | Address_space_switch -> 6
+  | Page_fault -> 7
+  | Soft_fault -> 8
+  | Demand_zero -> 9
+  | Cow_write_fault -> 10
+  | Copa_write_fault -> 11
+  | Copa_cap_load_fault -> 12
+  | Coa_access_fault -> 13
+  | Fork_fixed -> 14
+  | Spawn -> 15
+  | Thread_create -> 16
+  | Exit -> 17
+  | Kill -> 18
+  | Domain_create -> 19
+  | Pte_copy _ -> 20
+  | Pte_protect -> 21
+  | Tlb_shootdown _ -> 22
+  | Page_alloc _ -> 23
+  | Page_copy_eager _ -> 24
+  | Page_copy_child -> 25
+  | Page_copy_cow -> 26
+  | Claim_in_place -> 27
+  | Cow_claim_in_place -> 28
+  | Shm_share -> 29
+  | Granule_scan _ -> 30
+  | Cap_relocate _ -> 31
+  | Toctou_revalidate _ -> 32
+  | Malloc -> 33
+  | Free -> 34
+  | File_op -> 35
+  | Pipe_op -> 36
+  | Shm_open -> 37
+  | Map_library -> 38
+  | Arena_pretouch _ -> 39
+  | Compute _ -> 40
+
+let id_count = 41
+
 let to_key = function
   | Syscall { name; _ } -> "syscall." ^ name
   | Entry_validation _ -> "entry_validation"

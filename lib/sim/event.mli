@@ -95,6 +95,17 @@ type t =
   (* Application work. *)
   | Compute of int64  (** Pure CPU burn requested via [Api.compute]. *)
 
+val id : t -> int
+(** Dense stable constructor code in declaration order,
+    [0 .. id_count - 1]. Injective across constructors ([Syscall] maps to
+    one code regardless of name; the per-name counter split is a key
+    concern, handled by {!Meter} interning) and append-only — tests pin
+    the exact values, so renumbering is an accounting-format change. The
+    flat accounting arrays in {!Trace} index by it. *)
+
+val id_count : int
+(** Number of constructor codes; [id e < id_count] for every [e]. *)
+
 val to_key : t -> string
 (** The counter key. Injective across constructors: no two constructors
     share a key (for [Syscall] the key is ["syscall." ^ name]; the

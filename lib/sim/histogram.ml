@@ -49,6 +49,26 @@ let record t v =
   end;
   t.n <- t.n + 1
 
+(* Same layout as {!record} but the bucket search runs on the native
+   int, so the per-record cost is branch-and-shift with no intermediate
+   boxing — the span hot path records one value per closed span. *)
+let record_int t v =
+  if v < 0 then invalid_arg "Histogram: negative value";
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  let i = bits 0 v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  let v = Int64.of_int v in
+  t.sum <- Int64.add t.sum v;
+  if t.n = 0 then begin
+    t.vmin <- v;
+    t.vmax <- v
+  end
+  else begin
+    if Int64.compare v t.vmin < 0 then t.vmin <- v;
+    if Int64.compare v t.vmax > 0 then t.vmax <- v
+  end;
+  t.n <- t.n + 1
+
 let count t = t.n
 let is_empty t = t.n = 0
 let sum t = t.sum

@@ -19,6 +19,10 @@ val create : unit -> t
 val record : t -> int64 -> unit
 (** Add one value. Raises [Invalid_argument] on negative values. *)
 
+val record_int : t -> int -> unit
+(** {!record} for a native-int value: identical buckets and totals, but
+    the bucket search stays unboxed — the per-span-close fast path. *)
+
 val count : t -> int
 val is_empty : t -> bool
 

@@ -8,6 +8,26 @@
 type t
 
 val create : unit -> t
+
+val intern : t -> string -> int
+(** Register [name] (idempotent) and return its dense id. Ids are
+    assigned in first-touch order, are stable for the meter's lifetime
+    (including across {!reset}), and index the flat count array the
+    [_id] entry points below address. Hot emission paths intern their
+    keys once up front and bump by id — no hashing, no allocation per
+    event. *)
+
+val name : t -> int -> string
+(** The key a previously interned id registers under. *)
+
+val incr_id : t -> int -> unit
+val add_id : t -> int -> int -> unit
+val set_id : t -> int -> int -> unit
+
+val get_id : t -> int -> int
+(** By-id counterparts of {!incr}/{!add}/{!set}/{!get}; the id must come
+    from {!intern} on the same meter. *)
+
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int

@@ -22,15 +22,25 @@ module Lock = struct
   (* Named locks also register here, newest first, so the contention
      surface ([Sync.lock_contention]) can enumerate them after a run.
      Plain counters: they charge no cycles and touch no engine state, so
-     golden accounting and scheduling are unchanged. *)
+     golden accounting and scheduling are unchanged. One mutex covers
+     the id counter and the registry: locks are created at machine boot,
+     and the bench harness boots machines from several domains at once
+     ([Experiments.parmap]). Ids stay unique (their only contract);
+     contention readouts aggregate by name and sort, so registration
+     order never shows. *)
   let registry : t list ref = ref []
+  let registry_mutex = Mutex.create ()
 
   let create ?name () =
-    incr next_id;
-    Option.iter (Hb.set_lock_name !next_id) name;
+    let id =
+      Mutex.protect registry_mutex (fun () ->
+          incr next_id;
+          !next_id)
+    in
+    Option.iter (Hb.set_lock_name id) name;
     let t =
       {
-        id = !next_id;
+        id;
         name;
         held = false;
         queue = Queue.create ();
@@ -40,7 +50,8 @@ module Lock = struct
         wait_holders = Hashtbl.create 7;
       }
     in
-    if name <> None then registry := t :: !registry;
+    if name <> None then
+      Mutex.protect registry_mutex (fun () -> registry := t :: !registry);
     t
 
   let id t = t.id
@@ -166,7 +177,8 @@ let lock_contention_prometheus () =
     rows;
   Buffer.contents b
 
-let reset_lock_contention () = Lock.registry := []
+let reset_lock_contention () =
+  Mutex.protect Lock.registry_mutex (fun () -> Lock.registry := [])
 
 (* Recursive lock, owner-tracked by engine tid: kernel paths re-enter
    (a fault raised inside a syscall re-enters the kernel on the same

@@ -11,34 +11,53 @@ type record = {
 (* Per-key aggregate: enough state to re-derive the key's cycle total from
    an arbitrary preset at audit time. [rep] is one representative event;
    [fixed] stays true only while every emission under the key has agreed
-   with [rep]'s linear unit, so [cycles = unit rep * charged_units]. *)
+   with [rep]'s linear unit, so [cycles = unit rep * charged_units].
+   [rep_unit] caches [Event.linear_unit rep] under the trace's own preset
+   so the agreement check on the hot path is an option compare, not a
+   recomputation. *)
+(* Cycle accumulators here are native [int], not [int64]: a mutable
+   boxed-int64 record field allocates a fresh box on every store, and
+   these fields are written once or more per emitted event. 62 bits of
+   cycles is ~146 years of simulated 1 GHz time, far beyond any run;
+   the public API converts back to [int64] at the edges. *)
 type entry = {
   mutable units : int;
   mutable charged_units : int;
-  mutable cycles : int64;
+  mutable cycles : int;
   mutable rep : Event.t option;
+  mutable rep_unit : int64 option;
   mutable fixed : bool;
 }
 
+let fresh_entry () =
+  {
+    units = 0;
+    charged_units = 0;
+    cycles = 0;
+    rep = None;
+    rep_unit = None;
+    fixed = true;
+  }
+
 (* Per-path span aggregate. [self_cycles] accumulates at emission time
    (so the audit invariant holds even while instances are still open);
-   [total_cycles]/[closed] only count completed instances. *)
+   [span_total]/[closed] only count completed instances. *)
 type span_agg = {
-  mutable self_cycles : int64;
-  mutable span_total : int64;
+  mutable self_cycles : int;
+  mutable span_total : int;
   mutable closed : int;
 }
 
-(* One open span instance on some thread's stack. [path] is
-   outermost-first and ends with this span's own name; [agg] caches the
-   per-path aggregate so charging on the hot emit path is one mutable
-   add, not a hash lookup. *)
+(* One open span instance on some thread's stack. [path_id] is the
+   interned id of the outermost-first stack path ending in this span's
+   own name; [agg] caches the per-path aggregate so charging on the hot
+   emit path is one mutable add, not a hash lookup. *)
 type frame = {
-  path : string list;
+  path_id : int;
   agg : span_agg;
   parent : frame option;
-  mutable self : int64;
-  mutable child_total : int64;
+  mutable self : int;
+  mutable child_total : int;
 }
 
 type span_total = {
@@ -48,19 +67,76 @@ type span_total = {
   span_count : int;
 }
 
+(* The accounting state is flat and int-indexed so the non-recording
+   emit path is array stores plus one [Engine.advance]:
+
+   - counter keys are interned into the meter once (first touch) and
+     cached per [Event.id] in [key_ids] (per syscall name in
+     [syscall_kids]) — no string building or hashing per event;
+   - per-key audit entries live in [entries], indexed by the same meter
+     key id;
+   - the record ring is columnar (one preallocated array per field), so
+     recording appends field stores instead of allocating a record and
+     an option box per event;
+   - span stack paths are interned: [paths] maps (parent path id, name)
+     to a dense id with [path_names]/[path_parents] reconstructing the
+     [string list] for exports, and [path_aggs.(id)] holding the
+     aggregate. *)
 type t = {
   engine : Engine.t;
   costs : Costs.t;
   meter : Meter.t;
-  entries : (string, entry) Hashtbl.t;
-  mutable total_cycles : int64;
-  ring : record option array;
+  key_ids : int array; (* Event.id -> meter key id, -1 until first touch *)
+  syscall_kids : (string, int) Hashtbl.t; (* syscall name -> meter key id *)
+  (* Last syscall name resolved, compared physically: emission sites pass
+     literal names, so a run of same-name syscalls skips the table. *)
+  mutable last_sys_name : string;
+  mutable last_sys_kid : int;
+  mutable syscall_agg_kid : int; (* the aggregate "syscall" key id, or -1 *)
+  mutable entries : entry array; (* meter key id -> audit entry *)
+  mutable total_cycles : int;
+  mutable emits : int;
+  (* Record ring, columnar. Columns are empty until recording is first
+     enabled: machines are booted by the hundred on the non-recorded
+     bench path, and eagerly allocating seven capacity-sized columns per
+     boot would dominate their setup cost. *)
+  ring_capacity : int;
+  mutable ring_t : int64 array;
+  mutable ring_core : int array;
+  mutable ring_tid : int array;
+  mutable ring_pid : int array;
+  mutable ring_cycles : int64 array;
+  mutable ring_event : Event.t array;
+  mutable ring_name : string array;
   mutable ring_start : int;
   mutable ring_len : int;
   mutable dropped : int;
   mutable recording : bool;
-  spans : (string list, span_agg) Hashtbl.t;
+  (* Spans: interned stack paths. Children are per-parent string tables
+     (plus [roots] for top-level spans) rather than one (parent, name)
+     table, so a lookup hashes a short string instead of allocating a
+     tuple key per [with_span]. *)
+  roots : (string, int) Hashtbl.t; (* top-level name -> id *)
+  mutable path_names : string array;
+  mutable path_parents : int array;
+  mutable path_aggs : span_agg array;
+  mutable path_children : (string, int) Hashtbl.t array; (* id -> children *)
+  mutable path_hists : Histogram.t array; (* id -> name's histogram, lazy *)
+  mutable n_paths : int;
+  mutable unattr_id : int; (* "(unattributed)" path id, or -1 *)
+  (* Last (parent, name) interned, name compared physically: span names
+     are literals, so a tight span loop resolves its path id branch-only. *)
+  mutable memo_parent : int;
+  mutable memo_name : string;
+  mutable memo_path : int; (* -1 until the first hit *)
   stacks : (int, frame) Hashtbl.t;
+  (* Single-slot stack-top cache. Invariant: when [cache_tid <> min_int],
+     [cache_top] is the truth for that tid and the [stacks] entry may be
+     stale; every access through another tid writes the slot back first.
+     Context switches are orders of magnitude rarer than emissions, so
+     the per-emit attribution walk almost never touches the table. *)
+  mutable cache_tid : int;
+  mutable cache_top : frame option;
   hists : (string, Histogram.t) Hashtbl.t;
   mutable sampler : (unit -> (string * int) list) option;
   mutable sample_interval : int64;
@@ -70,21 +146,56 @@ type t = {
 }
 
 let default_ring_capacity = 65536
+let ring_dummy_event = Event.Context_switch
+let dummy_agg = { self_cycles = 0; span_total = 0; closed = 0 }
+
+(* Slot fillers for the per-path arrays. Never written through: a slot is
+   only read once its id has been interned, and interning installs fresh
+   structures first — so sharing them across traces (hence domains) is
+   safe. *)
+let dummy_children : (string, int) Hashtbl.t = Hashtbl.create 1
+let dummy_hist = Histogram.create ()
 
 let create ~engine ~costs ?(ring_capacity = default_ring_capacity) () =
+  let cap = max 1 ring_capacity in
   {
     engine;
     costs;
     meter = Meter.create ();
-    entries = Hashtbl.create 64;
-    total_cycles = 0L;
-    ring = Array.make (max 1 ring_capacity) None;
+    key_ids = Array.make Event.id_count (-1);
+    syscall_kids = Hashtbl.create 16;
+    last_sys_name = "";
+    last_sys_kid = -1;
+    syscall_agg_kid = -1;
+    entries = Array.init 64 (fun _ -> fresh_entry ());
+    total_cycles = 0;
+    emits = 0;
+    ring_capacity = cap;
+    ring_t = [||];
+    ring_core = [||];
+    ring_tid = [||];
+    ring_pid = [||];
+    ring_cycles = [||];
+    ring_event = [||];
+    ring_name = [||];
     ring_start = 0;
     ring_len = 0;
     dropped = 0;
     recording = false;
-    spans = Hashtbl.create 64;
+    roots = Hashtbl.create 64;
+    path_names = Array.make 64 "";
+    path_parents = Array.make 64 (-1);
+    path_aggs = Array.make 64 dummy_agg;
+    path_children = Array.make 64 dummy_children;
+    path_hists = Array.make 64 dummy_hist;
+    n_paths = 0;
+    unattr_id = -1;
+    memo_parent = -1;
+    memo_name = "";
+    memo_path = -1;
     stacks = Hashtbl.create 16;
+    cache_tid = min_int;
+    cache_top = None;
     hists = Hashtbl.create 16;
     sampler = None;
     sample_interval = 0L;
@@ -96,49 +207,120 @@ let create ~engine ~costs ?(ring_capacity = default_ring_capacity) () =
 let engine t = t.engine
 let costs t = t.costs
 let meter t = t.meter
-let total_charged t = t.total_cycles
-let set_recording t on = t.recording <- on
+let total_charged t = Int64.of_int t.total_cycles
+let emits t = t.emits
+
+let ensure_ring t =
+  if Array.length t.ring_event = 0 then begin
+    let cap = t.ring_capacity in
+    t.ring_t <- Array.make cap 0L;
+    t.ring_core <- Array.make cap (-1);
+    t.ring_tid <- Array.make cap (-1);
+    t.ring_pid <- Array.make cap (-1);
+    t.ring_cycles <- Array.make cap 0L;
+    t.ring_event <- Array.make cap ring_dummy_event;
+    t.ring_name <- Array.make cap ""
+  end
+
+let set_recording t on =
+  if on then ensure_ring t;
+  t.recording <- on
 let recording t = t.recording
 let dropped t = t.dropped
 
-let entry t key =
-  match Hashtbl.find_opt t.entries key with
-  | Some e -> e
-  | None ->
-      let e =
-        { units = 0; charged_units = 0; cycles = 0L; rep = None; fixed = true }
-      in
-      Hashtbl.add t.entries key e;
-      e
+(* The meter key id for an event, interning the key string on the first
+   touch of each constructor (each syscall name) only — the golden
+   scenarios pin that untouched keys stay out of {!Meter.to_list}. *)
+let kid_of t event =
+  match event with
+  | Event.Syscall { name; _ } ->
+      if name == t.last_sys_name then t.last_sys_kid
+      else begin
+        let k =
+          match Hashtbl.find_opt t.syscall_kids name with
+          | Some k -> k
+          | None ->
+              let k = Meter.intern t.meter ("syscall." ^ name) in
+              Hashtbl.replace t.syscall_kids name k;
+              k
+        in
+        t.last_sys_name <- name;
+        t.last_sys_kid <- k;
+        k
+      end
+  | _ ->
+      let eid = Event.id event in
+      let k = t.key_ids.(eid) in
+      if k >= 0 then k
+      else begin
+        let k = Meter.intern t.meter (Event.to_key event) in
+        t.key_ids.(eid) <- k;
+        k
+      end
 
-let push t r =
-  let cap = Array.length t.ring in
-  if t.ring_len < cap then begin
-    t.ring.((t.ring_start + t.ring_len) mod cap) <- Some r;
-    t.ring_len <- t.ring_len + 1
-  end
+let syscall_agg_kid t =
+  if t.syscall_agg_kid >= 0 then t.syscall_agg_kid
   else begin
-    t.ring.(t.ring_start) <- Some r;
-    t.ring_start <- (t.ring_start + 1) mod cap;
-    t.dropped <- t.dropped + 1
+    let k = Meter.intern t.meter "syscall" in
+    t.syscall_agg_kid <- k;
+    k
   end
 
-let current_tid () =
-  match Engine.current_tid () with
-  | tid -> tid
-  | exception Effect.Unhandled _ -> -1
+let acc_entry t kid =
+  if kid >= Array.length t.entries then begin
+    let old = t.entries in
+    let n = Array.length old in
+    let cap = max (2 * n) (kid + 1) in
+    t.entries <-
+      Array.init cap (fun i -> if i < n then old.(i) else fresh_entry ())
+  end;
+  t.entries.(kid)
 
 (* {2 Spans} *)
 
-let unattributed = [ "(unattributed)" ]
+let unattributed_name = "(unattributed)"
 
-let span_agg t path =
-  match Hashtbl.find_opt t.spans path with
-  | Some a -> a
+let grow_paths t =
+  let n = Array.length t.path_names in
+  let cap = 2 * n in
+  let names = Array.make cap "" in
+  Array.blit t.path_names 0 names 0 n;
+  t.path_names <- names;
+  let parents = Array.make cap (-1) in
+  Array.blit t.path_parents 0 parents 0 n;
+  t.path_parents <- parents;
+  let aggs = Array.make cap dummy_agg in
+  Array.blit t.path_aggs 0 aggs 0 n;
+  t.path_aggs <- aggs;
+  let children = Array.make cap dummy_children in
+  Array.blit t.path_children 0 children 0 n;
+  t.path_children <- children;
+  let hists = Array.make cap dummy_hist in
+  Array.blit t.path_hists 0 hists 0 n;
+  t.path_hists <- hists
+
+let intern_path t ~parent name =
+  let tbl = if parent < 0 then t.roots else t.path_children.(parent) in
+  match Hashtbl.find_opt tbl name with
+  | Some id -> id
   | None ->
-      let a = { self_cycles = 0L; span_total = 0L; closed = 0 } in
-      Hashtbl.add t.spans path a;
-      a
+      let id = t.n_paths in
+      if id = Array.length t.path_names then grow_paths t;
+      t.path_names.(id) <- name;
+      t.path_parents.(id) <- parent;
+      t.path_aggs.(id) <- { self_cycles = 0; span_total = 0; closed = 0 };
+      t.path_children.(id) <- Hashtbl.create 4;
+      t.path_hists.(id) <- dummy_hist;
+      Hashtbl.replace tbl name id;
+      t.n_paths <- id + 1;
+      id
+
+(* Reconstruct the outermost-first [string list] path for exports. *)
+let path_list t id =
+  let rec go id acc =
+    if id < 0 then acc else go t.path_parents.(id) (t.path_names.(id) :: acc)
+  in
+  go id []
 
 let hist_for t name =
   match Hashtbl.find_opt t.hists name with
@@ -148,41 +330,96 @@ let hist_for t name =
       Hashtbl.add t.hists name h;
       h
 
+(* Read the innermost open frame for [tid] through the single-slot cache,
+   writing the previous tid's slot back to the table first. *)
+let stack_top t tid =
+  if t.cache_tid = tid then t.cache_top
+  else begin
+    if t.cache_tid <> min_int then begin
+      match t.cache_top with
+      | Some f -> Hashtbl.replace t.stacks t.cache_tid f
+      | None -> Hashtbl.remove t.stacks t.cache_tid
+    end;
+    let top = Hashtbl.find_opt t.stacks tid in
+    t.cache_tid <- tid;
+    t.cache_top <- top;
+    top
+  end
+
+(* Closing pops [frame] off [tid]'s stack and folds its totals into the
+   parent and the per-path aggregate. The name's histogram is resolved
+   lazily on the first close of each path (not at interning: a path can
+   be interned by a span that never closes — or by the unattributed
+   bucket — and must not surface an empty histogram in exports). *)
+let close_frame t tid frame =
+  if t.cache_tid <> tid then ignore (stack_top t tid);
+  t.cache_top <- frame.parent;
+  let total = frame.self + frame.child_total in
+  (match frame.parent with
+  | Some p -> p.child_total <- p.child_total + total
+  | None -> ());
+  frame.agg.span_total <- frame.agg.span_total + total;
+  frame.agg.closed <- frame.agg.closed + 1;
+  let h = t.path_hists.(frame.path_id) in
+  let h =
+    if h == dummy_hist then begin
+      let h = hist_for t t.path_names.(frame.path_id) in
+      t.path_hists.(frame.path_id) <- h;
+      h
+    end
+    else h
+  in
+  Histogram.record_int h total
+
 let with_span t ~name f =
-  let tid = current_tid () in
-  let parent = Hashtbl.find_opt t.stacks tid in
-  let path =
-    match parent with Some p -> p.path @ [ name ] | None -> [ name ]
+  let tid = Engine.running_tid t.engine in
+  let parent = stack_top t tid in
+  let parent_id = match parent with Some p -> p.path_id | None -> -1 in
+  let path_id =
+    (* Physical compare on [name]: span names are literals, so a tight
+       span loop (e.g. user.compute per slice) resolves branch-only. *)
+    if t.memo_path >= 0 && t.memo_parent = parent_id && t.memo_name == name
+    then t.memo_path
+    else begin
+      let id = intern_path t ~parent:parent_id name in
+      t.memo_parent <- parent_id;
+      t.memo_name <- name;
+      t.memo_path <- id;
+      id
+    end
   in
   let frame =
-    { path; agg = span_agg t path; parent; self = 0L; child_total = 0L }
+    { path_id; agg = t.path_aggs.(path_id); parent; self = 0; child_total = 0 }
   in
-  Hashtbl.replace t.stacks tid frame;
-  Fun.protect
-    ~finally:(fun () ->
-      (match parent with
-      | Some p -> Hashtbl.replace t.stacks tid p
-      | None -> Hashtbl.remove t.stacks tid);
-      let total = Int64.add frame.self frame.child_total in
-      (match parent with
-      | Some p -> p.child_total <- Int64.add p.child_total total
-      | None -> ());
-      frame.agg.span_total <- Int64.add frame.agg.span_total total;
-      frame.agg.closed <- frame.agg.closed + 1;
-      Histogram.record (hist_for t name) total)
-    f
+  t.cache_top <- Some frame;
+  match f () with
+  | v ->
+      close_frame t tid frame;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_frame t tid frame;
+      Printexc.raise_with_backtrace e bt
 
 (* Attribute charged cycles to the innermost open span on this thread;
    cycles charged with no span open land in the "(unattributed)" bucket
    so the audit identity (sum of self = total charged) is total. *)
 let attribute t tid cost =
-  match Hashtbl.find_opt t.stacks tid with
+  match stack_top t tid with
   | Some f ->
-      f.self <- Int64.add f.self cost;
-      f.agg.self_cycles <- Int64.add f.agg.self_cycles cost
+      f.self <- f.self + cost;
+      f.agg.self_cycles <- f.agg.self_cycles + cost
   | None ->
-      let a = span_agg t unattributed in
-      a.self_cycles <- Int64.add a.self_cycles cost
+      let id =
+        if t.unattr_id >= 0 then t.unattr_id
+        else begin
+          let id = intern_path t ~parent:(-1) unattributed_name in
+          t.unattr_id <- id;
+          id
+        end
+      in
+      let a = t.path_aggs.(id) in
+      a.self_cycles <- a.self_cycles + cost
 
 (* {2 Virtual-time sampling}
 
@@ -217,65 +454,81 @@ let set_sampler t ~interval read =
   t.sample_interval <- interval;
   t.next_sample <- Int64.add (Engine.now t.engine) interval
 
+(* The slow half of [emit]: ring append, only when recording. Columnar
+   stores into the preallocated ring — no record or option allocation
+   per event; {!records} reconstructs on demand. *)
+let record_slow t pid event tid cost charged =
+  let cap = Array.length t.ring_event in
+  let j =
+    if t.ring_len < cap then begin
+      let j = t.ring_start + t.ring_len in
+      let j = if j >= cap then j - cap else j in
+      t.ring_len <- t.ring_len + 1;
+      j
+    end
+    else begin
+      let j = t.ring_start in
+      t.ring_start <- (if t.ring_start + 1 >= cap then 0 else t.ring_start + 1);
+      t.dropped <- t.dropped + 1;
+      j
+    end
+  in
+  t.ring_t.(j) <- Engine.now t.engine;
+  t.ring_core.(j) <- Engine.running_core t.engine;
+  t.ring_tid.(j) <- tid;
+  t.ring_name.(j) <- Engine.running_name t.engine;
+  t.ring_pid.(j) <- pid;
+  t.ring_event.(j) <- event;
+  t.ring_cycles.(j) <- (if charged then cost else 0L)
+
 let emit t ?(pid = -1) event =
-  maybe_sample t;
-  let key = Event.to_key event in
+  if t.sampler != None then maybe_sample t;
+  t.emits <- t.emits + 1;
+  let kid = kid_of t event in
   let n = Event.count event in
   let cost = Event.cost ~costs:t.costs event in
-  Meter.add t.meter key n;
+  Meter.add_id t.meter kid n;
   (match event with
-  | Event.Syscall _ -> Meter.incr t.meter "syscall"
+  | Event.Syscall _ -> Meter.incr_id t.meter (syscall_agg_kid t)
   | _ -> ());
   (* Outside an engine thread (boot, direct kernel poking in unit tests)
      there is no schedulable context to charge, mirroring the old
      boot-time charge path: count the event, skip the cycles. *)
-  let tid = current_tid () in
+  let tid = Engine.running_tid t.engine in
   let charged = tid >= 0 && cost > 0L in
-  let e = entry t key in
+  let e = acc_entry t kid in
   e.units <- e.units + n;
-  (match (Event.linear_unit ~costs:t.costs event, e.rep) with
-  | None, _ -> e.fixed <- false
-  | Some _, None -> e.rep <- Some event
-  | Some u, Some rep ->
-      if Event.linear_unit ~costs:t.costs rep <> Some u then e.fixed <- false);
+  (match Event.linear_unit ~costs:t.costs event with
+  | None -> e.fixed <- false
+  | Some _ as lu -> (
+      match e.rep with
+      | None ->
+          e.rep <- Some event;
+          e.rep_unit <- lu
+      | Some _ -> if e.rep_unit <> lu then e.fixed <- false));
   if charged then begin
+    let icost = Int64.to_int cost in
     e.charged_units <- e.charged_units + n;
-    e.cycles <- Int64.add e.cycles cost;
-    t.total_cycles <- Int64.add t.total_cycles cost;
-    attribute t tid cost
+    e.cycles <- e.cycles + icost;
+    t.total_cycles <- t.total_cycles + icost;
+    attribute t tid icost
   end;
-  if t.recording then begin
-    let core =
-      match Engine.current_core () with
-      | c -> c
-      | exception Effect.Unhandled _ -> -1
-    in
-    let name =
-      match Engine.current_name () with
-      | n -> n
-      | exception Effect.Unhandled _ -> ""
-    in
-    push t
-      {
-        t = Engine.now t.engine;
-        core;
-        tid;
-        name;
-        pid;
-        event;
-        cycles = (if charged then cost else 0L);
-      }
-  end;
+  if t.recording then record_slow t pid event tid cost charged;
   (* Last, so the record and the aggregates describe the state at emission
-     time even if a [~until] deadline truncates the advance. *)
-  if charged then Engine.advance cost
+     time even if a [~until] deadline truncates the advance. The direct
+     call passes time without performing the effect when the thread is
+     alone and nothing can intervene — the common case on the
+     non-recorded hot path. *)
+  if charged then
+    if not (Engine.advance_direct t.engine cost) then Engine.advance cost
 
 let gauge t key v =
   (* Gauges are shared scalar state (e.g. last-fork latency read by the
      stats dump): publish the write so the race detector can order it. *)
   let module Hb = Ufork_util.Hb in
   if Hb.on () then
-    Hb.emit (Hb.Write { tid = Hb.tid (); loc = Hb.Gauge key; site = "Trace.gauge" });
+    Hb.emit
+      (Hb.Write { tid = Hb.tid (); loc = Hb.Gauge key; site = "Trace.gauge" });
   Meter.set t.meter key v
 
 let last_fork_latency_key = "gauge.last_fork_latency"
@@ -287,30 +540,51 @@ let last_fork_latency t =
   Int64.of_int (Meter.get t.meter last_fork_latency_key)
 
 let records t =
-  let cap = Array.length t.ring in
+  let cap = Array.length t.ring_event in
   List.init t.ring_len (fun i ->
-      match t.ring.((t.ring_start + i) mod cap) with
-      | Some r -> r
-      | None -> assert false)
+      let j = (t.ring_start + i) mod cap in
+      {
+        t = t.ring_t.(j);
+        core = t.ring_core.(j);
+        tid = t.ring_tid.(j);
+        name = t.ring_name.(j);
+        pid = t.ring_pid.(j);
+        event = t.ring_event.(j);
+        cycles = t.ring_cycles.(j);
+      })
 
 let reset t =
   Meter.reset t.meter;
-  (* Resetting every entry commutes: order-independent. *)
-  (Hashtbl.iter
-     (fun _ e ->
-       e.units <- 0;
-       e.charged_units <- 0;
-       e.cycles <- 0L;
-       e.rep <- None;
-       e.fixed <- true)
-     t.entries [@ufork.order_independent]);
-  t.total_cycles <- 0L;
-  Array.fill t.ring 0 (Array.length t.ring) None;
+  Array.iter
+    (fun e ->
+      e.units <- 0;
+      e.charged_units <- 0;
+      e.cycles <- 0;
+      e.rep <- None;
+      e.rep_unit <- None;
+      e.fixed <- true)
+    t.entries;
+  t.total_cycles <- 0;
+  (* Release the refs the ring columns hold; the scalar columns can keep
+     stale values behind ring_len. *)
+  Array.fill t.ring_event 0 (Array.length t.ring_event) ring_dummy_event;
+  Array.fill t.ring_name 0 (Array.length t.ring_name) "";
   t.ring_start <- 0;
   t.ring_len <- 0;
   t.dropped <- 0;
-  Hashtbl.reset t.spans;
+  Hashtbl.reset t.roots;
+  Array.fill t.path_names 0 t.n_paths "";
+  Array.fill t.path_aggs 0 t.n_paths dummy_agg;
+  Array.fill t.path_children 0 t.n_paths dummy_children;
+  Array.fill t.path_hists 0 t.n_paths dummy_hist;
+  t.n_paths <- 0;
+  t.unattr_id <- -1;
+  t.memo_parent <- -1;
+  t.memo_name <- "";
+  t.memo_path <- -1;
   Hashtbl.reset t.stacks;
+  t.cache_tid <- min_int;
+  t.cache_top <- None;
   Hashtbl.reset t.hists;
   t.samples_rev <- [];
   if t.sampler <> None then
@@ -377,16 +651,14 @@ let chrome_of_records recs =
 let span_totals t =
   List.sort
     (fun a b -> compare a.span_path b.span_path)
-    (Hashtbl.fold
-       (fun path a acc ->
+    (List.init t.n_paths (fun id ->
+         let a = t.path_aggs.(id) in
          {
-           span_path = path;
-           span_self = a.self_cycles;
-           span_cycles = a.span_total;
+           span_path = path_list t id;
+           span_self = Int64.of_int a.self_cycles;
+           span_cycles = Int64.of_int a.span_total;
            span_count = a.closed;
-         }
-         :: acc)
-       t.spans [])
+         }))
 
 let folded_stacks t =
   let b = Buffer.create 1024 in
@@ -433,7 +705,8 @@ let to_prometheus_string t =
   let b = Buffer.create 4096 in
   let esc = Event.json_escape in
   Buffer.add_string b "# TYPE ufork_cycles_total counter\n";
-  Buffer.add_string b (Printf.sprintf "ufork_cycles_total %Ld\n" t.total_cycles);
+  Buffer.add_string b
+    (Printf.sprintf "ufork_cycles_total %Ld\n" (Int64.of_int t.total_cycles));
   Buffer.add_string b "# TYPE ufork_trace_dropped_records gauge\n";
   Buffer.add_string b
     (Printf.sprintf "ufork_trace_dropped_records %d\n" t.dropped);
@@ -477,45 +750,47 @@ let to_prometheus_string t =
 exception Audit_failure of string
 
 let audit t ~costs ~elapsed =
-  if elapsed <> t.total_cycles then
+  let total_cycles = Int64.of_int t.total_cycles in
+  if elapsed <> total_cycles then
     raise
       (Audit_failure
          (Printf.sprintf
             "engine advanced %Ld cycles but the trace charged %Ld (delta %Ld)"
-            elapsed t.total_cycles
-            (Int64.sub elapsed t.total_cycles)));
+            elapsed total_cycles
+            (Int64.sub elapsed total_cycles)));
   (* Span attribution must be a partition of the charged cycles: every
      charged cycle lands in exactly one span's self bucket (or the
      "(unattributed)" bucket), so the sums must agree exactly. *)
-  let span_self_sum =
-    (* Commutative sum: traversal order cannot change it. *)
-    (Hashtbl.fold
-       (fun _ a acc -> Int64.add acc a.self_cycles)
-       t.spans 0L [@ufork.order_independent])
-  in
-  if span_self_sum <> t.total_cycles then
+  let span_self_sum = ref 0 in
+  for id = 0 to t.n_paths - 1 do
+    span_self_sum := !span_self_sum + t.path_aggs.(id).self_cycles
+  done;
+  let span_self_sum = Int64.of_int !span_self_sum in
+  if span_self_sum <> total_cycles then
     raise
       (Audit_failure
          (Printf.sprintf
             "span self-cycles sum to %Ld but the trace charged %Ld (delta %Ld)"
-            span_self_sum t.total_cycles
-            (Int64.sub t.total_cycles span_self_sum)));
+            span_self_sum total_cycles
+            (Int64.sub total_cycles span_self_sum)));
   (* Pass/fail per entry is independent of the others; which failing key
      gets reported first is diagnostic detail only. *)
-  (Hashtbl.iter
-     (fun key e ->
-       match e.rep with
-       | Some rep when e.fixed -> (
-           match Event.linear_unit ~costs rep with
-           | None -> ()
-           | Some unit ->
-               let expected = Int64.mul unit (Int64.of_int e.charged_units) in
-               if e.cycles <> expected then
-                 raise
-                   (Audit_failure
-                      (Printf.sprintf
-                         "key %S charged %Ld cycles; preset says %d units x \
-                          %Ld = %Ld"
-                         key e.cycles e.charged_units unit expected)))
-       | _ -> ())
-     t.entries [@ufork.order_independent])
+  Array.iteri
+    (fun kid e ->
+      match e.rep with
+      | Some rep when e.fixed -> (
+          match Event.linear_unit ~costs rep with
+          | None -> ()
+          | Some unit ->
+              let expected = Int64.mul unit (Int64.of_int e.charged_units) in
+              if Int64.of_int e.cycles <> expected then
+                raise
+                  (Audit_failure
+                     (Printf.sprintf
+                        "key %S charged %Ld cycles; preset says %d units x \
+                         %Ld = %Ld"
+                        (Meter.name t.meter kid)
+                        (Int64.of_int e.cycles)
+                        e.charged_units unit expected)))
+      | _ -> ())
+    t.entries

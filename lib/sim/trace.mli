@@ -125,6 +125,12 @@ val last_fork_latency : t -> int64
 val total_charged : t -> int64
 (** Simulated cycles charged through this bus since creation/{!reset}. *)
 
+val emits : t -> int
+(** Lifetime count of {!emit} calls — host-side work, not simulated
+    units, so the bench harness can report simulated-events/s against
+    wall-clock. Monotone: unlike the counters, {b not} cleared by
+    {!reset}. *)
+
 val set_recording : t -> bool -> unit
 val recording : t -> bool
 

@@ -52,8 +52,19 @@ let on () = !enabled
    protects instead of printing a bare number. Process-global like the
    id counter itself: ids are never reused within a run. *)
 let lock_names : (int, string) Hashtbl.t = Hashtbl.create 64
-let set_lock_name id name = Hashtbl.replace lock_names id name
-let lock_name id = Hashtbl.find_opt lock_names id
+
+(* Lock creation happens on every machine boot, and the bench harness
+   boots machines from several domains at once ([Experiments.parmap]);
+   a bare Hashtbl would be a host-level data race. Detectors only ever
+   run single-domain, so reads stay cheap. *)
+let lock_names_mutex = Mutex.create ()
+
+let set_lock_name id name =
+  Mutex.protect lock_names_mutex (fun () ->
+      Hashtbl.replace lock_names id name)
+
+let lock_name id =
+  Mutex.protect lock_names_mutex (fun () -> Hashtbl.find_opt lock_names id)
 
 let pp_lock ppf id =
   match lock_name id with

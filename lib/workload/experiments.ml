@@ -138,14 +138,77 @@ let set_chaos_invert_shard_order on = chaos_invert_shard_order := on
 let race_detector : Race.t option ref = ref None
 let lockdep_checker : Lockdep.t option ref = ref None
 
+(* {2 Domain-parallel sweeps}
+
+   [parmap] fans one experiment per sweep point out over OCaml domains.
+   Every machine is self-contained (engine, kernel, trace, meter), so
+   points never exchange simulated state and each point's result is the
+   same bit pattern the serial order produces; only the process-global
+   registries above are shared, and every write to them is mutexed.
+   Whenever any harness option that funnels per-run state through those
+   registries is armed (trace/profile sinks, sampling, detectors, chaos),
+   the fan-out silently degrades to serial — those paths want one
+   machine at a time, and their cost dwarfs any sweep parallelism. *)
+
+let registry_mutex = Mutex.create ()
+
+let parallel_unsafe () =
+  !record_always
+  || Option.is_some !trace_sink
+  || Option.is_some !profile_sink
+  || !collect_profiles
+  || Option.is_some !sample_interval
+  || !race_detect || !lockdep_detect || !chaos_no_bkl || !chaos_unshard
+  || !chaos_invert_shard_order
+
+let parmap ~jobs f items =
+  let jobs = if parallel_unsafe () then 1 else max 1 jobs in
+  let n = List.length items in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else begin
+    let arr = Array.of_list items in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Workers never raise: each point's outcome is captured by index, so
+       results (and the first failure, re-raised in item order) are
+       independent of domain scheduling. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (out.(i) <- Some (try Ok (f arr.(i)) with e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list arr |> List.mapi (fun i _ ->
+        match out.(i) with
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index below [n] was claimed *))
+  end
+
+(* Host-side throughput accounting for the events bench: every
+   [finish_run] adds its machine's lifetime {!Trace.emits} here, so the
+   bench front end can report simulated events per wall-clock second
+   without threading counts through each experiment's row type. Atomic,
+   not mutexed: a sum is order-independent. *)
+let emits_acc = Atomic.make 0
+let reset_emits () = Atomic.set emits_acc 0
+let emits_total () = Atomic.get emits_acc
+
 let register_trace tr =
   if !record_always then Trace.set_recording tr true;
   if Option.is_some !trace_sink then begin
     Trace.set_recording tr true;
-    traced := !traced @ [ tr ]
+    Mutex.protect registry_mutex (fun () -> traced := !traced @ [ tr ])
   end;
   if !collect_profiles || Option.is_some !profile_sink then
-    profiled := !profiled @ [ tr ]
+    Mutex.protect registry_mutex (fun () -> profiled := !profiled @ [ tr ])
 
 let traced_dropped () =
   List.fold_left (fun acc tr -> acc + Trace.dropped tr) 0 !traced
@@ -191,6 +254,7 @@ let audit_booted b =
     ~elapsed:(Engine.advanced b.engine)
 
 let finish_run b =
+  ignore (Atomic.fetch_and_add emits_acc (Trace.emits (Kernel.trace b.kernel)));
   audit_booted b;
   (* The state sanitizer next to the accounting audit: a run that
      corrupted machine state must not report numbers. The lint half sees
@@ -358,14 +422,20 @@ let redis_run system ~entries ~value_len ~db_label =
         dump_ok;
       }
 
-let redis_sweep ~systems ?(sizes = Keyspace.db_sizes_of_paper) () =
-  List.concat_map
-    (fun system ->
-      List.map
-        (fun (db_label, entries, value_len) ->
-          redis_run system ~entries ~value_len ~db_label)
-        sizes)
-    systems
+let redis_sweep ~systems ?(sizes = Keyspace.db_sizes_of_paper) ?(jobs = 1) ()
+    =
+  (* Flatten first so [parmap] sees every (system, size) point; the
+     concat order is exactly the serial nesting, so results — each
+     point its own machine — are bit-identical to the sequential map. *)
+  let points =
+    List.concat_map
+      (fun system -> List.map (fun size -> (system, size)) sizes)
+      systems
+  in
+  parmap ~jobs
+    (fun (system, (db_label, entries, value_len)) ->
+      redis_run system ~entries ~value_len ~db_label)
+    points
 
 (* {1 FaaS} *)
 

@@ -106,6 +106,28 @@ val set_chaos_invert_shard_order : bool -> unit
     {!set_lockdep_detect} the run must fail with exactly R2. No-op
     under the big-kernel-lock regime (no shards to invert). *)
 
+(** {1 Domain-parallel sweeps} *)
+
+val parmap : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parmap ~jobs f items] maps [f] over [items] from up to [jobs]
+    OCaml domains, returning results in item order. Every experiment
+    machine is self-contained, so each point's result is bit-identical
+    to what the serial [List.map] produces — the qcheck suite pins this
+    property; a raising point re-raises deterministically (first failure
+    in item order). Degrades to serial when [jobs <= 1] and, silently,
+    whenever a harness option that funnels per-run state through the
+    process-global registries is armed (trace/profile sinks,
+    [record_always], sampling, detectors, chaos modes). *)
+
+val reset_emits : unit -> unit
+(** Zero the cross-run emitted-events accumulator below. *)
+
+val emits_total : unit -> int
+(** Mechanism events emitted by every machine finished (via the
+    end-of-run audit) since the last {!reset_emits}, summed across
+    domains — the numerator of the events bench's simulated-events per
+    host-second metric. *)
+
 (** {1 Accounting audit and state sanitizer}
 
     Every experiment run checks {!Ufork_sim.Trace.audit} before returning:
@@ -140,9 +162,11 @@ val redis_run :
 val redis_sweep :
   systems:system list ->
   ?sizes:(string * int * int) list ->
+  ?jobs:int ->
   unit ->
   redis_row list
-(** Default sizes: {!Keyspace.db_sizes_of_paper}. *)
+(** Default sizes: {!Keyspace.db_sizes_of_paper}. [jobs] fans the
+    (system, size) points out via {!parmap} (default 1: serial). *)
 
 (** {1 FaaS (Fig. 6)} *)
 

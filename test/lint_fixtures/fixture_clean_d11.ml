@@ -1,0 +1,7 @@
+(* False-positive control for D11: string-keyed READS are fine (the
+   interning discipline only covers emission), and registering a key
+   with Meter.intern at setup is the blessed path. Both must lint
+   clean. *)
+
+let read meter = Ufork_sim.Meter.get meter "fork.count"
+let register meter = Ufork_sim.Meter.intern meter "fork.count"

@@ -1,0 +1,5 @@
+(* Seeds exactly one D11 (interned-emission) violation: the string-keyed
+   Meter.incr shim re-hashes its key on every call — emission sites
+   outside lib/sim must intern once and go through the typed bus. *)
+
+let bump meter = Ufork_sim.Meter.incr meter "fork.count"

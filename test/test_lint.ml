@@ -43,6 +43,7 @@ let seeded =
     ("fixture_d7.ml", "D7");
     ("fixture_d8.ml", "D8");
     ("fixture_d9.ml", "D9");
+    ("fixture_d11.ml", "D11");
     ("fixture_alias_d1.ml", "D1");
     ("fixture_open_d5.ml", "D5");
     ("fixture_e0.ml", "E0");
@@ -86,7 +87,8 @@ let test_clean_controls () =
     (fun file ->
       Alcotest.(check (list string)) file [] (ids (lint file)))
     [ "fixture_clean_comment.ml"; "fixture_clean_alias.ml";
-      "fixture_clean_d6.ml"; "fixture_clean_d9.ml" ];
+      "fixture_clean_d6.ml"; "fixture_clean_d9.ml";
+      "fixture_clean_d11.ml" ];
   (* Ordered nesting, ascending shards and an annotation-declared custom
      pair satisfy the lock-order analysis. *)
   Alcotest.(check (list string))
@@ -106,6 +108,7 @@ let test_exemptions () =
   check_clean "lib/core/fork_spine.ml" "fixture_d3.ml";
   check_clean "lib/sim/trace.ml" "fixture_d4.ml";
   check_clean "lib/sas/kernel.ml" "fixture_d9.ml";
+  check_clean "lib/sim/meter.ml" "fixture_d11.ml";
   (* ...and test code is out of scope entirely. *)
   check_clean "test/test_sim.ml" "fixture_d5.ml"
 

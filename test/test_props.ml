@@ -364,6 +364,99 @@ let prop_smp_replay_determinism =
     (fun (flavour, cores, seed) ->
       smp_trace ~flavour ~cores ~seed = smp_trace ~flavour ~cores ~seed)
 
+(* --- Flat-int event codes ---
+
+   The accounting arrays in Trace index by [Event.id], so the numbering
+   is an accounting-format contract: dense, in range, injective across
+   constructors, and append-only (pinned values). *)
+
+let prop_event_id_injective =
+  QCheck.Test.make ~name:"Event.id: in range, injective across constructors"
+    ~count:300
+    QCheck.(pair (oneofl Event.samples) (oneofl Event.samples))
+    (fun (a, b) ->
+      let ia = Event.id a and ib = Event.id b in
+      ia >= 0
+      && ia < Event.id_count
+      && ib >= 0
+      && ib < Event.id_count
+      && (Event.to_key a = Event.to_key b) = (ia = ib))
+
+let test_event_id_pins () =
+  (* [samples] lists one representative per constructor in declaration
+     order, so the id table is exactly 0 .. id_count-1 over it — and a
+     few absolute pins catch a reorder of [samples] itself masking a
+     renumbering. *)
+  Alcotest.(check (list int))
+    "ids are declaration-dense"
+    (List.init Event.id_count Fun.id)
+    (List.map Event.id Event.samples);
+  Alcotest.(check int) "Syscall pin" 0
+    (Event.id (Event.Syscall { name = "anything"; trap = true }));
+  Alcotest.(check int) "Context_switch pin" 5 (Event.id Event.Context_switch);
+  Alcotest.(check int) "Compute pin" 40 (Event.id (Event.Compute 1L))
+
+(* --- Meter interning ---
+
+   The id returned by [intern] is stable, [name] round-trips it, and
+   driving one meter through the interned-id mutators and another
+   through the string shim (with keys pre-registered in a different
+   order) must produce identical sorted exports. *)
+
+let prop_meter_intern_roundtrip =
+  let module Meter = Ufork_sim.Meter in
+  QCheck.Test.make
+    ~name:"Meter: interning round-trips and matches the string API"
+    ~count:200
+    QCheck.(
+      small_list
+        (pair
+           (oneofl [ "fork"; "syscall.read"; "a"; "b"; "gauge.latency" ])
+           small_nat))
+    (fun ops ->
+      let m = Meter.create () and m' = Meter.create () in
+      (* Different interning order on [m']: sorted exports must not care. *)
+      List.iter
+        (fun (k, _) -> ignore (Meter.intern m' k))
+        (List.rev ops);
+      List.iter
+        (fun (k, n) ->
+          let id = Meter.intern m k in
+          if Meter.intern m k <> id then
+            QCheck.Test.fail_report "re-interning moved the id";
+          if Meter.name m id <> k then
+            QCheck.Test.fail_report "Meter.name does not round-trip";
+          Meter.add_id m id n;
+          Meter.add m' k n)
+        ops;
+      Meter.to_list m = Meter.to_list m')
+
+(* --- Domains-parallel sweeps ---
+
+   Every sweep point owns its machine, so fanning points out across
+   OCaml domains must be invisible in the results: same values, same
+   order, bit-identical — including full recorded traces. *)
+
+let prop_parmap_bit_identity =
+  QCheck.Test.make
+    ~name:"parmap over domains = serial map, bit-identical" ~count:6
+    QCheck.(
+      triple
+        (oneofl [ "ufork-copa"; "cheribsd"; "nephele" ])
+        (oneofl [ 1; 2; 4; 8 ])
+        int64)
+    (fun (flavour, cores, seed) ->
+      let points =
+        [
+          (flavour, cores, seed);
+          (flavour, max 1 (cores / 2), seed);
+          ("ufork-copa", cores, Int64.add seed 1L);
+        ]
+      in
+      let run (flavour, cores, seed) = smp_trace ~flavour ~cores ~seed in
+      List.map run points
+      = Ufork_workload.Experiments.parmap ~jobs:3 run points)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -375,4 +468,9 @@ let suite =
     qt prop_vfs_model;
     qt prop_aslr_deterministic;
     qt prop_smp_replay_determinism;
+    qt prop_event_id_injective;
+    Alcotest.test_case "Event.id pins: dense, append-only" `Quick
+      test_event_id_pins;
+    qt prop_meter_intern_roundtrip;
+    qt prop_parmap_bit_identity;
   ]

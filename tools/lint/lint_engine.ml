@@ -41,10 +41,17 @@ let ends_with ~suffix path =
 let charging_targets =
   [
     [ "Engine"; "advance" ];
-    [ "Meter"; "incr" ];
-    [ "Meter"; "add" ];
-    [ "Meter"; "set" ];
+    [ "Engine"; "advance_direct" ];
+    [ "Meter"; "incr_id" ];
+    [ "Meter"; "add_id" ];
+    [ "Meter"; "set_id" ];
   ]
+
+(* The string-keyed meter mutators (D11): a registration-time shim, not
+   an emission path — every call re-hashes its key. Reads (Meter.get)
+   are deliberately absent. *)
+let string_keyed_targets =
+  [ [ "Meter"; "incr" ]; [ "Meter"; "add" ]; [ "Meter"; "set" ] ]
 
 let page_copy_targets = [ [ "Page"; "read_bytes" ]; [ "Page"; "write_bytes" ] ]
 let fork_dup_targets = [ [ "Fdtable"; "dup_all" ] ]
@@ -158,6 +165,9 @@ let check_ident ctx loc path =
   in
   banned Lint_rules.charging charging_targets
     "route the charge through the event bus (Trace.emit)";
+  banned Lint_rules.string_keyed_emission string_keyed_targets
+    "intern the key once (Meter.intern) and emit through the typed event \
+     bus; the string-keyed mutators re-hash per call";
   banned Lint_rules.page_copy page_copy_targets
     "use Memops.copy_range / Memops.duplicate_frame";
   banned Lint_rules.fork_dup fork_dup_targets
@@ -230,15 +240,23 @@ let has_order_attr attrs =
     attrs
 
 let check_apply ctx e f args =
-  (* D4: Trace.gauge with a literal key. *)
+  (* D4/D11: Trace.gauge with a literal key. One rule per site: D4
+     (namespace discipline) where it applies; D11 (emission interning)
+     covers the homes D4 exempts (lib/core declares the key constants
+     but must not emit ad-hoc literals either). *)
   (match ident_path f with
   | Some p
     when matches ctx (resolve ctx p) [ "Trace"; "gauge" ]
          && List.exists (fun (_, a) -> is_string_literal a) args ->
-      report ctx Lint_rules.gauge_key e.pexp_loc
-        "Trace.gauge with a string-literal key: declare the key as a \
-         named constant (like Trace.last_fork_latency_key) and reference \
-         it"
+      if Lint_rules.gauge_key.Lint_rules.applies ctx.path then
+        report ctx Lint_rules.gauge_key e.pexp_loc
+          "Trace.gauge with a string-literal key: declare the key as a \
+           named constant (like Trace.last_fork_latency_key) and \
+           reference it"
+      else
+        report ctx Lint_rules.string_keyed_emission e.pexp_loc
+          "Trace.gauge with a string-literal key: reference a named key \
+           constant so the key is interned once, not hashed per emission"
   | _ -> ());
   (* D7: polymorphic comparison with an identity-bearing operand. *)
   match ident_path f with

@@ -8,7 +8,7 @@
    the mechanism", never a blanket opt-out. *)
 
 type t = {
-  id : string;  (* stable short id: "D1".."D10", "E0" *)
+  id : string;  (* stable short id: "D1".."D11", "E0" *)
   name : string;  (* kebab-case slug *)
   severity : string;  (* "critical" | "error" — mirrors Invariant.severity *)
   summary : string;  (* one line, shown next to findings *)
@@ -30,8 +30,9 @@ let charging =
     severity = "error";
     summary =
       "every cycle charge and counter bump flows through the typed event \
-       bus (Trace.emit); direct Engine.advance / Meter mutation outside \
-       lib/sim bypasses the zero-tolerance accounting audit";
+       bus (Trace.emit); direct Engine.advance / interned-id Meter \
+       mutation outside lib/sim bypasses the zero-tolerance accounting \
+       audit";
     applies = (fun p -> in_scanned p && not (under "lib/sim/" p));
   }
 
@@ -163,6 +164,21 @@ let lockdep =
     applies = (fun p -> in_scanned p && not (under "lib/sim/" p));
   }
 
+let string_keyed_emission =
+  {
+    id = "D11";
+    name = "interned-emission";
+    severity = "error";
+    summary =
+      "counter emission is id-keyed: the string-keyed Meter.incr/add/set \
+       shim re-hashes its key on every call (and a string-literal \
+       Trace.gauge key does the same), which is exactly the per-event \
+       cost the interned hot path removed — intern the key once \
+       (Meter.intern) at setup, or emit a typed event; reads (Meter.get) \
+       stay string-keyed";
+    applies = (fun p -> in_scanned p && not (under "lib/sim/" p));
+  }
+
 let parse_error =
   {
     id = "E0";
@@ -175,5 +191,5 @@ let parse_error =
 let all =
   [
     charging; page_copy; fork_dup; gauge_key; wall_clock; hashtbl_order;
-    poly_compare; obj_magic; biglock; lockdep;
+    poly_compare; obj_magic; biglock; lockdep; string_keyed_emission;
   ]
