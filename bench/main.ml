@@ -546,6 +546,69 @@ let ablations () =
 
 let cores_sweep = ref [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ]
 let smp_out = ref "BENCH_smp.json"
+let smp_baseline : string option ref = ref None
+let smp_max_regress_pct = ref 15.0
+let smp_explain_out : string option ref = ref None
+
+(* Extract `"key": value` from one line of our own smp JSON emitter's
+   output (one sweep point per line), returning the raw value text. A
+   substring scan is exact against that emitter and avoids growing a
+   JSON dependency for a three-field read. *)
+let json_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and len = String.length line in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let j = ref start in
+      while !j < len && line.[!j] = ' ' do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < len && line.[!k] <> ',' && line.[!k] <> '}' do
+        incr k
+      done;
+      if !k > !j then Some (String.trim (String.sub line !j (!k - !j)))
+      else None
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2)
+  else s
+
+(* (cores, locks, forks_per_s) per sweep point of a previous run's
+   BENCH_smp.json — the contention_at_top rows carry no "forks_per_s"
+   field, so filtering on that key selects exactly the points. *)
+let read_smp_baseline path =
+  match open_in path with
+  | exception Sys_error msg ->
+      Printf.eprintf "smp: cannot read baseline: %s\n" msg;
+      exit 2
+  | ic ->
+      let rec loop acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        | line -> (
+            match
+              ( json_field line "cores",
+                json_field line "locks",
+                json_field line "forks_per_s" )
+            with
+            | Some c, Some l, Some f -> (
+                match (int_of_string_opt c, float_of_string_opt f) with
+                | Some cores, Some fps ->
+                    loop ((cores, unquote l, fps) :: acc)
+                | _ -> loop acc)
+            | _ -> loop acc)
+      in
+      loop []
 
 let smp () =
   section "SMP: fork-throughput scaling (sharded locks vs big kernel lock)";
@@ -587,13 +650,56 @@ let smp () =
       note "64-core sharded vs 4-core BKL fork throughput: %sx\n"
         (f1 (s64.E.forks_per_s /. b4.E.forks_per_s))
   | _ -> ());
+  (* Regression gate: each sweep point's forks/s against the same
+     (cores, locks) point of a committed baseline curve. Points absent
+     from the baseline (a widened sweep) pass — only measured
+     regressions fail. *)
+  (match !smp_baseline with
+  | None -> ()
+  | Some path ->
+      let base = read_smp_baseline path in
+      let pct = !smp_max_regress_pct in
+      let matched = ref 0 in
+      let regressions =
+        List.filter_map
+          (fun (r : E.smp_row) ->
+            match
+              List.find_opt
+                (fun (c, l, _) -> c = r.E.cores && l = r.E.locks)
+                base
+            with
+            | None -> None
+            | Some (_, _, fps0) when fps0 > 0. ->
+                incr matched;
+                let drop = 100. *. (fps0 -. r.E.forks_per_s) /. fps0 in
+                if drop > pct then
+                  Some (r.E.cores, r.E.locks, fps0, r.E.forks_per_s, drop)
+                else None
+            | Some _ -> None)
+          points
+      in
+      note "baseline %s: %d/%d points matched, gate at -%s%%\n" path !matched
+        (List.length points) (f1 pct);
+      if regressions <> [] then (
+        List.iter
+          (fun (c, l, fps0, fps1, drop) ->
+            Printf.eprintf
+              "smp: %d-core %s forks/s regressed %.1f%% (baseline %.0f, \
+               measured %.0f, gate %.0f%%)\n"
+              c l drop fps0 fps1 pct)
+          regressions;
+        exit 1));
   (* Where does CoPA fork stop scaling? Rerun the top sweep point alone
      so the process-global lock registry holds exactly that machine's
-     locks, then break contention down per resource (ROADMAP item 1). *)
+     locks, then break contention down per resource (ROADMAP item 1).
+     --explain-out additionally arms the causal collector on this rerun
+     and writes the whole-run critical-path blame. *)
   let module Sync = Ufork_sim.Sync in
   let top = List.fold_left max 1 !cores_sweep in
   Sync.reset_lock_contention ();
+  if !smp_explain_out <> None then E.set_causal_trace true;
   ignore (E.fork_storm_run sys ~cores:top ~iters ());
+  if !smp_explain_out <> None then E.set_causal_trace false;
   let contention =
     List.filter
       (fun (c : Sync.contention) -> c.Sync.acquires > 0)
@@ -616,7 +722,42 @@ let smp () =
               /. float_of_int (max 1 c.Sync.acquires));
          ])
        contention);
-  let oc = open_out !smp_out in
+  (* Cross-check + export: the causal collector's per-lock wait counts
+     and Sync's contention counters observe the same Contend events, so
+     they must agree (±5% guards future sampling); then write the
+     critical-path blame for the point as JSON. *)
+  (match (!smp_explain_out, E.causal_graph ()) with
+  | Some path, Some g ->
+      let module Causal = Ufork_analysis.Causal in
+      let report = Causal.analyze g ~t0:0L ~t1:(Causal.horizon g) () in
+      List.iter
+        (fun (c : Sync.contention) ->
+          if c.Sync.waits > 0 then (
+            let causal_waits =
+              match
+                List.find_opt
+                  (fun (n, _, _) -> n = c.Sync.lock)
+                  report.Causal.r_lock_waits
+              with
+              | Some (_, w, _) -> w
+              | None -> 0
+            in
+            let diff = abs (causal_waits - c.Sync.waits) in
+            if float_of_int diff > 0.05 *. float_of_int c.Sync.waits then (
+              Printf.eprintf
+                "smp: causal wait count for %s (%d) diverges >5%% from the \
+                 lock counters (%d)\n"
+                c.Sync.lock causal_waits c.Sync.waits;
+              exit 1)))
+        contention;
+      E.write_artifact path (fun oc ->
+          output_string oc (Causal.to_json report));
+      note "wrote %s (critical-path blame at the %d-core point)\n" path top
+  | Some path, None ->
+      Printf.eprintf "smp: --explain-out %s: no causal graph collected\n" path;
+      exit 1
+  | None, _ -> ());
+  E.write_artifact !smp_out (fun oc ->
   Printf.fprintf oc
     "{\n  \"bench\": \"smp_fork_scaling\",\n  \"system\": %S,\n  \"workload\": \"fork_storm: one forking uproc per core, %d forks each, two-page dirty set\",\n  \"iters_per_forker\": %d,\n  \"points\": [\n%s\n  ],\n  \"contention_at_top\": {\n    \"cores\": %d,\n    \"locks\": [\n%s\n    ]\n  }\n}\n"
     (E.system_label sys) iters iters
@@ -637,8 +778,7 @@ let smp () =
             Printf.sprintf
               "      {\"lock\": %S, \"acquires\": %d, \"waits\": %d}"
               c.Sync.lock c.Sync.acquires c.Sync.waits)
-          contention));
-  close_out oc;
+          contention)));
   note "wrote %s\n" !smp_out
 
 (* ------------------------------------------------------------------ *)
@@ -764,7 +904,7 @@ let events () =
       note "vs baseline %s Mevents/s: %sx\n" (f2 (base /. 1e6))
         (f2 (total_eps /. base))
   | Some _ | None -> ());
-  let oc = open_out !events_out in
+  E.write_artifact !events_out (fun oc ->
   Printf.fprintf oc
     "{\n  \"bench\": \"events_hot_path\",\n  \"metric\": \"simulated \
      mechanism events per host second (non-recorded path)\",\n  \
@@ -786,8 +926,7 @@ let events () =
           ",\n  \"baseline_events_per_s\": %.0f,\n  \
            \"speedup_vs_baseline\": %.2f"
           base (total_eps /. base)
-    | Some _ | None -> "");
-  close_out oc;
+    | Some _ | None -> ""));
   note "wrote %s\n" !events_out;
   match !min_events_per_s with
   | Some floor when total_eps < floor ->
@@ -895,8 +1034,9 @@ let run_target = function
       Printf.eprintf "unknown bench target %S\n" other;
       exit 2
 
-let main targets quick_flag jobs_flag cores sweep smp_out_flag events_out_flag
-    min_eps baseline trace_out profile_out =
+let main targets quick_flag jobs_flag cores sweep smp_out_flag
+    smp_baseline_flag max_regress explain_out events_out_flag min_eps baseline
+    trace_out profile_out =
   (* "quick" as a positional target is the historic spelling of --quick:
      it sets the flag and is dropped from the target list, so a bare
      `bench quick` runs the full reduced suite rather than nothing. *)
@@ -919,6 +1059,9 @@ let main targets quick_flag jobs_flag cores sweep smp_out_flag events_out_flag
           (String.split_on_char ',' s)
   | None -> ());
   (match smp_out_flag with Some p -> smp_out := p | None -> ());
+  smp_baseline := smp_baseline_flag;
+  smp_max_regress_pct := max_regress;
+  smp_explain_out := explain_out;
   E.set_trace_out trace_out;
   E.set_profile_out profile_out;
   let targets = List.filter (fun t -> t <> "quick") targets in
@@ -970,6 +1113,38 @@ let cmd =
       & opt (some string) None
       & info [ "smp-out" ] ~docv:"FILE" ~doc)
   in
+  let smp_baseline_flag =
+    let doc =
+      "Compare the $(b,smp) target's forks/s per (cores, locks) sweep \
+       point against a previous run's curve in $(docv) (a committed \
+       BENCH_smp.json) and fail (exit 1) on regression beyond \
+       $(b,--max-regress-pct) — the CI perf-smoke gate."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "smp-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let max_regress =
+    let doc =
+      "Allowed forks/s drop per sweep point, in percent, before \
+       $(b,--smp-baseline) fails the run."
+    in
+    Arg.(
+      value & opt float 15.0 & info [ "max-regress-pct" ] ~docv:"PCT" ~doc)
+  in
+  let explain_out =
+    let doc =
+      "Arm the causal collector on the $(b,smp) target's top-point rerun \
+       and write the whole-run critical-path blame (JSON) to $(docv); \
+       fails if the causal per-lock wait counts diverge from the lock \
+       contention counters by more than 5%."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain-out" ] ~docv:"FILE" ~doc)
+  in
   let events_out_flag =
     let doc = "Where the $(b,events) target writes its JSON report." in
     Arg.(
@@ -1016,7 +1191,7 @@ let cmd =
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ targets $ quick_flag $ jobs_flag $ cores $ sweep
-      $ smp_out_flag $ events_out_flag $ min_eps $ baseline $ trace_out
-      $ profile_out)
+      $ smp_out_flag $ smp_baseline_flag $ max_regress $ explain_out
+      $ events_out_flag $ min_eps $ baseline $ trace_out $ profile_out)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -439,6 +439,223 @@ let check_cmd =
       const run $ system_arg $ experiment $ check_cores $ race $ chaos_no_bkl
       $ chaos_unshard $ lockdep $ chaos_invert_shard_order)
 
+(* explain: run a workload with the causal collector armed, then compute
+   and report the critical path of a fork window (or any interval) —
+   what bounded wall time, which spans it ran through, and which lock
+   waits it crossed. *)
+let explain_cmd =
+  let module Causal = Ufork_analysis.Causal in
+  let module Invariant = Ufork_analysis.Invariant in
+  let experiment =
+    Arg.(
+      value
+      & pos 0
+          (enum
+             [
+               ("hello", `Hello); ("redis", `Redis);
+               ("unixbench", `Unixbench); ("storm", `Storm);
+             ])
+          `Redis
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Workload to explain: redis (default), hello, unixbench, or \
+             storm (one concurrent forker per core).")
+  in
+  let cores =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Core count to boot with (default: the workload's own).")
+  in
+  let fork_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fork" ] ~docv:"N"
+          ~doc:
+            "Analyze the $(docv)th completed fork window (\"fork\" span \
+             open to close, anchored at the forker). Default 0 unless \
+             $(b,--interval) or $(b,--chaos-stall-shard) is given.")
+  in
+  let interval =
+    let interval_conv =
+      let parse s =
+        match String.index_opt s ':' with
+        | Some i -> (
+            let a = String.sub s 0 i
+            and b = String.sub s (i + 1) (String.length s - i - 1) in
+            match (Int64.of_string_opt a, Int64.of_string_opt b) with
+            | Some a, Some b when Int64.compare a b <= 0 -> Ok (a, b)
+            | _ -> Error (`Msg (Printf.sprintf "bad interval %S" s)))
+        | None -> Error (`Msg (Printf.sprintf "bad interval %S (want A:B)" s))
+      in
+      let print ppf (a, b) = Format.fprintf ppf "%Ld:%Ld" a b in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some interval_conv) None
+      & info [ "interval" ] ~docv:"A:B"
+          ~doc:
+            "Analyze the cycle interval [$(docv)] instead of a fork \
+             window (anchor picked automatically).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Report the top $(docv) wait chains (default 5).")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the critical path as a Graphviz digraph to $(docv).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full analysis (segments, blame, chains, \
+                per-lock waits) as JSON to $(docv).")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the critical path as a Chrome about:tracing / \
+             Perfetto JSON file to $(docv).")
+  in
+  let chaos_stall =
+    Arg.(
+      value & flag
+      & info [ "chaos-stall-shard" ]
+          ~doc:
+            "Fault injection: a rogue boot thread holds page-table shard \
+             0 across a long sleep. The analysis (whole run by default) \
+             must then report that lock as the dominant critical-path \
+             edge and the command exits non-zero with R3 — the control \
+             certifying the analyzer is live.")
+  in
+  let run system experiment cores fork_n interval top dot_out json_out
+      chrome_out chaos_stall =
+    let module Checker = Ufork_analysis.Checker in
+    E.set_causal_trace true;
+    E.set_chaos_stall_shard chaos_stall;
+    E.set_default_cores cores;
+    Fun.protect
+      ~finally:(fun () ->
+        E.set_causal_trace false;
+        E.set_chaos_stall_shard false;
+        E.set_default_cores None)
+      (fun () ->
+        (try
+           match experiment with
+           | `Hello -> ignore (E.hello_run system)
+           | `Redis ->
+               ignore
+                 (E.redis_run system ~entries:50 ~value_len:(100 * 1024)
+                    ~db_label:"5 MB")
+           | `Unixbench ->
+               ignore
+                 (E.unixbench_run system ~spawn_iters:50 ~context1_iters:500)
+           | `Storm ->
+               let cores = Option.value cores ~default:4 in
+               ignore (E.fork_storm_run system ~cores ~iters:4 ())
+         with Checker.Unsafe report ->
+           Printf.eprintf "explain: workload failed its safety check\n%s\n"
+             report;
+           exit 1);
+        let g =
+          match E.causal_graph () with
+          | Some g -> g
+          | None ->
+              Printf.eprintf "explain: no causal graph collected\n";
+              exit 1
+        in
+        let report =
+          try
+            match (interval, fork_n, chaos_stall) with
+            | Some (a, b), _, _ -> Causal.analyze g ~t0:a ~t1:b ()
+            | None, Some n, _ -> Causal.analyze_fork g n
+            | None, None, true ->
+                (* Whole run: the injected stall must dominate no matter
+                   where the fork windows sit. *)
+                Causal.analyze g ~t0:0L ~t1:(Causal.horizon g) ()
+            | None, None, false -> Causal.analyze_fork g 0
+          with
+          | Causal.Audit_failure msg ->
+              Printf.eprintf "explain: path audit FAILED: %s\n" msg;
+              exit 1
+          | Invalid_argument msg ->
+              Printf.eprintf "explain: %s\n" msg;
+              exit 1
+        in
+        Format.printf "%a@." (Causal.pp_report ~top) report;
+        Option.iter
+          (fun path ->
+            E.write_artifact path (fun oc ->
+                output_string oc (Causal.to_dot report));
+            Printf.printf "dot graph written to %s\n" path)
+          dot_out;
+        Option.iter
+          (fun path ->
+            E.write_artifact path (fun oc ->
+                output_string oc (Causal.to_json report));
+            Printf.printf "analysis JSON written to %s\n" path)
+          json_out;
+        Option.iter
+          (fun path ->
+            E.write_artifact path (fun oc ->
+                output_string oc (Causal.to_chrome report));
+            Printf.printf "chrome trace written to %s\n" path)
+          chrome_out;
+        if chaos_stall then begin
+          let wall = Int64.sub report.Causal.r_t1 report.Causal.r_t0 in
+          match Causal.dominant_lock report with
+          | Some (lock, cycles)
+            when Int64.compare wall 0L > 0
+                 && Int64.to_float cycles /. Int64.to_float wall >= 0.2 ->
+              let v =
+                {
+                  Invariant.invariant = Invariant.Lock_stall;
+                  subject = lock;
+                  detail =
+                    Printf.sprintf
+                      "wait edges on %s account for %Ld of %Ld \
+                       critical-path cycles (%.1f%%) — a single lock \
+                       dominates the path"
+                      lock cycles wall
+                      (100. *. Int64.to_float cycles /. Int64.to_float wall);
+                }
+              in
+              Printf.eprintf "explain: FAILED\n%s\n"
+                (Invariant.report [ v ]);
+              exit 1
+          | Some _ | None ->
+              (* The injection did not surface: a broken analyzer. CI
+                 runs this as a must-fail control, so a clean exit here
+                 is the caught regression. *)
+              Printf.printf
+                "chaos stall injected but no dominant wait edge found\n"
+        end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a workload with the causal collector armed and report why \
+          a fork window (or any interval) took as long as it did: the \
+          weighted critical path, span-level blame, and the top lock \
+          wait chains")
+    Term.(
+      const run $ system_arg $ experiment $ cores $ fork_n $ interval $ top
+      $ dot_out $ json_out $ chrome_out $ chaos_stall)
+
 (* profile: run an experiment with span attribution and print/export the
    folded-stack flamegraph plus per-span latency histograms. *)
 let profile_cmd =
@@ -470,9 +687,7 @@ let profile_cmd =
         end;
         (match flame_out with
         | Some path ->
-            let oc = open_out path in
-            output_string oc folded;
-            close_out oc;
+            E.write_artifact path (fun oc -> output_string oc folded);
             Printf.printf "flamegraph stacks written to %s\n" path
         | None ->
             print_newline ();
@@ -557,13 +772,12 @@ let stats_cmd =
         match csv_out with
         | None -> ()
         | Some path ->
-            let oc = open_out path in
-            List.iteri
-              (fun i tr ->
-                if i > 0 then output_char oc '\n';
-                output_string oc (Trace.samples_csv tr))
-              traces;
-            close_out oc;
+            E.write_artifact path (fun oc ->
+                List.iteri
+                  (fun i tr ->
+                    if i > 0 then output_char oc '\n';
+                    output_string oc (Trace.samples_csv tr))
+                  traces);
             let samples =
               List.fold_left
                 (fun acc tr -> acc + List.length (Trace.samples tr))
@@ -670,7 +884,7 @@ let lint_cmd =
       List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
       if findings = [] then
         Printf.printf
-          "lint: clean — %d rules (D1-D11) over lib/, bin/, bench/ (%d \
+          "lint: clean — %d rules (D1-D12) over lib/, bin/, bench/ (%d \
            files)\n"
           (List.length Rules.all)
           (List.length (Lint.tree_files root))
@@ -702,6 +916,6 @@ let () =
        (Cmd.group ~default info
           [
             redis_cmd; hello_cmd; faas_cmd; nginx_cmd; unixbench_cmd;
-            meter_cmd; trace_cmd; check_cmd; lint_cmd; profile_cmd;
-            stats_cmd; ablate_cmd;
+            meter_cmd; trace_cmd; check_cmd; explain_cmd; lint_cmd;
+            profile_cmd; stats_cmd; ablate_cmd;
           ]))

@@ -18,6 +18,7 @@ type t =
   | Copa_relocation
   | Data_race
   | Lock_order
+  | Lock_stall
 
 let all =
   [
@@ -38,6 +39,7 @@ let all =
     Copa_relocation;
     Data_race;
     Lock_order;
+    Lock_stall;
   ]
 
 let id = function
@@ -58,6 +60,7 @@ let id = function
   | Copa_relocation -> "L5"
   | Data_race -> "R1"
   | Lock_order -> "R2"
+  | Lock_stall -> "R3"
 
 let name = function
   | Refcount_mismatch -> "refcount-mismatch"
@@ -77,6 +80,7 @@ let name = function
   | Copa_relocation -> "copa-relocation"
   | Data_race -> "data-race"
   | Lock_order -> "lock-order"
+  | Lock_stall -> "lock-stall"
 
 let severity = function
   | Refcount_mismatch -> Error
@@ -96,6 +100,7 @@ let severity = function
   | Copa_relocation -> Critical
   | Data_race -> Critical
   | Lock_order -> Critical
+  | Lock_stall -> Error
 
 let describe = function
   | Refcount_mismatch ->
@@ -119,6 +124,8 @@ let describe = function
   | Lock_order ->
       "nested lock acquisitions follow one global order (cycle-free, \
        pt-shards ascending)"
+  | Lock_stall ->
+      "no single lock's wait edges dominate the interval's critical path"
 
 type violation = { invariant : t; subject : string; detail : string }
 

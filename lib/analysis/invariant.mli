@@ -71,9 +71,13 @@ type t =
           are taken in ascending index order. Flagged by the acquisition
           -graph checker ({!Lockdep}); the static mirror is lint rule
           D10. *)
+  | Lock_stall
+      (** R3: no single lock's wait edges dominate an analyzed
+          interval's critical path (the causal analyzer's stall alarm;
+          tripped deliberately by [explain --chaos-stall-shard]). *)
 
 val all : t list
-(** Catalogue order: S1–S10, L1–L5, then R1–R2. *)
+(** Catalogue order: S1–S10, L1–L5, then R1–R3. *)
 
 val id : t -> string
 (** ["S1"].."( S10"], ["L1"]..["L5"] — stable across releases. *)

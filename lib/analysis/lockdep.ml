@@ -168,7 +168,11 @@ let handle t (ev : Hb.event) =
       in
       let held = Option.value ~default:[] (Hashtbl.find_opt t.held tid) in
       Hashtbl.replace t.held tid (drop held)
-  | Hb.Spawn _ | Hb.Wake _ | Hb.Write _ -> ()
+  | Hb.Spawn _ | Hb.Wake _ | Hb.Write _
+  (* Causal-analysis events carry no hold-set information. *)
+  | Hb.Block _ | Hb.Contend _ | Hb.Handoff _ | Hb.Steal _ | Hb.Ipi _
+  | Hb.Span_open _ | Hb.Span_close _ ->
+      ()
 
 let attach t = Hb.subscribe (handle t)
 let detach () = Hb.unsubscribe ()

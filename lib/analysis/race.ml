@@ -134,6 +134,11 @@ let handle t (ev : Hb.event) =
       tick t tid;
       Hashtbl.replace t.writes loc
         { tid; epoch = Vclock.get (clock_of t tid) tid; site; held }
+  (* Causal-analysis events: no ordering semantics beyond what the
+     Spawn/Wake/Acquire/Release edges above already encode. *)
+  | Hb.Block _ | Hb.Contend _ | Hb.Handoff _ | Hb.Steal _ | Hb.Ipi _
+  | Hb.Span_open _ | Hb.Span_close _ ->
+      ()
 
 let races t = List.rev t.races
 let events_seen t = t.events

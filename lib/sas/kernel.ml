@@ -273,6 +273,22 @@ let chaos_acquire_shards_descending t =
   | Big _ | No_locks -> ()
 [@@ufork.lockdep_ignore]
 
+let chaos_stall_cycles = 150_000L
+
+let chaos_stall_shard t =
+  (* Chaos-only: grab pt-shard 0 — the shard covering the root process's
+     area — and sit on it for 150k cycles without charging anything (a
+     sleep passes wall time but no busy cycles, so Trace.audit is
+     unaffected). Every fork touching that shard then queues behind a
+     holder that is not even running. The causal analyzer must report
+     this lock as the dominant critical-path edge; the harness spawns it
+     on a rogue boot thread and asserts exactly that (R3). *)
+  match t.locks with
+  | Sharded s ->
+      Sync.Rlock.with_lock s.pt_shards.(0) (fun () ->
+          Engine.sleep chaos_stall_cycles)
+  | Big _ | No_locks -> ()
+
 (* Every mechanism event — cycles, counter bump, optional trace record —
    goes through the bus. Boot-time setup (and unit tests poking at the
    kernel directly) runs outside an engine thread; Trace.emit counts those

@@ -245,6 +245,18 @@ val chaos_acquire_shards_descending : t -> unit
     lock-order checker, the run must fail with exactly R2. No-op under
     the big lock or the lockless chaos mode (nothing to invert). *)
 
+val chaos_stall_cycles : int64
+(** How long {!chaos_stall_shard} sits on the shard. *)
+
+val chaos_stall_shard : t -> unit
+(** Chaos injection only: hold page-table shard 0 (the root process's
+    shard) for {!chaos_stall_cycles} of simulated time while sleeping —
+    a deliberate long stall that serializes every fork behind a
+    non-running holder. Must be called from an engine thread. Run under
+    the causal analyzer, the analysis must report this lock as the
+    dominant critical-path edge (R3). No-op when the kernel is not
+    sharded. *)
+
 val syscall_entry_cap : t -> Capability.t
 (** The sealed kernel entry capability every μprocess holds: invocable
     (that is the system call), never dereferenceable or unsealable by

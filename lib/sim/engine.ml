@@ -332,6 +332,8 @@ let exec t core thread resume =
               | Suspend register ->
                   Some
                     (fun k ->
+                      if Hb.on () then
+                        Hb.emit (Hb.Block { tid = thread.tid });
                       release_core thread;
                       t.blocked <- t.blocked + 1;
                       register { target = Some (t, thread, Cont k) })
@@ -428,7 +430,10 @@ let dispatch t =
                     if c.busy then idle (k + 1) else c
                   in
                   t.steals <- t.steals + 1;
-                  idle 1
+                  let c = idle 1 in
+                  if Hb.on () then
+                    Hb.emit (Hb.Steal { tid = thread.tid; core = c.index });
+                  c
                 end
           in
           exec t core thread resume
@@ -522,6 +527,9 @@ let current_core () = Effect.perform Get_core
 let current_name () = Effect.perform Get_name
 
 let waker_pending w = w.target <> None
+
+let waker_tid w =
+  match w.target with Some (_, thread, _) -> thread.tid | None -> -1
 
 let wake w =
   match w.target with

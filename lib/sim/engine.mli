@@ -124,3 +124,7 @@ val wake : waker -> unit
 val waker_pending : waker -> bool
 (** True until the waker has been used. Lets wait queues skip entries that
     were woken out of band (e.g. by signal delivery). *)
+
+val waker_tid : waker -> tid
+(** Tid of the thread a pending waker would resume, or [-1] once used.
+    Lets lock release publish the handoff target on the Hb bus. *)

@@ -66,6 +66,9 @@ module Lock = struct
        Hashtbl.replace t.wait_holders blocking_holder
          (1 + Option.value ~default:0
                 (Hashtbl.find_opt t.wait_holders blocking_holder));
+       if Hb.on () then
+         Hb.emit
+           (Hb.Contend { tid = Hb.tid (); lock = t.id; holder = blocking_holder });
        Engine.suspend (fun w -> Queue.push w t.queue)
      end);
     t.holder <- Hb.tid ();
@@ -79,6 +82,10 @@ module Lock = struct
     match Queue.take_opt t.queue with
     | Some w ->
         (* Ownership transfers directly to the woken thread. *)
+        if Hb.on () then
+          Hb.emit
+            (Hb.Handoff
+               { from_ = Hb.tid (); to_ = Engine.waker_tid w; lock = t.id });
         Engine.wake w
     | None -> t.held <- false
 

@@ -392,13 +392,19 @@ let with_span t ~name f =
     { path_id; agg = t.path_aggs.(path_id); parent; self = 0; child_total = 0 }
   in
   t.cache_top <- Some frame;
+  (* Span boundaries feed the causal analyzer's per-thread span-path
+     timeline. Free when the bus is disarmed: one bool read. *)
+  let module Hb = Ufork_util.Hb in
+  if Hb.on () then Hb.emit (Hb.Span_open { tid; name });
   match f () with
   | v ->
       close_frame t tid frame;
+      if Hb.on () then Hb.emit (Hb.Span_close { tid; name });
       v
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       close_frame t tid frame;
+      if Hb.on () then Hb.emit (Hb.Span_close { tid; name });
       Printexc.raise_with_backtrace e bt
 
 (* Attribute charged cycles to the innermost open span on this thread;
@@ -495,6 +501,13 @@ let emit t ?(pid = -1) event =
      there is no schedulable context to charge, mirroring the old
      boot-time charge path: count the event, skip the cycles. *)
   let tid = Engine.running_tid t.engine in
+  (* TLB-shootdown batches interrupt remote cores: a causal edge from the
+     initiator to every core it IPIs. Published here (not in the kernel)
+     so every shootdown flavour reports through one site. *)
+  (match event with
+  | Event.Tlb_shootdown remotes when Ufork_util.Hb.on () ->
+      Ufork_util.Hb.emit (Ufork_util.Hb.Ipi { by = tid; remotes })
+  | _ -> ());
   let charged = tid >= 0 && cost > 0L in
   let e = acc_entry t kid in
   e.units <- e.units + n;
@@ -704,18 +717,33 @@ let samples_csv t =
 let to_prometheus_string t =
   let b = Buffer.create 4096 in
   let esc = Event.json_escape in
+  (* Exposition-format discipline: every family gets a # HELP line and a
+     # TYPE line immediately before its samples — scrapers (and the unit
+     test pinning this grammar) reject bare families. *)
+  Buffer.add_string b
+    "# HELP ufork_cycles_total Simulated cycles charged through the event \
+     bus over the run.\n";
   Buffer.add_string b "# TYPE ufork_cycles_total counter\n";
   Buffer.add_string b
     (Printf.sprintf "ufork_cycles_total %Ld\n" (Int64.of_int t.total_cycles));
+  Buffer.add_string b
+    "# HELP ufork_trace_dropped_records Mechanism records evicted by ring \
+     overflow (nonzero means the recorded stream is truncated).\n";
   Buffer.add_string b "# TYPE ufork_trace_dropped_records gauge\n";
   Buffer.add_string b
     (Printf.sprintf "ufork_trace_dropped_records %d\n" t.dropped);
+  Buffer.add_string b
+    "# HELP ufork_meter Named mechanism event counts (forks, faults, \
+     shootdowns, ...).\n";
   Buffer.add_string b "# TYPE ufork_meter counter\n";
   List.iter
     (fun (k, v) ->
       Buffer.add_string b
         (Printf.sprintf "ufork_meter{key=\"%s\"} %d\n" (esc k) v))
     (Meter.to_list t.meter);
+  Buffer.add_string b
+    "# HELP ufork_span_self_cycles Cycles charged while a span path was the \
+     innermost open span (self time, not inclusive).\n";
   Buffer.add_string b "# TYPE ufork_span_self_cycles counter\n";
   List.iter
     (fun st ->
@@ -724,6 +752,9 @@ let to_prometheus_string t =
            (esc (String.concat ";" st.span_path))
            st.span_self))
     (span_totals t);
+  Buffer.add_string b
+    "# HELP ufork_span_cycles Per-completion inclusive span latency, in \
+     cycles, by span name.\n";
   Buffer.add_string b "# TYPE ufork_span_cycles histogram\n";
   List.iter
     (fun (name, h) ->

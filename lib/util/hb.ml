@@ -29,6 +29,26 @@ type event =
   | Acquire of { tid : int; lock : int }
   | Release of { tid : int; lock : int }
   | Write of { tid : int; loc : loc; site : string }
+  | Block of { tid : int }
+      (** the thread suspended (lock wait, condition wait, sleep); the
+          causal analyzer uses this as the wait-segment start *)
+  | Contend of { tid : int; lock : int; holder : int }
+      (** [tid] found [lock] held by [holder] and is about to suspend;
+          emitted just before the matching [Block] *)
+  | Handoff of { from_ : int; to_ : int; lock : int }
+      (** direct lock-ownership transfer on release: the very next
+          [Wake] of [to_] delivers [lock]. A causal edge, not an
+          ordering primitive — the detector's ordering comes from the
+          Release/Acquire pair. *)
+  | Steal of { tid : int; core : int }
+      (** work stealing re-homed [tid] onto [core] (emitted by the
+          dispatcher, outside any thread context) *)
+  | Ipi of { by : int; remotes : int }
+      (** a TLB-shootdown batch: [by] interrupts [remotes] remote cores *)
+  | Span_open of { tid : int; name : string }
+      (** a trace span opened on [tid] (span-boundary hook; [name] is
+          the span's own segment, not the full stack path) *)
+  | Span_close of { tid : int; name : string }
 
 (* The engine installs the provider once at link time; outside any
    simulated thread (boot, direct poking from unit tests) it returns a

@@ -21,6 +21,20 @@ type event =
   | Acquire of { tid : int; lock : int }
   | Release of { tid : int; lock : int }
   | Write of { tid : int; loc : loc; site : string }
+  | Block of { tid : int }
+      (** the thread suspended (lock wait, condition wait, sleep) *)
+  | Contend of { tid : int; lock : int; holder : int }
+      (** [tid] found [lock] held by [holder]; a [Block] follows *)
+  | Handoff of { from_ : int; to_ : int; lock : int }
+      (** direct ownership transfer: the next [Wake { target = to_ }]
+          delivers [lock] *)
+  | Steal of { tid : int; core : int }
+      (** work stealing re-homed [tid] onto [core] *)
+  | Ipi of { by : int; remotes : int }
+      (** TLB-shootdown batch interrupting [remotes] remote cores *)
+  | Span_open of { tid : int; name : string }
+      (** trace span boundary (one path segment, innermost name only) *)
+  | Span_close of { tid : int; name : string }
 
 val set_tid_provider : (unit -> int) -> unit
 (** Installed once by the engine: the current simulated thread id, or a

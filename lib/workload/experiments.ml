@@ -24,6 +24,7 @@ module Hello = Ufork_apps.Hello
 module Checker = Ufork_analysis.Checker
 module Race = Ufork_analysis.Race
 module Lockdep = Ufork_analysis.Lockdep
+module Causal = Ufork_analysis.Causal
 module Invariant = Ufork_analysis.Invariant
 
 type system =
@@ -138,6 +139,22 @@ let set_chaos_invert_shard_order on = chaos_invert_shard_order := on
 let race_detector : Race.t option ref = ref None
 let lockdep_checker : Lockdep.t option ref = ref None
 
+(* {2 Causal tracing}
+
+   With [causal_trace] set, every boot arms a fresh causal collector
+   ({!Causal}) on the same bus subscription; the front end reads it back
+   through [causal_graph] after the run for critical-path analysis.
+   [chaos_stall_shard] is its fault injection: a rogue boot thread
+   holds pt-shard 0 across a long sleep, and the analysis must report
+   that lock as the dominant critical-path edge (R3). *)
+
+let causal_trace = ref false
+let set_causal_trace on = causal_trace := on
+let chaos_stall = ref false
+let set_chaos_stall_shard on = chaos_stall := on
+let causal_collector : Causal.t option ref = ref None
+let causal_graph () = !causal_collector
+
 (* {2 Domain-parallel sweeps}
 
    [parmap] fans one experiment per sweep point out over OCaml domains.
@@ -160,6 +177,7 @@ let parallel_unsafe () =
   || Option.is_some !sample_interval
   || !race_detect || !lockdep_detect || !chaos_no_bkl || !chaos_unshard
   || !chaos_invert_shard_order
+  || !causal_trace || !chaos_stall
 
 let parmap ~jobs f items =
   let jobs = if parallel_unsafe () then 1 else max 1 jobs in
@@ -213,20 +231,32 @@ let register_trace tr =
 let traced_dropped () =
   List.fold_left (fun acc tr -> acc + Trace.dropped tr) 0 !traced
 
+(* Artifact writes create missing parents and turn filesystem failures
+   into a clean one-line error — the harness front ends (CLI, bench)
+   must never surface a Sys_error backtrace for a bad out-path. *)
+let write_artifact path f =
+  match Ufork_util.Fsout.with_out path f with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      exit 1
+
 (* Rewrite the sink from all traces so far; called after every run so the
    file is complete whenever the harness stops. *)
 let flush_trace () =
   (match !trace_sink with
   | None -> ()
   | Some (path, format) ->
-      let oc = open_out path in
-      (match format with
-      | Jsonl ->
-          List.iter (fun tr -> output_string oc (Trace.to_jsonl_string tr)) !traced
-      | Chrome ->
-          output_string oc
-            (Trace.chrome_of_records (List.concat_map Trace.records !traced)));
-      close_out oc;
+      write_artifact path (fun oc ->
+          match format with
+          | Jsonl ->
+              List.iter
+                (fun tr -> output_string oc (Trace.to_jsonl_string tr))
+                !traced
+          | Chrome ->
+              output_string oc
+                (Trace.chrome_of_records
+                   (List.concat_map Trace.records !traced)));
       (* The ring drops oldest-first on overflow; a truncated artifact
          must say so rather than pass for a complete recording. *)
       let dropped = traced_dropped () in
@@ -242,9 +272,10 @@ let flush_trace () =
   match !profile_sink with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
-      List.iter (fun tr -> output_string oc (Trace.folded_stacks tr)) !profiled;
-      close_out oc
+      write_artifact path (fun oc ->
+          List.iter
+            (fun tr -> output_string oc (Trace.folded_stacks tr))
+            !profiled)
 
 (* The accounting invariant, checked after every experiment run: the
    engine's lifetime busy cycles must equal the cycles charged through the
@@ -313,17 +344,28 @@ let boot ?(cores = 4) ?config system =
      must not outlive it — disarm and drop both. *)
   let rd = if !race_detect then Some (Race.create ()) else None in
   let ld = if !lockdep_detect then Some (Lockdep.create ()) else None in
+  let cd = if !causal_trace then Some (Causal.create ()) else None in
   race_detector := rd;
   lockdep_checker := ld;
-  (match (rd, ld) with
-  | None, None -> Ufork_util.Hb.unsubscribe ()
-  | Some d, None -> Race.attach d
-  | None, Some d -> Lockdep.attach d
-  | Some r, Some l ->
-      Ufork_util.Hb.subscribe (fun ev ->
-          Race.handle r ev;
-          Lockdep.handle l ev));
+  causal_collector := cd;
+  let handlers =
+    List.filter_map Fun.id
+      [
+        Option.map (fun d ev -> Race.handle d ev) rd;
+        Option.map (fun d ev -> Lockdep.handle d ev) ld;
+        Option.map (fun d ev -> Causal.handle d ev) cd;
+      ]
+  in
+  (match handlers with
+  | [] -> Ufork_util.Hb.unsubscribe ()
+  | [ h ] -> Ufork_util.Hb.subscribe h
+  | hs -> Ufork_util.Hb.subscribe (fun ev -> List.iter (fun h -> h ev) hs));
   let b = boot_raw ~cores ?config system in
+  (* Boot-time events were stamped 0 (correct: the engine starts there);
+     everything after reads the machine's clock. *)
+  Option.iter
+    (fun c -> Causal.set_now c (fun () -> Engine.now b.engine))
+    cd;
   register_trace (Kernel.trace b.kernel);
   (match !sample_interval with
   | Some interval -> Kernel.enable_stat_sampling b.kernel ~interval
@@ -355,6 +397,15 @@ let boot ?(cores = 4) ?config system =
     ignore
       (Engine.spawn b.engine ~name:"chaos-shard-invert" (fun () ->
            Kernel.chaos_acquire_shards_descending b.kernel));
+  if !chaos_stall then
+    (* The causal-analyzer control: a rogue boot thread camps on
+       pt-shard 0 across a long sleep. Spawned before any workload
+       thread, it wins the shard while free; every fork touching shard 0
+       then queues behind a sleeping holder, and the analysis must name
+       this lock as the dominant critical-path edge. *)
+    ignore
+      (Engine.spawn b.engine ~name:"chaos-stall-shard" (fun () ->
+           Kernel.chaos_stall_shard b.kernel));
   b
 
 let child_private_mb b pid =

@@ -43,6 +43,12 @@ val traced_dropped : unit -> int
     on the current sink — nonzero means the written file is truncated
     (oldest records first). *)
 
+val write_artifact : string -> (out_channel -> unit) -> unit
+(** Write one output artifact via {!Ufork_util.Fsout.with_out}: missing
+    parent directories are created, and a filesystem failure prints a
+    clean one-line error and exits 1 — no backtrace. Shared by the trace
+    and profile sinks here and the CLI/bench front ends. *)
+
 (** {1 Profiling options} *)
 
 val set_profile_out : string option -> unit
@@ -105,6 +111,27 @@ val set_chaos_invert_shard_order : bool -> unit
     ({!Ufork_sas.Kernel.chaos_acquire_shards_descending}). With
     {!set_lockdep_detect} the run must fail with exactly R2. No-op
     under the big-kernel-lock regime (no shards to invert). *)
+
+(** {1 Causal tracing} *)
+
+val set_causal_trace : bool -> unit
+(** Arm the causal collector ({!Ufork_analysis.Causal}) on every machine
+    booted from now on; read it back with {!causal_graph} after the run
+    for critical-path analysis. Composes with the detectors above over
+    the one bus subscription. *)
+
+val causal_graph : unit -> Ufork_analysis.Causal.t option
+(** The collector armed at the most recent {!boot}, if any. *)
+
+val set_chaos_stall_shard : bool -> unit
+(** Fault injection for the causal analyzer: every subsequent boot
+    spawns one rogue thread that holds page-table shard 0 across a long
+    sleep ({!Ufork_sas.Kernel.chaos_stall_shard}). Under a concurrent
+    fork workload with {!set_causal_trace}, the analysis must find a
+    dominant wait edge on the critical path and fail with R3 — the
+    reported lock may be downstream of the injected shard (the stall
+    convoys every forker onto the process-table lock). No-op when the
+    kernel is not sharded. *)
 
 (** {1 Domain-parallel sweeps} *)
 

@@ -1,0 +1,8 @@
+(* False-positive control for D12: consuming the bus is open to
+   everyone — subscribing a handler, polling the arming state, and
+   reading the current thread id are not publications. A banned name in
+   a comment (Hb.emit) must not fire either. *)
+
+let watch handler = Ufork_util.Hb.subscribe handler
+let armed () = Ufork_util.Hb.on ()
+let me () = Ufork_util.Hb.tid ()

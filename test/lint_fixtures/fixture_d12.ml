@@ -1,0 +1,6 @@
+(* Seeds exactly one D12 (hb-publish-discipline) violation: a workload
+   publishing a fabricated ordering fact straight onto the bus — the
+   race detector, lockdep and the causal analyzer would all take it as
+   ground truth. *)
+
+let fake_wake target = Ufork_util.Hb.emit (Ufork_util.Hb.Wake { by = 0; target })

@@ -15,11 +15,11 @@ let all_ids =
   [ "S1"; "S2"; "S3"; "S4"; "S5"; "S6"; "S7"; "S8"; "S9"; "S10";
     "L1"; "L2"; "L3"; "L4"; "L5" ]
 
-(* R1 (data-race) and R2 (lock-order) close the catalogue; their chaos
-   scenarios are dynamic (runs under [--chaos-no-bkl] and
-   [--chaos-invert-shard-order]), so they live outside
-   [Chaos.scenarios]. *)
-let catalogue_ids = all_ids @ [ "R1"; "R2" ]
+(* R1 (data-race), R2 (lock-order) and R3 (lock-stall) close the
+   catalogue; their chaos scenarios are dynamic (runs under
+   [--chaos-no-bkl], [--chaos-invert-shard-order] and
+   [--chaos-stall-shard]), so they live outside [Chaos.scenarios]. *)
+let catalogue_ids = all_ids @ [ "R1"; "R2"; "R3" ]
 
 let test_catalogue () =
   Alcotest.(check (list string)) "stable ids" catalogue_ids

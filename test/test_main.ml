@@ -14,6 +14,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("race", Test_race.suite);
       ("lockdep", Test_lockdep.suite);
+      ("causal", Test_causal.suite);
       ("lint", Test_lint.suite);
       ("profile", Test_profile.suite);
       ("integration", Test_integration.suite);

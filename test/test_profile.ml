@@ -107,6 +107,67 @@ let prop_merge_vs_reference =
           = Histogram.bucket_bounds (reference_quantile pooled p))
         ps)
 
+(* Merge edge cases the qcheck generators rarely land on: both sides
+   empty, one side empty, and counts meeting in the top (2^63 .. max)
+   bucket, where the bucket upper bound saturates at [Int64.max_int]. *)
+let test_merge_edges () =
+  let e1 = Histogram.create () and e2 = Histogram.create () in
+  let m = Histogram.merge e1 e2 in
+  Alcotest.(check bool) "empty+empty is empty" true (Histogram.is_empty m);
+  Alcotest.(check int64) "empty+empty quantile" 0L (Histogram.quantile m 0.5);
+  Alcotest.(check (list (triple int64 int64 int))) "empty+empty buckets" []
+    (Histogram.to_buckets m);
+  let h = of_values [ 3; 17; 4096 ] in
+  Alcotest.(check bool) "empty is a left identity" true
+    (hist_eq h (Histogram.merge (Histogram.create ()) h));
+  Alcotest.(check bool) "empty is a right identity" true
+    (hist_eq h (Histogram.merge h (Histogram.create ())));
+  let below_top = Int64.add (Int64.shift_left 1L 61) 5L in
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a Int64.max_int;
+  Histogram.record b below_top;
+  Histogram.record b Int64.max_int;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "overflow-bucket count" 3 (Histogram.count m);
+  Alcotest.(check int64) "overflow-bucket max" Int64.max_int
+    (Histogram.max_value m);
+  Alcotest.(check int64) "overflow-bucket min" below_top
+    (Histogram.min_value m);
+  Alcotest.(check int64) "overflow-bucket p100" Int64.max_int
+    (Histogram.quantile m 1.);
+  match List.rev (Histogram.to_buckets m) with
+  | (lo, hi, n) :: _ ->
+      (* The last reachable bucket: [2^62 .. max_int], its upper bound
+         saturated rather than wrapped. *)
+      Alcotest.(check int64) "top bucket lo" (Int64.shift_left 1L 62) lo;
+      Alcotest.(check int64) "top bucket hi saturates" Int64.max_int hi;
+      Alcotest.(check int) "top bucket holds both max values" 2 n
+  | [] -> Alcotest.fail "no buckets after merge"
+
+(* Betweenness: a pooled quantile can never leave the interval spanned
+   by the two inputs' quantiles at the same p. Resolved at bucket
+   granularity — that is the precision {!Histogram.quantile} promises
+   (the raw value can read the shared bucket's upper bound, which may
+   exceed one input's clamped answer). Empty inputs are fine: their
+   quantile reads 0 and the merge equals the other side. *)
+let prop_merge_quantile_between =
+  QCheck.Test.make ~name:"histogram: merged quantile between the inputs'"
+    ~count:200
+    QCheck.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      let a = of_values xs and b = of_values ys in
+      let m = Histogram.merge a b in
+      let bucket q = fst (Histogram.bucket_bounds q) in
+      List.for_all
+        (fun p ->
+          let qa = bucket (Histogram.quantile a p)
+          and qb = bucket (Histogram.quantile b p)
+          and qm = bucket (Histogram.quantile m p) in
+          let lo = if Int64.compare qa qb <= 0 then qa else qb
+          and hi = if Int64.compare qa qb <= 0 then qb else qa in
+          Int64.compare lo qm <= 0 && Int64.compare qm hi <= 0)
+        ps)
+
 let test_histogram_exact () =
   let h = of_values [ 0; 1; 2; 3; 1000 ] in
   Alcotest.(check int) "count" 5 (Histogram.count h);
@@ -286,6 +347,118 @@ let boot_sys = function
   | "nephele" -> Vmclone.system (Vmclone.boot ~cores:4 ())
   | s -> invalid_arg s
 
+(* Strict exposition-format grammar over a real run's export: every
+   line is # HELP, # TYPE, or a sample; each family announces HELP then
+   TYPE (in that order, once) before any of its samples; histogram
+   families own their _bucket/_sum/_count sample names; sample values
+   parse as numbers. A scrape of the hello workload exercises all five
+   families. *)
+let test_prometheus_grammar () =
+  let sys = boot_sys "ufork-copa" in
+  ignore
+    (System.start sys ~image:Image.hello (fun api ->
+         ignore (Hello.fork_once api);
+         Hello.reap api));
+  System.run sys;
+  let prom = Trace.to_prometheus_string (System.trace sys) in
+  let lines = String.split_on_char '\n' prom in
+  (match List.rev lines with
+  | "" :: _ -> ()
+  | _ -> Alcotest.fail "export must end in a newline");
+  let lines = List.filter (fun l -> l <> "") lines in
+  let helped = Hashtbl.create 8 and typed = Hashtbl.create 8 in
+  let prefix p s =
+    String.length s >= String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  let words s = String.split_on_char ' ' s in
+  (* A sample's family: its metric name, except that a histogram TYPE
+     declaration also claims the name_bucket/_sum/_count series. *)
+  let family_of_sample name =
+    let strip suf =
+      let ls = String.length suf and ln = String.length name in
+      if ln > ls && String.sub name (ln - ls) ls = suf then
+        Some (String.sub name 0 (ln - ls))
+      else None
+    in
+    let histo f =
+      match Hashtbl.find_opt typed f with Some "histogram" -> Some f | _ -> None
+    in
+    match List.find_map
+            (fun suf -> Option.bind (strip suf) histo)
+            [ "_bucket"; "_sum"; "_count" ]
+    with
+    | Some f -> f
+    | None -> name
+  in
+  List.iter
+    (fun line ->
+      if prefix "# HELP " line then (
+        match words line with
+        | "#" :: "HELP" :: fam :: (_ :: _ as text) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "HELP %s only once" fam)
+              false (Hashtbl.mem helped fam);
+            Alcotest.(check bool)
+              (Printf.sprintf "HELP %s before TYPE" fam)
+              false (Hashtbl.mem typed fam);
+            Alcotest.(check bool) "HELP text non-empty" true
+              (String.trim (String.concat " " text) <> "");
+            Hashtbl.replace helped fam ()
+        | _ -> Alcotest.failf "malformed HELP line %S" line)
+      else if prefix "# TYPE " line then (
+        match words line with
+        | [ "#"; "TYPE"; fam; kind ] ->
+            Alcotest.(check bool)
+              (Printf.sprintf "TYPE %s only once" fam)
+              false (Hashtbl.mem typed fam);
+            Alcotest.(check bool)
+              (Printf.sprintf "TYPE %s follows its HELP" fam)
+              true (Hashtbl.mem helped fam);
+            Alcotest.(check bool)
+              (Printf.sprintf "TYPE %s kind %s" fam kind)
+              true
+              (List.mem kind [ "counter"; "gauge"; "histogram" ]);
+            Hashtbl.replace typed fam kind
+        | _ -> Alcotest.failf "malformed TYPE line %S" line)
+      else if prefix "#" line then Alcotest.failf "stray comment %S" line
+      else
+        match words line with
+        | [ metric; value ] ->
+            let name =
+              match String.index_opt metric '{' with
+              | Some i ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "labels close on %S" metric)
+                    true
+                    (metric.[String.length metric - 1] = '}');
+                  String.sub metric 0 i
+              | None -> metric
+            in
+            let fam = family_of_sample name in
+            Alcotest.(check bool)
+              (Printf.sprintf "sample %s after its TYPE" name)
+              true (Hashtbl.mem typed fam);
+            Alcotest.(check bool)
+              (Printf.sprintf "value %S parses" value)
+              true
+              (Option.is_some (float_of_string_opt value))
+        | _ -> Alcotest.failf "malformed sample line %S" line)
+    lines;
+  List.iter
+    (fun (fam, kind) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "family %s declared" fam)
+        (Some kind) (Hashtbl.find_opt typed fam))
+    [
+      ("ufork_cycles_total", "counter");
+      ("ufork_trace_dropped_records", "gauge");
+      ("ufork_meter", "counter");
+      ("ufork_span_self_cycles", "counter");
+      ("ufork_span_cycles", "histogram");
+    ];
+  Alcotest.(check int) "exactly the five families" 5 (Hashtbl.length typed)
+
 let test_system_profile label () =
   let sys = boot_sys label in
   ignore
@@ -320,7 +493,11 @@ let suite =
     qt prop_merge_commutative;
     qt prop_merge_associative;
     qt prop_merge_vs_reference;
+    qt prop_merge_quantile_between;
+    Alcotest.test_case "histogram merge edge cases" `Quick test_merge_edges;
     Alcotest.test_case "histogram exact stats" `Quick test_histogram_exact;
+    Alcotest.test_case "prometheus line grammar" `Quick
+      test_prometheus_grammar;
     Alcotest.test_case "span attribution + audit" `Quick test_span_attribution;
     Alcotest.test_case "span exception safety" `Quick
       test_span_exception_safety;

@@ -53,6 +53,11 @@ let charging_targets =
 let string_keyed_targets =
   [ [ "Meter"; "incr" ]; [ "Meter"; "add" ]; [ "Meter"; "set" ] ]
 
+(* The causal-fact publisher (D12): one banned name, because every
+   ordering fact flows through it. Subscribing/reading stays open —
+   analyzers and front ends consume anywhere. *)
+let hb_publish_targets = [ [ "Hb"; "emit" ] ]
+
 let page_copy_targets = [ [ "Page"; "read_bytes" ]; [ "Page"; "write_bytes" ] ]
 let fork_dup_targets = [ [ "Fdtable"; "dup_all" ] ]
 let biglock_targets = [ [ "Kernel"; "with_biglock" ] ]
@@ -168,6 +173,10 @@ let check_ident ctx loc path =
   banned Lint_rules.string_keyed_emission string_keyed_targets
     "intern the key once (Meter.intern) and emit through the typed event \
      bus; the string-keyed mutators re-hash per call";
+  banned Lint_rules.hb_publish hb_publish_targets
+    "only the mechanism layers publish ordering facts; record what \
+     happened through their APIs (Sync, Engine, Trace spans) instead of \
+     emitting directly";
   banned Lint_rules.page_copy page_copy_targets
     "use Memops.copy_range / Memops.duplicate_frame";
   banned Lint_rules.fork_dup fork_dup_targets

@@ -8,7 +8,7 @@
    the mechanism", never a blanket opt-out. *)
 
 type t = {
-  id : string;  (* stable short id: "D1".."D11", "E0" *)
+  id : string;  (* stable short id: "D1".."D12", "E0" *)
   name : string;  (* kebab-case slug *)
   severity : string;  (* "critical" | "error" — mirrors Invariant.severity *)
   summary : string;  (* one line, shown next to findings *)
@@ -179,6 +179,27 @@ let string_keyed_emission =
     applies = (fun p -> in_scanned p && not (under "lib/sim/" p));
   }
 
+let hb_publish =
+  {
+    id = "D12";
+    name = "hb-publish-discipline";
+    severity = "error";
+    summary =
+      "Hb.emit publishes ordering facts (wake, contend, hand-off, span \
+       boundaries) that the race detector, lockdep and the causal \
+       analyzer all consume as ground truth; only the mechanism layers \
+       (lib/sim, lib/util, lib/sas, lib/mem) may emit — a workload or \
+       front-end emission fabricates causal history the analyzers will \
+       faithfully mis-report";
+    applies =
+      (fun p ->
+        in_scanned p
+        && (not (under "lib/sim/" p))
+        && (not (under "lib/util/" p))
+        && (not (under "lib/sas/" p))
+        && not (under "lib/mem/" p));
+  }
+
 let parse_error =
   {
     id = "E0";
@@ -192,4 +213,5 @@ let all =
   [
     charging; page_copy; fork_dup; gauge_key; wall_clock; hashtbl_order;
     poly_compare; obj_magic; biglock; lockdep; string_keyed_emission;
+    hb_publish;
   ]
