@@ -381,8 +381,52 @@ let check_cmd =
              $(b,--lockdep) the check must fail with exactly R2 — the \
              control certifying the order checker is live.")
   in
+  let capflow =
+    Arg.(
+      value & flag
+      & info [ "capflow" ]
+          ~doc:
+            "Also arm the capability-provenance taint checker: every \
+             tagged capability reachable in a μprocess's pages must carry \
+             that μprocess's provenance — rebased or freshly minted for \
+             it, never the kernel root's (invariant R4). Checked on the \
+             capability store/load stream, at every fork completion, and \
+             in the final state sweep.")
+  in
+  let chaos_skip_rebase =
+    Arg.(
+      value & flag
+      & info [ "chaos-skip-rebase" ]
+          ~doc:
+            "Fault injection: the next fork silently skips the rebase of \
+             one capability, leaving a parent-provenance capability in \
+             the child's pages. With $(b,--capflow) the check must fail \
+             with exactly R4 at the fork window's closing edge.")
+  in
+  let chaos_heap_smuggle =
+    Arg.(
+      value & flag
+      & info [ "chaos-heap-smuggle" ]
+          ~doc:
+            "Fault injection: the next fork carries one parent capability \
+             across in an OCaml-heap cell — invisible to the tag scan and \
+             discharged from the static rule D13 — and raw-stores it into \
+             the child. Only the runtime side can catch it: with \
+             $(b,--capflow) the check must fail with exactly R4.")
+  in
+  let chaos_leak_root =
+    Arg.(
+      value & flag
+      & info [ "chaos-leak-root" ]
+          ~doc:
+            "Fault injection: a rogue boot thread stores the kernel's \
+             root capability into a running μprocess's GOT. With \
+             $(b,--capflow) the check must fail with exactly R4 (root \
+             provenance reachable from user pages).")
+  in
   let run system experiment check_cores race chaos_no_bkl chaos_unshard
-      lockdep chaos_invert_shard_order =
+      lockdep chaos_invert_shard_order capflow chaos_skip_rebase
+      chaos_heap_smuggle chaos_leak_root =
     let module Checker = Ufork_analysis.Checker in
     (* Record the event stream even without a trace sink so the protocol
        linter (L1-L5) has something to replay; the state sweep (S1-S10)
@@ -394,6 +438,10 @@ let check_cmd =
     E.set_chaos_no_bkl chaos_no_bkl;
     E.set_chaos_unshard chaos_unshard;
     E.set_chaos_invert_shard_order chaos_invert_shard_order;
+    E.set_capflow_detect capflow;
+    E.set_chaos_skip_rebase chaos_skip_rebase;
+    E.set_chaos_heap_smuggle chaos_heap_smuggle;
+    E.set_chaos_leak_root chaos_leak_root;
     E.set_default_cores check_cores;
     let name =
       match experiment with
@@ -424,11 +472,12 @@ let check_cmd =
           (E.system_label system) msg;
         exit 1);
     Printf.printf
-      "check %s on %s: clean — state invariants S1-S10, protocol rules \
-       L1-L5%s%s, cycle accounting\n"
+      "check %s on %s: clean — state invariants S1-S11, protocol rules \
+       L1-L5%s%s%s, cycle accounting\n"
       name (E.system_label system)
       (if race then ", race detection R1" else "")
       (if lockdep then ", lock-order R2" else "")
+      (if capflow then ", cap-provenance R4" else "")
   in
   Cmd.v
     (Cmd.info "check"
@@ -437,7 +486,8 @@ let check_cmd =
           protocol linter; non-zero exit on any violation")
     Term.(
       const run $ system_arg $ experiment $ check_cores $ race $ chaos_no_bkl
-      $ chaos_unshard $ lockdep $ chaos_invert_shard_order)
+      $ chaos_unshard $ lockdep $ chaos_invert_shard_order $ capflow
+      $ chaos_skip_rebase $ chaos_heap_smuggle $ chaos_leak_root)
 
 (* explain: run a workload with the causal collector armed, then compute
    and report the critical path of a fork window (or any interval) —
@@ -823,13 +873,14 @@ let lint_cmd =
   let module Rules = Ufork_lint_core.Lint_rules in
   let module Lint = Ufork_lint_core.Lint_engine in
   let module Lockdep = Ufork_lint_core.Lockdep in
+  let module Capflow = Ufork_lint_core.Capflow in
   let root =
     Arg.(
       value & pos 0 dir "."
       & info [] ~docv:"ROOT"
           ~doc:
             "Repository root to lint; scans every .ml/.mli under \
-             $(docv)/lib, $(docv)/bin and $(docv)/bench.")
+             $(docv)/lib, $(docv)/bin, $(docv)/bench and $(docv)/tools.")
   in
   let json =
     Arg.(
@@ -844,6 +895,14 @@ let lint_cmd =
             "Print the rule catalogue (id, severity, one-line description) \
              and exit.")
   in
+  let md =
+    Arg.(
+      value & flag
+      & info [ "md" ]
+          ~doc:
+            "With $(b,--list): emit the catalogue as a markdown table (the \
+             one checked into DESIGN.md).")
+  in
   let lock_graph =
     Arg.(
       value
@@ -854,13 +913,9 @@ let lint_cmd =
              the D10 analysis — hierarchy, inferred and declared edges — \
              as $(docv): dot (Graphviz) or json.")
   in
-  let run root json list_rules lock_graph =
+  let run root json list_rules md lock_graph =
     if list_rules then begin
-      List.iter
-        (fun (r : Rules.t) ->
-          Printf.printf "%s %-28s [%s] %s\n" r.Rules.id r.Rules.name
-            r.Rules.severity r.Rules.summary)
-        Rules.all;
+      Rules.print_catalogue ~md ();
       exit 0
     end;
     (match lock_graph with
@@ -877,15 +932,16 @@ let lint_cmd =
         (fun (a : Lint.finding) b ->
           compare (a.Lint.file, a.Lint.line, a.Lint.col)
             (b.Lint.file, b.Lint.line, b.Lint.col))
-        (Lint.lint_tree root @ Lockdep.analyze_tree root)
+        (Lint.lint_tree root @ Lockdep.analyze_tree root
+        @ Capflow.analyze_tree root)
     in
     if json then print_endline (Lint.to_json findings)
     else begin
       List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
       if findings = [] then
         Printf.printf
-          "lint: clean — %d rules (D1-D12) over lib/, bin/, bench/ (%d \
-           files)\n"
+          "lint: clean — %d rules (D1-D13) over lib/, bin/, bench/, tools/ \
+           (%d files)\n"
           (List.length Rules.all)
           (List.length (Lint.tree_files root))
     end;
@@ -897,7 +953,7 @@ let lint_cmd =
          "Statically lint the simulator sources against the discipline \
           catalogue (charging, memops, fork spine, gauge keys, \
           determinism, lock order); non-zero exit on any finding")
-    Term.(const run $ root $ json $ list_rules $ lock_graph)
+    Term.(const run $ root $ json $ list_rules $ md $ lock_graph)
 
 let default =
   Term.(

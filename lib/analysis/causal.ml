@@ -191,7 +191,9 @@ let handle t (ev : Hb.event) =
             s.fork_open <- None;
             t.forks_rev <- (tid, t0, t.now ()) :: t.forks_rev
         | None -> ())
-  | Hb.Acquire _ | Hb.Release _ | Hb.Write _ -> ()
+  | Hb.Acquire _ | Hb.Release _ | Hb.Write _ | Hb.Cap_store _ | Hb.Cap_load _
+    ->
+      ()
 
 (* {2 Analysis} *)
 

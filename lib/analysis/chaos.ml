@@ -135,11 +135,33 @@ let scenarios =
         Phys.chaos_skew_in_use (Kernel.phys k) 3);
     state "S10-cross-area-cap" Invariant.Cross_area_cap (fun k u1 u2 ->
         (* A capability in pid 1's memory granting access to pid 2's
-           area — the isolation breach μFork's relocation must prevent. *)
+           area — the isolation breach μFork's relocation must prevent.
+           The two processes are unrelated, so this is the generic S10
+           direction, not the parent→child S11 split. *)
         Page.store_cap
           (Phys.page (data_pte u1).Pte.frame)
           ~off:0
           (user_cap k ~base:u2.Uproc.area_base ~length:64));
+    {
+      name = "S11-parent-cap-into-child";
+      expected = Invariant.Parent_child_leak;
+      detect =
+        (fun () ->
+          (* The reverse-direction fork leak: a page of the *parent*
+             still holds authority over its child's area after fork.
+             The parent relation is what turns the generic cross-area
+             report into S11. *)
+          let k, u1, _ = sas_machine () in
+          let child =
+            Kernel.create_uproc k ~parent:u1 ~image:Image.hello ()
+          in
+          Kernel.map_initial_image k child;
+          Page.store_cap
+            (Phys.page (data_pte u1).Pte.frame)
+            ~off:0
+            (user_cap k ~base:child.Uproc.area_base ~length:64);
+          Checker.sweep k);
+    };
     protocol "L1-unresolved-cow" Invariant.Cow_protocol
       [ (1, Event.Page_fault); (1, Event.Cow_write_fault) ];
     protocol "L2-unresolved-copa" Invariant.Copa_protocol

@@ -64,6 +64,12 @@ let sweep k =
   let area_of_addr addr =
     List.find_opt (fun (b, s, _) -> addr >= b && addr < b + s) areas
   in
+  (* pid -> parent pid, for the S10/S11 direction split. *)
+  let parent_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Kernel.fold_uprocs k ~init:() ~f:(fun () (u : Uproc.t) ->
+      match u.Uproc.parent_pid with
+      | Some p -> Hashtbl.replace parent_of u.Uproc.pid p
+      | None -> ());
   let area_holding_cap cap =
     List.find_opt
       (fun (b, s, _) -> Capability.in_range cap ~lo:b ~hi:(b + s))
@@ -191,15 +197,43 @@ let sweep k =
             | Some (base, bytes, opid) ->
                 Page.iter_caps (Phys.page pte.Pte.frame) (fun g cap ->
                     if not (Capability.is_sealed cap) then
-                      if Capability.in_range cap ~lo:base ~hi:(base + bytes)
+                      let gran = Printf.sprintf "%s granule %d" subject g in
+                      (* R4 (capflow armed): the provenance stamp must
+                         match the holding area — the taint diagnosis
+                         subsumes the untyped wild-capability report. *)
+                      if !Capflow.armed && Capability.prov cap <> base then
+                        add Cap_provenance gran
+                          (Printf.sprintf
+                             "stored capability carries %s but sits in \
+                              area [%#x..%#x)"
+                             (if
+                                Capability.prov cap
+                                = Capability.root_provenance
+                              then "the kernel root's authority"
+                              else
+                                Printf.sprintf "area %#x's authority"
+                                  (Capability.prov cap))
+                             base (base + bytes))
+                      else if
+                        Capability.in_range cap ~lo:base ~hi:(base + bytes)
                       then ()
                       else
-                        let gran =
-                          Printf.sprintf "%s granule %d" subject g
-                        in
                         match
                           if multi_as then None else area_holding_cap cap
                         with
+                        | Some (_, _, pid2)
+                          when pid2 <> opid
+                               && Hashtbl.find_opt parent_of pid2 = Some opid
+                          ->
+                            (* S11: the reverse-direction fork leak — a
+                               parent page still grants authority over
+                               its child's area. *)
+                            add Parent_child_leak gran
+                              (Printf.sprintf
+                                 "parent pid %d stores capability \
+                                  [%#x..%#x) into child pid %d's area"
+                                 opid (Capability.base cap)
+                                 (Capability.limit cap) pid2)
                         | Some (_, _, pid2) when pid2 <> opid ->
                             add Cross_area_cap gran
                               (Printf.sprintf

@@ -11,6 +11,7 @@ type t =
   | Orphan_mapping
   | Phys_accounting
   | Cross_area_cap
+  | Parent_child_leak
   | Cow_protocol
   | Copa_protocol
   | Coa_protocol
@@ -19,6 +20,7 @@ type t =
   | Data_race
   | Lock_order
   | Lock_stall
+  | Cap_provenance
 
 let all =
   [
@@ -32,6 +34,7 @@ let all =
     Orphan_mapping;
     Phys_accounting;
     Cross_area_cap;
+    Parent_child_leak;
     Cow_protocol;
     Copa_protocol;
     Coa_protocol;
@@ -40,6 +43,7 @@ let all =
     Data_race;
     Lock_order;
     Lock_stall;
+    Cap_provenance;
   ]
 
 let id = function
@@ -53,6 +57,7 @@ let id = function
   | Orphan_mapping -> "S8"
   | Phys_accounting -> "S9"
   | Cross_area_cap -> "S10"
+  | Parent_child_leak -> "S11"
   | Cow_protocol -> "L1"
   | Copa_protocol -> "L2"
   | Coa_protocol -> "L3"
@@ -61,6 +66,7 @@ let id = function
   | Data_race -> "R1"
   | Lock_order -> "R2"
   | Lock_stall -> "R3"
+  | Cap_provenance -> "R4"
 
 let name = function
   | Refcount_mismatch -> "refcount-mismatch"
@@ -73,6 +79,7 @@ let name = function
   | Orphan_mapping -> "orphan-mapping"
   | Phys_accounting -> "phys-accounting"
   | Cross_area_cap -> "cross-area-cap"
+  | Parent_child_leak -> "parent-child-leak"
   | Cow_protocol -> "cow-protocol"
   | Copa_protocol -> "copa-protocol"
   | Coa_protocol -> "coa-protocol"
@@ -81,6 +88,7 @@ let name = function
   | Data_race -> "data-race"
   | Lock_order -> "lock-order"
   | Lock_stall -> "lock-stall"
+  | Cap_provenance -> "cap-provenance"
 
 let severity = function
   | Refcount_mismatch -> Error
@@ -93,6 +101,7 @@ let severity = function
   | Orphan_mapping -> Critical
   | Phys_accounting -> Warning
   | Cross_area_cap -> Critical
+  | Parent_child_leak -> Critical
   | Cow_protocol -> Error
   | Copa_protocol -> Error
   | Coa_protocol -> Error
@@ -101,6 +110,7 @@ let severity = function
   | Data_race -> Critical
   | Lock_order -> Critical
   | Lock_stall -> Error
+  | Cap_provenance -> Critical
 
 let describe = function
   | Refcount_mismatch ->
@@ -114,6 +124,9 @@ let describe = function
   | Orphan_mapping -> "every mapping belongs to a live or zombie area"
   | Phys_accounting -> "frames-in-use equals the live-frame census"
   | Cross_area_cap -> "no stored capability reaches another process's area"
+  | Parent_child_leak ->
+      "after fork, no tagged capability in a parent page targets the \
+       child's area"
   | Cow_protocol -> "CoW write fault: classified under a fault, then resolved"
   | Copa_protocol -> "CoPA fault resolved by child copy or in-place claim"
   | Coa_protocol -> "CoA fault resolved by child copy or in-place claim"
@@ -126,6 +139,10 @@ let describe = function
        pt-shards ascending)"
   | Lock_stall ->
       "no single lock's wait edges dominate the interval's critical path"
+  | Cap_provenance ->
+      "every tagged capability reachable in a μprocess's pages carries \
+       that μprocess's provenance — never the kernel root's, never a \
+       stale parent's"
 
 type violation = { invariant : t; subject : string; detail : string }
 

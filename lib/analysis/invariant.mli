@@ -41,6 +41,12 @@ type t =
   | Cross_area_cap
       (** S10: no stored capability grants access to another μprocess's
           area (single address space, isolation on). *)
+  | Parent_child_leak
+      (** S11: the reverse-direction fork leak — no tagged capability
+          stored in a {e parent} page targets its child's area. S10's
+          cross-area check reports this direction as S11 so a post-fork
+          parent→child leak is distinguishable from a generic wild
+          capability. *)
   (* Trace-protocol rules: Lint.run. *)
   | Cow_protocol
       (** L1: a CoW write fault is classified under a page fault and
@@ -75,9 +81,18 @@ type t =
       (** R3: no single lock's wait edges dominate an analyzed
           interval's critical path (the causal analyzer's stall alarm;
           tripped deliberately by [explain --chaos-stall-shard]). *)
+  | Cap_provenance
+      (** R4: the capflow taint invariant — every tagged capability
+          reachable in a μprocess's pages carries that μprocess's
+          provenance stamp: rebased or freshly minted for it, never the
+          kernel root's authority and never a stale parent stamp left by
+          a skipped relocation. Checked on the [Cap_store]/[Cap_load]
+          stream, at every fork completion, and during
+          {!Checker.sweep} when armed ({!Capflow}); the static mirror is
+          lint rule D13. *)
 
 val all : t list
-(** Catalogue order: S1–S10, L1–L5, then R1–R3. *)
+(** Catalogue order: S1–S11, L1–L5, then R1–R4. *)
 
 val id : t -> string
 (** ["S1"].."( S10"], ["L1"]..["L5"] — stable across releases. *)

@@ -171,7 +171,7 @@ let handle t (ev : Hb.event) =
   | Hb.Spawn _ | Hb.Wake _ | Hb.Write _
   (* Causal-analysis events carry no hold-set information. *)
   | Hb.Block _ | Hb.Contend _ | Hb.Handoff _ | Hb.Steal _ | Hb.Ipi _
-  | Hb.Span_open _ | Hb.Span_close _ ->
+  | Hb.Span_open _ | Hb.Span_close _ | Hb.Cap_store _ | Hb.Cap_load _ ->
       ()
 
 let attach t = Hb.subscribe (handle t)

@@ -137,7 +137,7 @@ let handle t (ev : Hb.event) =
   (* Causal-analysis events: no ordering semantics beyond what the
      Spawn/Wake/Acquire/Release edges above already encode. *)
   | Hb.Block _ | Hb.Contend _ | Hb.Handoff _ | Hb.Steal _ | Hb.Ipi _
-  | Hb.Span_open _ | Hb.Span_close _ ->
+  | Hb.Span_open _ | Hb.Span_close _ | Hb.Cap_store _ | Hb.Cap_load _ ->
       ()
 
 let races t = List.rev t.races

@@ -11,7 +11,13 @@ type t = {
   perms : Perms.t;
   otype : Otype.t;
   tag : bool;
+  prov : int;
+      (* provenance stamp: [root_provenance] for kernel-root-derived
+         authority, otherwise the area base the authority is confined to.
+         Metadata only — never part of [equal] or architectural checks. *)
 }
+
+let root_provenance = -1
 
 (* The simulated virtual address space: the full non-negative int range.
    [max_int / 2] keeps base + length from overflowing. *)
@@ -25,6 +31,7 @@ let root () =
     perms = Perms.all;
     otype = Otype.unsealed;
     tag = true;
+    prov = root_provenance;
   }
 
 let null =
@@ -35,6 +42,7 @@ let null =
     perms = Perms.empty;
     otype = Otype.unsealed;
     tag = false;
+    prov = root_provenance;
   }
 
 let base t = t.base
@@ -45,6 +53,8 @@ let perms t = t.perms
 let otype t = t.otype
 let is_sealed t = Otype.is_sealed t.otype
 let tag t = t.tag
+let prov t = t.prov
+let stamp t ~prov = { t with prov }
 
 let pp ppf t =
   Format.fprintf ppf "cap{%s base=%#x len=%#x cur=%#x %a %a}"
@@ -64,7 +74,15 @@ let mint ~parent ~base ~length ~perms =
   if not (Perms.is_subset ~sub:perms ~super:parent.perms) then
     violation "mint: permissions %a exceed parent %a" Perms.pp perms Perms.pp
       parent.perms;
-  { base; length; cursor = base; perms; otype = Otype.unsealed; tag = true }
+  {
+    base;
+    length;
+    cursor = base;
+    perms;
+    otype = Otype.unsealed;
+    tag = true;
+    prov = parent.prov;
+  }
 
 let with_cursor t cursor =
   if is_sealed t then violation "with_cursor: sealed capability is immutable";

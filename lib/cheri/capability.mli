@@ -55,6 +55,25 @@ val otype : t -> Otype.t
 val is_sealed : t -> bool
 val tag : t -> bool
 
+(** {1 Provenance (capflow, invariant R4)}
+
+    Every capability carries a provenance stamp identifying the authority
+    it was confined to: {!root_provenance} for kernel-root-derived
+    authority, otherwise the base address of the μprocess area it was
+    minted or relocated for. The stamp is pure metadata — it never
+    affects architectural checks and is deliberately ignored by {!equal},
+    so relocation counts and golden traces are unchanged by stamping. *)
+
+val root_provenance : int
+(** The sentinel provenance of the hardware root (and [null]). *)
+
+val prov : t -> int
+(** The provenance stamp currently carried by [t]. *)
+
+val stamp : t -> prov:int -> t
+(** [stamp t ~prov] is [t] restamped with provenance [prov]. Kernel-only
+    bookkeeping: user code never observes the stamp. *)
+
 (** {1 Manipulation} *)
 
 val with_cursor : t -> addr -> t

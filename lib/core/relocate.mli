@@ -12,6 +12,12 @@ type outcome = {
   relocated : int;  (** Tagged capabilities rewritten. *)
 }
 
+val chaos_skip_rebase : bool ref
+(** Chaos (capflow cross-certification): when set, the next capability
+    that would be rebased is instead left untouched — parent target,
+    parent provenance — and the flag self-clears. The runtime R4 taint
+    invariant, not any architectural check, must catch the leak. *)
+
 val relocate_cap :
   owner_area:(int -> (int * int) option) ->
   child_base:int ->
@@ -23,7 +29,12 @@ val relocate_cap :
     by [(child_base - source_base)], where [owner_area cursor] locates the
     source μprocess area containing the capability's cursor. Capabilities
     whose owner cannot be determined (e.g. dangling) get their tag cleared
-    — they must not leak a foreign authority into the child (§4.3). *)
+    — they must not leak a foreign authority into the child (§4.3).
+
+    Every tagged capability that survives the scan is provenance-stamped
+    with [child_base] (including the already-in-child fast path — a
+    restamp [Capability.equal] cannot see, so relocation counts and
+    goldens are unchanged). *)
 
 val relocate_page :
   owner_area:(int -> (int * int) option) ->

@@ -2,6 +2,19 @@ module Capability = Ufork_cheri.Capability
 module Phys = Phys
 module Pte = Pte
 module Perms = Ufork_cheri.Perms
+module Hb = Ufork_util.Hb
+
+(* Capability traffic through the MMU is the capflow detector's ground
+   truth: every user-level cap store/load and every kernel metadata cap
+   store/load publishes here. Disarmed cost is one bool read. *)
+let publish_cap_store ~addr cap =
+  if Hb.on () && Capability.tag cap then
+    Hb.emit
+      (Hb.Cap_store { tid = Hb.tid (); addr; prov = Capability.prov cap })
+
+let publish_cap_load ~addr cap =
+  if Hb.on () && Capability.tag cap then
+    Hb.emit (Hb.Cap_load { tid = Hb.tid (); addr; prov = Capability.prov cap })
 
 type access = Read | Write | Exec | Cap_load | Cap_store
 
@@ -107,7 +120,9 @@ let load_cap pt ~via ~addr =
     ~perm:Perms.(union load load_cap)
     ~addr ~len:Addr.granule_size;
   check_page pt ~addr ~access:Cap_load;
-  Page.load_cap (page_of pt ~addr) ~off:(Addr.page_offset addr)
+  let cap = Page.load_cap (page_of pt ~addr) ~off:(Addr.page_offset addr) in
+  publish_cap_load ~addr cap;
+  cap
 
 let store_cap pt ~via ~addr cap =
   require_granule_aligned addr;
@@ -115,6 +130,7 @@ let store_cap pt ~via ~addr cap =
     ~perm:Perms.(union store store_cap)
     ~addr ~len:Addr.granule_size;
   check_page pt ~addr ~access:Cap_store;
+  publish_cap_store ~addr cap;
   Page.store_cap (page_of pt ~addr) ~off:(Addr.page_offset addr) cap
 
 let kernel_page pt ~vpn = Phys.page (Page_table.lookup_exn pt ~vpn).Pte.frame
@@ -135,12 +151,15 @@ let kernel_write_bytes pt ~addr b =
 let kernel_store_cap pt ~addr cap =
   require_granule_aligned addr;
   let p = kernel_page pt ~vpn:(Addr.vpn_of_addr addr) in
+  publish_cap_store ~addr cap;
   Page.store_cap p ~off:(Addr.page_offset addr) cap
 
 let kernel_load_cap pt ~addr =
   require_granule_aligned addr;
   let p = kernel_page pt ~vpn:(Addr.vpn_of_addr addr) in
-  Page.load_cap p ~off:(Addr.page_offset addr)
+  let cap = Page.load_cap p ~off:(Addr.page_offset addr) in
+  publish_cap_load ~addr cap;
+  cap
 
 let kernel_clear_tags pt ~addr ~len =
   if len > 0 then begin

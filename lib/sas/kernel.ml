@@ -500,9 +500,15 @@ let materialize_heap_range t u ~addr ~len =
 (* {1 Capabilities} *)
 
 let area_cap t (u : Uproc.t) =
-  Capability.mint ~parent:t.root ~base:u.Uproc.area_base
-    ~length:u.Uproc.area_bytes
-    ~perms:Perms.(union user_data (union execute (union load_cap store_cap)))
+  (* Minted from the kernel root, but confined to [u]'s area — the
+     provenance stamp records that confinement so capflow (R4) can tell
+     delegated area authority from a leaked root. *)
+  Capability.stamp
+    (Capability.mint ~parent:t.root ~base:u.Uproc.area_base
+       ~length:u.Uproc.area_bytes
+       ~perms:
+         Perms.(union user_data (union execute (union load_cap store_cap))))
+    ~prov:u.Uproc.area_base
 
 (* The capability handed to user code for a heap block. Under isolation it
    is bounded to the block; with isolation disabled the process gets a
@@ -510,10 +516,14 @@ let area_cap t (u : Uproc.t) =
 let user_block_cap t (u : Uproc.t) ~addr ~len =
   match t.config.Config.isolation with
   | Config.No_isolation ->
-      Capability.with_cursor
-        (Capability.mint ~parent:t.root ~base:0
-           ~length:(Capability.length t.root) ~perms:Perms.user_data)
-        addr
+      (* Wide by design (single trust domain), but the authority is still
+         [u]'s: stamp it so capflow does not mistake it for the root. *)
+      Capability.stamp
+        (Capability.with_cursor
+           (Capability.mint ~parent:t.root ~base:0
+              ~length:(Capability.length t.root) ~perms:Perms.user_data)
+           addr)
+        ~prov:u.Uproc.area_base
   | Config.Fault_isolation | Config.Full_isolation ->
       Capability.mint ~parent:(area_cap t u) ~base:addr ~length:len
         ~perms:Perms.user_data
@@ -929,11 +939,13 @@ let sys_map_library t (u : Uproc.t) name ~bytes =
   in
   match t.config.Config.isolation with
   | Config.No_isolation ->
-      Capability.with_cursor
-        (Capability.mint ~parent:t.root ~base:0
-           ~length:(Capability.length t.root)
-           ~perms:Perms.(union load (union load_cap execute)))
-        base
+      Capability.stamp
+        (Capability.with_cursor
+           (Capability.mint ~parent:t.root ~base:0
+              ~length:(Capability.length t.root)
+              ~perms:Perms.(union load (union load_cap execute)))
+           base)
+        ~prov:u.Uproc.area_base
   | Config.Fault_isolation | Config.Full_isolation ->
       Capability.mint ~parent:(area_cap t u) ~base ~length:bytes
         ~perms:Perms.(union load (union load_cap execute))
@@ -1139,6 +1151,27 @@ let fold_uprocs t ~init ~f =
     (List.sort compare pids)
 
 let iter_uprocs t f = fold_uprocs t ~init:() ~f:(fun () u -> f u)
+
+let chaos_leak_root t =
+  (* Chaos-only: hand the kernel's root capability to a μprocess by
+     storing it — unconfined, full address space, all permissions — into
+     the first running process's GOT slot 0. The architectural checks
+     cannot object (the kernel may store anything); only the capflow
+     taint invariant R4 can notice that root authority became reachable
+     from user pages. *)
+  let victim =
+    fold_uprocs t ~init:None ~f:(fun acc (u : Uproc.t) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if u.Uproc.state = Uproc.Running then Some u else None)
+  in
+  match victim with
+  | None -> false
+  | Some u ->
+      let addr = got_addr u 0 in
+      Vas.kernel_store_cap u.Uproc.pt ~addr
+        (Capability.with_cursor t.root addr);
+      true
 
 let areas t =
   Area_index.fold

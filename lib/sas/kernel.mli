@@ -257,6 +257,14 @@ val chaos_stall_shard : t -> unit
     dominant critical-path edge (R3). No-op when the kernel is not
     sharded. *)
 
+val chaos_leak_root : t -> bool
+(** Chaos injection only: store the kernel's root capability into the
+    first running μprocess's GOT slot 0, via the kernel's own unconfined
+    store path. No architectural check can object — only the capflow
+    taint invariant (R4) can notice root authority reachable from user
+    pages. [false] while no process is running yet (the harness retries
+    from a rogue boot thread until it lands). *)
+
 val syscall_entry_cap : t -> Capability.t
 (** The sealed kernel entry capability every μprocess holds: invocable
     (that is the system call), never dereferenceable or unsealable by

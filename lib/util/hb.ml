@@ -49,6 +49,12 @@ type event =
       (** a trace span opened on [tid] (span-boundary hook; [name] is
           the span's own segment, not the full stack path) *)
   | Span_close of { tid : int; name : string }
+  | Cap_store of { tid : int; addr : int; prov : int }
+      (** a tagged capability with provenance stamp [prov] was stored at
+          [addr]; the capflow detector resolves which μprocess area the
+          address belongs to and checks the R4 taint invariant *)
+  | Cap_load of { tid : int; addr : int; prov : int }
+      (** a tagged capability was loaded back out of memory *)
 
 (* The engine installs the provider once at link time; outside any
    simulated thread (boot, direct poking from unit tests) it returns a

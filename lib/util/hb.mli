@@ -35,6 +35,11 @@ type event =
   | Span_open of { tid : int; name : string }
       (** trace span boundary (one path segment, innermost name only) *)
   | Span_close of { tid : int; name : string }
+  | Cap_store of { tid : int; addr : int; prov : int }
+      (** a tagged capability with provenance stamp [prov] landed at
+          [addr]; consumed by the capflow R4 taint invariant *)
+  | Cap_load of { tid : int; addr : int; prov : int }
+      (** a tagged capability was loaded back out of memory *)
 
 val set_tid_provider : (unit -> int) -> unit
 (** Installed once by the engine: the current simulated thread id, or a

@@ -25,7 +25,10 @@ module Checker = Ufork_analysis.Checker
 module Race = Ufork_analysis.Race
 module Lockdep = Ufork_analysis.Lockdep
 module Causal = Ufork_analysis.Causal
+module Capflow = Ufork_analysis.Capflow
 module Invariant = Ufork_analysis.Invariant
+module Relocate = Ufork_core.Relocate
+module Fork_spine = Ufork_core.Fork_spine
 
 type system =
   | Ufork of Strategy.t
@@ -155,6 +158,29 @@ let set_chaos_stall_shard on = chaos_stall := on
 let causal_collector : Causal.t option ref = ref None
 let causal_graph () = !causal_collector
 
+(* {2 Capability-provenance (capflow) checking}
+
+   With [capflow_detect] set, every boot arms the R4 taint machinery:
+   the Capflow stream detector on the bus subscription, the
+   fork-completion scan through {!Fork_spine.fork_probe}, and the
+   provenance clause of {!Checker.sweep} (via [Capflow.armed]).
+   Three chaos injections cross-certify it against the static rule D13:
+   [chaos_skip_rebase] leaves one capability un-rebased in the fork
+   copy, [chaos_heap_smuggle] carries a parent capability across the
+   fork in an OCaml-heap cell invisible to the tag scan, and
+   [chaos_leak_root] hands the kernel root to a μprocess. Each must
+   fail the run with exactly R4. *)
+
+let capflow_detect = ref false
+let set_capflow_detect on = capflow_detect := on
+let chaos_skip_rebase = ref false
+let set_chaos_skip_rebase on = chaos_skip_rebase := on
+let chaos_heap_smuggle = ref false
+let set_chaos_heap_smuggle on = chaos_heap_smuggle := on
+let chaos_leak_root = ref false
+let set_chaos_leak_root on = chaos_leak_root := on
+let capflow_detector : Capflow.t option ref = ref None
+
 (* {2 Domain-parallel sweeps}
 
    [parmap] fans one experiment per sweep point out over OCaml domains.
@@ -178,6 +204,8 @@ let parallel_unsafe () =
   || !race_detect || !lockdep_detect || !chaos_no_bkl || !chaos_unshard
   || !chaos_invert_shard_order
   || !causal_trace || !chaos_stall
+  || !capflow_detect || !chaos_skip_rebase || !chaos_heap_smuggle
+  || !chaos_leak_root
 
 let parmap ~jobs f items =
   let jobs = if parallel_unsafe () then 1 else max 1 jobs in
@@ -296,6 +324,9 @@ let finish_run b =
      @ (match !lockdep_checker with
        | Some d -> Lockdep.violations d
        | None -> [])
+     @ (match !capflow_detector with
+       | Some d -> Capflow.violations d
+       | None -> [])
    in
    match vs with
    | [] -> ()
@@ -348,12 +379,25 @@ let boot ?(cores = 4) ?config system =
   race_detector := rd;
   lockdep_checker := ld;
   causal_collector := cd;
+  (* The capflow detector needs the kernel, which does not exist yet:
+     its bus handler dispatches through the registry slot, filled right
+     after boot. The few boot-time stores it misses are swept by the
+     armed Checker clause at finish_run. *)
+  capflow_detector := None;
+  Capflow.armed := !capflow_detect;
   let handlers =
     List.filter_map Fun.id
       [
         Option.map (fun d ev -> Race.handle d ev) rd;
         Option.map (fun d ev -> Lockdep.handle d ev) ld;
         Option.map (fun d ev -> Causal.handle d ev) cd;
+        (if !capflow_detect then
+           Some
+             (fun ev ->
+               match !capflow_detector with
+               | Some d -> Capflow.handle d ev
+               | None -> ())
+         else None);
       ]
   in
   (match handlers with
@@ -361,6 +405,32 @@ let boot ?(cores = 4) ?config system =
   | [ h ] -> Ufork_util.Hb.subscribe h
   | hs -> Ufork_util.Hb.subscribe (fun ev -> List.iter (fun h -> h ev) hs));
   let b = boot_raw ~cores ?config system in
+  if !capflow_detect then begin
+    capflow_detector := Some (Capflow.create b.kernel);
+    (* Fail at the fork that leaked, not at the next sweep: the probe
+       raises from inside the fork window's closing edge. *)
+    Fork_spine.fork_probe :=
+      Some
+        (fun k ~child ->
+          match Capflow.scan_fork k ~child with
+          | [] -> ()
+          | vs -> raise (Checker.Unsafe (Invariant.report vs)))
+  end
+  else Fork_spine.fork_probe := None;
+  if !chaos_skip_rebase then Relocate.chaos_skip_rebase := true;
+  if !chaos_heap_smuggle then Fork_spine.chaos_heap_smuggle := true;
+  if !chaos_leak_root then
+    (* A rogue boot thread retries until a process is running, then
+       plants the kernel root in its GOT — the stream detector (and the
+       armed sweep) must accuse exactly R4. *)
+    ignore
+      (Engine.spawn b.engine ~name:"chaos-leak-root" (fun () ->
+           let rec attempt budget =
+             Engine.sleep 500L;
+             if (not (Kernel.chaos_leak_root b.kernel)) && budget > 0 then
+               attempt (budget - 1)
+           in
+           attempt 100));
   (* Boot-time events were stamped 0 (correct: the engine starts there);
      everything after reads the machine's clock. *)
   Option.iter

@@ -133,6 +133,39 @@ val set_chaos_stall_shard : bool -> unit
     convoys every forker onto the process-table lock). No-op when the
     kernel is not sharded. *)
 
+(** {1 Capability-provenance (capflow) checking} *)
+
+val set_capflow_detect : bool -> unit
+(** Arm the R4 taint machinery on every machine booted from now on: the
+    {!Ufork_analysis.Capflow} stream detector on the bus subscription, a
+    fork-completion scan of every child's pages (through
+    {!Ufork_core.Fork_spine.fork_probe}), and the provenance clause of
+    {!Ufork_analysis.Checker.sweep}. A run that let authority leak
+    across fork fails with exactly R4. *)
+
+val set_chaos_skip_rebase : bool -> unit
+(** Fault injection for capflow: the next fork silently skips the rebase
+    of one capability ({!Ufork_core.Relocate.chaos_skip_rebase}),
+    leaving a parent-provenance capability in the child's pages. With
+    {!set_capflow_detect} the run must fail with exactly R4 at the fork
+    window's closing edge. *)
+
+val set_chaos_heap_smuggle : bool -> unit
+(** Fault injection for capflow: the next fork carries one parent
+    capability across in an OCaml-heap cell — invisible to §4.2's tag
+    scan and discharged from the static rule D13 — and raw-stores it
+    into the child's meta page
+    ({!Ufork_core.Fork_spine.chaos_heap_smuggle}). Only the runtime side
+    can catch it: with {!set_capflow_detect} the run must fail with
+    exactly R4. *)
+
+val set_chaos_leak_root : bool -> unit
+(** Fault injection for capflow: a rogue boot thread hands the kernel's
+    root capability to the first running μprocess
+    ({!Ufork_sas.Kernel.chaos_leak_root}). With {!set_capflow_detect}
+    the run must fail with exactly R4 (root provenance reachable from
+    user pages). *)
+
 (** {1 Domain-parallel sweeps} *)
 
 val parmap : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

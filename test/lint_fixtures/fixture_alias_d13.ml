@@ -1,0 +1,8 @@
+(* The alias-aware variant: the relocate_cap result escapes through a
+   module alias and an Option wrapper into a ref cell. *)
+module R = Ufork_core.Relocate
+
+let cell = ref None
+
+let keep ~owner_area ~child_base ~child_bytes cap =
+  cell := Some (R.relocate_cap ~owner_area ~child_base ~child_bytes cap)

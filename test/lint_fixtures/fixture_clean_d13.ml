@@ -1,0 +1,28 @@
+(* False-positive controls for the capability-escape analysis: every
+   pattern here is legitimate and must produce zero findings.
+
+   "cell := Some (Capability.mint ...)" in this comment is invisible. *)
+module Capability = Ufork_cheri.Capability
+module Page = Ufork_mem.Page
+module Relocate = Ufork_core.Relocate
+
+(* A Page store is the tag-carrying path: the scan can find it. *)
+let stash page ~off parent =
+  Page.store_cap page ~off
+    (Capability.mint ~parent ~base:0 ~length:16 ~perms:0)
+
+(* The relocate result flows back into the page: the §4.2 contract. *)
+let fix ~owner_area ~child_base ~child_bytes page =
+  Page.map_caps page (fun cap ->
+      Relocate.relocate_cap ~owner_area ~child_base ~child_bytes cap)
+
+(* Untainted heap traffic is not the linter's business. *)
+let hits = ref 0
+let note () = hits := !hits + 1
+
+(* A deliberate, discharged escape that really shields one: clean. *)
+let stashed = ref []
+
+let chaos_keep parent =
+  stashed := [ Capability.mint ~parent ~base:0 ~length:16 ~perms:0 ]
+[@@ufork.cap_escape_ok]

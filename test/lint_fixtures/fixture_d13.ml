@@ -1,0 +1,10 @@
+(* Seeds exactly one D13 finding: a minted capability stored into an
+   OCaml-heap Hashtbl — a shadow copy the §4.2 tag scan can never find.
+   The name "Capability.mint" in this comment must not trip anything. *)
+module Capability = Ufork_cheri.Capability
+
+let table : (int, Capability.t) Hashtbl.t = Hashtbl.create 8
+
+let stash parent base =
+  let c = Capability.mint ~parent ~base ~length:16 ~perms:0 in
+  Hashtbl.replace table base c

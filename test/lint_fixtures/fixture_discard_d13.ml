@@ -1,0 +1,7 @@
+(* Seeds exactly one D13 finding: the rebased capability is computed and
+   dropped, so the child keeps the stale parent-provenance one. *)
+module Relocate = Ufork_core.Relocate
+
+let scan ~owner_area ~child_base ~child_bytes cap =
+  ignore (Relocate.relocate_cap ~owner_area ~child_base ~child_bytes cap);
+  cap

@@ -1,0 +1,8 @@
+(* Seeds exactly one D13 finding: root-derived authority in application
+   code (the fixture is linted under a lib/workload path). The root cap
+   flows through with_cursor, which preserves its authority. *)
+module Capability = Ufork_cheri.Capability
+module Kernel = Ufork_sas.Kernel
+
+let grant k got_addr =
+  Capability.with_cursor (Kernel.root_cap k) got_addr

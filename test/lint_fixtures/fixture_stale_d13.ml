@@ -1,0 +1,6 @@
+(* Seeds exactly one D13 finding: a discharge annotation that shields no
+   actual capability escape. The annotations are checked, not trusted —
+   dead discharges would silently excuse future leaks. *)
+let counter = ref 0
+
+let bump () = counter := !counter + 1 [@@ufork.cap_escape_ok]

@@ -12,14 +12,15 @@ module Strategy = Ufork_core.Strategy
 module E = Ufork_workload.Experiments
 
 let all_ids =
-  [ "S1"; "S2"; "S3"; "S4"; "S5"; "S6"; "S7"; "S8"; "S9"; "S10";
+  [ "S1"; "S2"; "S3"; "S4"; "S5"; "S6"; "S7"; "S8"; "S9"; "S10"; "S11";
     "L1"; "L2"; "L3"; "L4"; "L5" ]
 
-(* R1 (data-race), R2 (lock-order) and R3 (lock-stall) close the
-   catalogue; their chaos scenarios are dynamic (runs under
-   [--chaos-no-bkl], [--chaos-invert-shard-order] and
-   [--chaos-stall-shard]), so they live outside [Chaos.scenarios]. *)
-let catalogue_ids = all_ids @ [ "R1"; "R2"; "R3" ]
+(* R1 (data-race), R2 (lock-order), R3 (lock-stall) and R4
+   (cap-provenance) close the catalogue; their chaos scenarios are
+   dynamic (runs under [--chaos-no-bkl], [--chaos-invert-shard-order],
+   [--chaos-stall-shard] and the three capflow injections), so they live
+   outside [Chaos.scenarios]. *)
+let catalogue_ids = all_ids @ [ "R1"; "R2"; "R3"; "R4" ]
 
 let test_catalogue () =
   Alcotest.(check (list string)) "stable ids" catalogue_ids

@@ -88,6 +88,71 @@ let test_relocate_page () =
   (* The integer was not misidentified as a pointer (tag discipline). *)
   Alcotest.(check int64) "integer untouched" 0x1008L (Page.read_u64 page ~off:128)
 
+(* The common two-area layout for the edge-case tests: a parent area at
+   0x1000 and a child area at 0x9000, one page each. *)
+let edge_owner_area a =
+  if a >= 0x1000 && a < 0x2000 then Some (0x1000, 0x1000)
+  else if a >= 0x9000 && a < 0xa000 then Some (0x9000, 0x1000)
+  else None
+
+let edge_mk base =
+  Capability.mint ~parent:(Capability.root ()) ~base ~length:16
+    ~perms:Perms.user_data
+
+let test_relocate_page_zero_tag () =
+  (* The zero-tag fast path: a page of raw data (including integers that
+     look like parent pointers) is scanned but nothing moves. *)
+  let page = Page.create () in
+  Page.write_u64 page ~off:0 0x1008L;
+  Page.write_u64 page ~off:(Addr.page_size - 8) 0x1ff0L;
+  let outcome =
+    Relocate.relocate_page ~owner_area:edge_owner_area ~child_base:0x9000
+      ~child_bytes:0x1000 page
+  in
+  Alcotest.(check int) "scanned" Addr.granules_per_page
+    outcome.Relocate.granules_scanned;
+  Alcotest.(check int) "nothing relocated" 0 outcome.Relocate.relocated;
+  Alcotest.(check int) "still untagged" 0 (Page.tagged_count page);
+  Alcotest.(check int64) "raw data untouched" 0x1008L
+    (Page.read_u64 page ~off:0)
+
+let test_relocate_page_dangling_clear () =
+  (* §4.3: a capability whose owner cannot be determined is tag-cleared —
+     the authority must never follow the fork. The raw cursor bytes stay
+     so integer loads still see the old address. *)
+  let page = Page.create () in
+  Page.store_cap page ~off:32 (edge_mk 0x5000);
+  let outcome =
+    Relocate.relocate_page ~owner_area:edge_owner_area ~child_base:0x9000
+      ~child_bytes:0x1000 page
+  in
+  Alcotest.(check int) "tag-clear counts as a relocation" 1
+    outcome.Relocate.relocated;
+  Alcotest.(check bool) "tag gone" false (Page.tag_at page ~off:32);
+  Alcotest.(check bool) "load yields untagged" false
+    (Capability.tag (Page.load_cap page ~off:32));
+  Alcotest.(check int64) "cursor bytes preserved" 0x5000L
+    (Page.read_u64 page ~off:32)
+
+let test_relocate_cap_last_granule () =
+  (* A capability whose cursor sits in the last 16-byte granule of the
+     page — and whose bounds end exactly at the area's end — must rebase
+     without tripping the bounds checks on either side. *)
+  let last = Addr.page_size - Addr.granule_size in
+  let page = Page.create () in
+  Page.store_cap page ~off:last (edge_mk (0x1000 + last));
+  let outcome =
+    Relocate.relocate_page ~owner_area:edge_owner_area ~child_base:0x9000
+      ~child_bytes:0x1000 page
+  in
+  Alcotest.(check int) "one relocated" 1 outcome.Relocate.relocated;
+  let cap = Page.load_cap page ~off:last in
+  Alcotest.(check bool) "still tagged" true (Capability.tag cap);
+  Alcotest.(check int) "base at the child's last granule" (0x9000 + last)
+    (Capability.base cap);
+  Alcotest.(check int) "cursor followed" (0x9000 + last)
+    (Capability.cursor cap)
+
 (* --- Fork semantics --- *)
 
 let test_fork_pids_and_wait () =
@@ -591,6 +656,11 @@ let suite =
   [
     ("relocate cap", `Quick, test_relocate_cap);
     ("relocate page", `Quick, test_relocate_page);
+    ("relocate page: zero-tag fast path", `Quick, test_relocate_page_zero_tag);
+    ("relocate page: dangling owner tag-clear", `Quick,
+     test_relocate_page_dangling_clear);
+    ("relocate cap: last granule of the page", `Quick,
+     test_relocate_cap_last_granule);
     ("fork pids and wait", `Quick, test_fork_pids_and_wait);
     ("child getpid differs", `Quick, test_child_getpid_differs);
     ("normal return exits 0", `Quick, test_normal_return_is_exit0);

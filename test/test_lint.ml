@@ -10,6 +10,7 @@
 module Rules = Ufork_lint_core.Lint_rules
 module Lint = Ufork_lint_core.Lint_engine
 module Lockdep = Ufork_lint_core.Lockdep
+module Capflow = Ufork_lint_core.Capflow
 
 let fixture_dir =
   (* cwd is test/ under [dune runtest], the project root under
@@ -30,6 +31,9 @@ let lint ?(path = "lib/workload/fixture.ml") file =
 
 let lockdep_lint ?(path = "lib/workload/fixture.ml") file =
   Lockdep.analyze_sources [ (path, read_file file) ]
+
+let capflow_lint ?(path = "lib/workload/fixture.ml") file =
+  Capflow.analyze_sources [ (path, read_file file) ]
 
 (* One seeded violation per rule id, caught as exactly that rule. *)
 let seeded =
@@ -59,6 +63,18 @@ let lockdep_seeded =
     ("fixture_shard_d10.ml", "D10");
   ]
 
+(* D13 likewise comes from a whole-program analysis (Capflow): a heap
+   escape, an alias-routed escape, a discarded relocation, root
+   authority in app code, and a stale discharge annotation. *)
+let capflow_seeded =
+  [
+    ("fixture_d13.ml", "D13");
+    ("fixture_alias_d13.ml", "D13");
+    ("fixture_discard_d13.ml", "D13");
+    ("fixture_root_d13.ml", "D13");
+    ("fixture_stale_d13.ml", "D13");
+  ]
+
 let test_seeded () =
   List.iter
     (fun (file, expected) ->
@@ -73,6 +89,14 @@ let test_lockdep_seeded () =
         (ids (lockdep_lint file)))
     lockdep_seeded
 
+let test_capflow_seeded () =
+  List.iter
+    (fun (file, expected) ->
+      Alcotest.(check (list string))
+        file [ expected ]
+        (ids (capflow_lint file)))
+    capflow_seeded
+
 let test_rule_coverage () =
   (* Every catalogue rule has a seeding fixture: the fixture suite is the
      linter's coverage map. *)
@@ -80,7 +104,8 @@ let test_rule_coverage () =
     "one fixture per rule"
     (List.sort compare
        (List.map (fun (r : Rules.t) -> r.Rules.id) Rules.all))
-    (List.sort_uniq compare (List.map snd (seeded @ lockdep_seeded))
+    (List.sort_uniq compare
+       (List.map snd (seeded @ lockdep_seeded @ capflow_seeded))
     |> List.filter (fun id -> id <> "E0"))
 
 let test_clean_controls () =
@@ -94,7 +119,12 @@ let test_clean_controls () =
      pair satisfy the lock-order analysis. *)
   Alcotest.(check (list string))
     "fixture_clean_d10.ml" []
-    (ids (lockdep_lint "fixture_clean_d10.ml"))
+    (ids (lockdep_lint "fixture_clean_d10.ml"));
+  (* Page stores, relocations that flow back, untainted heap traffic and
+     a discharge that really shields satisfy the escape analysis. *)
+  Alcotest.(check (list string))
+    "fixture_clean_d13.ml" []
+    (ids (capflow_lint "fixture_clean_d13.ml"))
 
 let test_exemptions () =
   (* The same source is innocent in the module that owns the mechanism:
@@ -112,6 +142,14 @@ let test_exemptions () =
   check_clean "lib/sim/meter.ml" "fixture_d11.ml";
   check_clean "lib/sim/sync.ml" "fixture_d12.ml";
   check_clean "lib/mem/phys.ml" "fixture_d12.ml";
+  (* The capability module itself is D13's mechanism owner... *)
+  Alcotest.(check (list string))
+    "fixture_d13.ml under lib/cheri/capability.ml" []
+    (ids (capflow_lint ~path:"lib/cheri/capability.ml" "fixture_d13.ml"));
+  (* ...and root authority below the app layers is the kernel's job. *)
+  Alcotest.(check (list string))
+    "fixture_root_d13.ml under lib/sas/kernel.ml" []
+    (ids (capflow_lint ~path:"lib/sas/kernel.ml" "fixture_root_d13.ml"));
   (* ...and test code is out of scope entirely. *)
   check_clean "test/test_sim.ml" "fixture_d5.ml"
 
@@ -137,7 +175,7 @@ let test_json () =
       Alcotest.(check bool)
         (Printf.sprintf "json contains %s" needle)
         true (contains ~needle json))
-    [ {|"id":"D8"|}; {|"name":"no-obj"|}; {|"line":4|} ]
+    [ {|"id":"D8"|}; {|"name":"no-obj"|}; {|"severity":"error"|}; {|"line":4|} ]
 
 let test_lock_graph () =
   (* The exported graph names the hierarchy and the declared custom
@@ -164,6 +202,8 @@ let suite =
     Alcotest.test_case "seeded violations, one per rule" `Quick test_seeded;
     Alcotest.test_case "lock-order fixtures seed exactly D10" `Quick
       test_lockdep_seeded;
+    Alcotest.test_case "cap-escape fixtures seed exactly D13" `Quick
+      test_capflow_seeded;
     Alcotest.test_case "lock-order graph export" `Quick test_lock_graph;
     Alcotest.test_case "fixtures cover the catalogue" `Quick
       test_rule_coverage;

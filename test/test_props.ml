@@ -9,6 +9,8 @@ module Phys = Ufork_mem.Phys
 module Page_table = Ufork_mem.Page_table
 module Capability = Ufork_cheri.Capability
 module Perms = Ufork_cheri.Perms
+module Page = Ufork_mem.Page
+module Relocate = Ufork_core.Relocate
 module Image = Ufork_sas.Image
 module Api = Ufork_sas.Api
 module Kernel = Ufork_sas.Kernel
@@ -457,6 +459,51 @@ let prop_parmap_bit_identity =
       List.map run points
       = Ufork_workload.Experiments.parmap ~jobs:3 run points)
 
+(* --- Relocation idempotence (§4.2) ---
+
+   After one tag scan, every capability left in the page either already
+   targets the child or has lost its tag: a second scan must find
+   nothing to relocate, whatever mix of parent-owned, child-owned and
+   dangling capabilities the page started with. *)
+
+let prop_relocate_idempotent =
+  QCheck.Test.make ~name:"relocate_page: a second scan relocates nothing"
+    ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 32)
+        (pair (int_range 0 (Addr.granules_per_page - 1)) (int_range 0 2)))
+    (fun entries ->
+      let parent_base = 0x1000 and child_base = 0x9000 and bytes = 0x1000 in
+      let owner_area a =
+        if a >= parent_base && a < parent_base + bytes then
+          Some (parent_base, bytes)
+        else if a >= child_base && a < child_base + bytes then
+          Some (child_base, bytes)
+        else None
+      in
+      let page = Page.create () in
+      List.iter
+        (fun (g, kind) ->
+          let off = g * Addr.granule_size in
+          let base =
+            match kind with
+            | 0 -> parent_base + off (* rebased by the first scan *)
+            | 1 -> child_base + off (* already in place *)
+            | _ -> 0x5000 + off (* dangling: tag-cleared *)
+          in
+          Page.store_cap page ~off
+            (Capability.mint ~parent:(Capability.root ()) ~base ~length:16
+               ~perms:Perms.user_data))
+        entries;
+      let _ =
+        Relocate.relocate_page ~owner_area ~child_base ~child_bytes:bytes page
+      in
+      let second =
+        Relocate.relocate_page ~owner_area ~child_base ~child_bytes:bytes page
+      in
+      second.Relocate.relocated = 0)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -473,4 +520,5 @@ let suite =
       test_event_id_pins;
     qt prop_meter_intern_roundtrip;
     qt prop_parmap_bit_identity;
+    qt prop_relocate_idempotent;
   ]

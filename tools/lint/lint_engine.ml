@@ -454,7 +454,8 @@ let read_file fn =
 let lint_file ~root rel =
   lint_source ~path:rel ~source:(read_file (Filename.concat root rel))
 
-(* Every .ml/.mli under root/{lib,bin,bench}, repo-relative, sorted. *)
+(* Every .ml/.mli under root/{lib,bin,bench,tools}, repo-relative,
+   sorted — tools/ included so the linter self-hosts. *)
 let tree_files root =
   let acc = ref [] in
   let rec walk rel =
@@ -469,7 +470,7 @@ let tree_files root =
   in
   List.iter
     (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
-    [ "lib"; "bin"; "bench" ];
+    [ "lib"; "bin"; "bench"; "tools" ];
   List.sort compare !acc
 
 let lint_tree root =
@@ -498,8 +499,8 @@ let json_escape s =
 let to_json findings =
   let item f =
     Printf.sprintf
-      "{\"id\":\"%s\",\"name\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
-      f.rule.Lint_rules.id f.rule.Lint_rules.name (json_escape f.file) f.line
-      f.col (json_escape f.message)
+      "{\"id\":\"%s\",\"name\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+      f.rule.Lint_rules.id f.rule.Lint_rules.name f.rule.Lint_rules.severity
+      (json_escape f.file) f.line f.col (json_escape f.message)
   in
   "[" ^ String.concat "," (List.map item findings) ^ "]"

@@ -18,8 +18,11 @@ type t = {
 let under prefix path = String.length path >= String.length prefix
   && String.sub path 0 (String.length prefix) = prefix
 
+(* tools/ is scanned too: the linter self-hosts, so the lint and
+   capflow code obeys its own D-rules. *)
 let in_scanned path =
   under "lib/" path || under "bin/" path || under "bench/" path
+  || under "tools/" path
 
 (* {1 The catalogue} *)
 
@@ -200,6 +203,22 @@ let hb_publish =
         && not (under "lib/mem/" p));
   }
 
+let capflow =
+  {
+    id = "D13";
+    name = "cap-escape";
+    severity = "critical";
+    summary =
+      "tracked Capability.t values (Capability.root / mint and \
+       Relocate.relocate_cap results, interprocedurally) must not escape \
+       into OCaml-heap containers the §4.2 tag scan cannot walk, a \
+       relocate_cap result must not be discarded, and root-derived \
+       authority must stay below the app/baseline/workload layers; \
+       discharge a deliberate escape with [@ufork.cap_escape_ok] — the \
+       annotation is checked and must shield a real escape";
+    applies = (fun p -> in_scanned p && not (under "lib/cheri/" p));
+  }
+
 let parse_error =
   {
     id = "E0";
@@ -213,5 +232,27 @@ let all =
   [
     charging; page_copy; fork_dup; gauge_key; wall_clock; hashtbl_order;
     poly_compare; obj_magic; biglock; lockdep; string_keyed_emission;
-    hb_publish;
+    hb_publish; capflow;
   ]
+
+(* {1 Catalogue rendering}
+
+   Shared by both drivers ([ufork_lint --list] and [ufork_sim lint
+   --list]) so the rule table cannot drift between them; [--md] emits
+   the table DESIGN.md checks in. *)
+
+let print_catalogue ~md () =
+  if md then begin
+    print_string "| Rule | Name | Severity | What it enforces |\n";
+    print_string "|------|------|----------|------------------|\n";
+    List.iter
+      (fun r ->
+        Printf.printf "| %s | `%s` | %s | %s |\n" r.id r.name r.severity
+          r.summary)
+      all
+  end
+  else
+    List.iter
+      (fun r ->
+        Printf.printf "%s %-28s [%s] %s\n" r.id r.name r.severity r.summary)
+      all

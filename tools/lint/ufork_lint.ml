@@ -2,40 +2,43 @@
 
      ufork_lint [--json] [ROOT]
 
-   Parses every .ml/.mli under ROOT/{lib,bin,bench} (ROOT defaults to
-   the current directory) and reports rule-catalogue findings; exits 1
-   if there are any. [--list-rules] prints the catalogue. *)
+   Parses every .ml/.mli under ROOT/{lib,bin,bench,tools} (ROOT
+   defaults to the current directory) and reports rule-catalogue
+   findings — the per-file rules, the whole-program lock-order analysis
+   (D10) and the capability-escape analysis (D13); exits 1 if there are
+   any. [--list] prints the catalogue ([--md] as a markdown table). *)
 
 module Lint_rules = Ufork_lint_core.Lint_rules
 module Lint_engine = Ufork_lint_core.Lint_engine
 module Lockdep = Ufork_lint_core.Lockdep
+module Capflow = Ufork_lint_core.Capflow
 
 let () =
   let json = ref false in
   let list_rules = ref false in
+  let md = ref false in
   let root = ref "." in
   let spec =
     [
       ("--json", Arg.Set json, " Emit findings as a JSON array");
-      ("--list-rules", Arg.Set list_rules, " Print the rule catalogue");
+      ("--list", Arg.Set list_rules, " Print the rule catalogue");
+      ("--md", Arg.Set md, " With --list: emit a markdown table");
     ]
   in
   Arg.parse (Arg.align spec)
     (fun d -> root := d)
-    "ufork_lint [--json] [--list-rules] [ROOT]";
+    "ufork_lint [--json] [--list [--md]] [ROOT]";
   if !list_rules then begin
-    List.iter
-      (fun (r : Lint_rules.t) ->
-        Printf.printf "%s %-28s [%s] %s\n" r.Lint_rules.id r.Lint_rules.name
-          r.Lint_rules.severity r.Lint_rules.summary)
-      Lint_rules.all;
+    Lint_rules.print_catalogue ~md:!md ();
     exit 0
   end;
   let findings =
     List.sort
       (fun (a : Lint_engine.finding) b ->
         compare (a.file, a.line, a.col) (b.file, b.line, b.col))
-      (Lint_engine.lint_tree !root @ Lockdep.analyze_tree !root)
+      (Lint_engine.lint_tree !root
+      @ Lockdep.analyze_tree !root
+      @ Capflow.analyze_tree !root)
   in
   if !json then print_endline (Lint_engine.to_json findings)
   else begin
@@ -44,7 +47,8 @@ let () =
       findings;
     if findings = [] then
       Printf.printf
-        "ufork_lint: clean — %d rules over lib/, bin/, bench/ (%d files)\n"
+        "ufork_lint: clean — %d rules over lib/, bin/, bench/, tools/ (%d \
+         files)\n"
         (List.length Lint_rules.all)
         (List.length (Lint_engine.tree_files !root))
   end;
